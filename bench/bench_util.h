@@ -1,0 +1,126 @@
+// Shared reporting helpers for the figure/table reproduction binaries.
+//
+// Every binary prints: (1) the paper's expected numbers for that experiment,
+// (2) the measured rows in the same format, so EXPERIMENTS.md comparisons
+// are a copy-paste. Crashed runs (MPX OOM) print as "crash", matching the
+// missing bars in the paper's figures.
+
+#ifndef SGXBOUNDS_BENCH_BENCH_UTIL_H_
+#define SGXBOUNDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/workloads/workload.h"
+
+namespace sgxb {
+
+struct SuiteRow {
+  std::string name;
+  RunResult native;
+  RunResult mpx;
+  RunResult asan;
+  RunResult sgxb;
+};
+
+inline std::string PerfCell(const RunResult& r, const RunResult& base) {
+  if (r.crashed) {
+    return std::string("crash(") + TrapKindName(r.trap) + ")";
+  }
+  return FormatRatio(r.CyclesRatioOver(base));
+}
+
+inline std::string MemCell(const RunResult& r, const RunResult& base) {
+  if (r.crashed) {
+    return "-";
+  }
+  return FormatRatio(r.VmRatioOver(base));
+}
+
+// Prints the Fig. 7/11-style table: per-benchmark performance and memory
+// ratios over native SGX, with a gmean row (crashes excluded, as the paper's
+// gmean necessarily does).
+inline void PrintOverheadTables(const std::string& title, const std::vector<SuiteRow>& rows) {
+  std::printf("\n== %s : performance overhead over native SGX ==\n", title.c_str());
+  Table perf({"benchmark", "MPX", "ASan", "SGXBounds"});
+  std::vector<double> gm_mpx;
+  std::vector<double> gm_asan;
+  std::vector<double> gm_sgxb;
+  for (const auto& row : rows) {
+    perf.AddRow({row.name, PerfCell(row.mpx, row.native), PerfCell(row.asan, row.native),
+                 PerfCell(row.sgxb, row.native)});
+    if (!row.mpx.crashed) {
+      gm_mpx.push_back(row.mpx.CyclesRatioOver(row.native));
+    }
+    if (!row.asan.crashed) {
+      gm_asan.push_back(row.asan.CyclesRatioOver(row.native));
+    }
+    if (!row.sgxb.crashed) {
+      gm_sgxb.push_back(row.sgxb.CyclesRatioOver(row.native));
+    }
+  }
+  perf.AddSeparator();
+  perf.AddRow({"gmean", FormatRatio(GeoMean(gm_mpx)), FormatRatio(GeoMean(gm_asan)),
+               FormatRatio(GeoMean(gm_sgxb))});
+  perf.Print();
+
+  std::printf("\n== %s : peak virtual memory over native SGX ==\n", title.c_str());
+  Table mem({"benchmark", "native MB", "MPX", "ASan", "SGXBounds"});
+  std::vector<double> mm_mpx;
+  std::vector<double> mm_asan;
+  std::vector<double> mm_sgxb;
+  for (const auto& row : rows) {
+    mem.AddRow({row.name, FormatBytes(row.native.peak_vm_bytes),
+                MemCell(row.mpx, row.native), MemCell(row.asan, row.native),
+                MemCell(row.sgxb, row.native)});
+    if (!row.mpx.crashed) {
+      mm_mpx.push_back(row.mpx.VmRatioOver(row.native));
+    }
+    if (!row.asan.crashed) {
+      mm_asan.push_back(row.asan.VmRatioOver(row.native));
+    }
+    if (!row.sgxb.crashed) {
+      mm_sgxb.push_back(row.sgxb.VmRatioOver(row.native));
+    }
+  }
+  mem.AddSeparator();
+  mem.AddRow({"gmean", "", FormatRatio(GeoMean(mm_mpx)), FormatRatio(GeoMean(mm_asan)),
+              FormatRatio(GeoMean(mm_sgxb))});
+  mem.Print();
+}
+
+// Runs one workload under the four schemes.
+inline SuiteRow RunAllPolicies(const WorkloadInfo& w, const MachineSpec& spec,
+                               const WorkloadConfig& cfg) {
+  SuiteRow row;
+  row.name = w.name;
+  row.native = w.run(PolicyKind::kNative, spec, PolicyOptions{}, cfg);
+  row.mpx = w.run(PolicyKind::kMpx, spec, PolicyOptions{}, cfg);
+  row.asan = w.run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg);
+  row.sgxb = w.run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg);
+  return row;
+}
+
+inline SizeClass ParseSizeClass(const std::string& s) {
+  if (s == "XS") {
+    return SizeClass::kXS;
+  }
+  if (s == "S") {
+    return SizeClass::kS;
+  }
+  if (s == "M") {
+    return SizeClass::kM;
+  }
+  if (s == "XL") {
+    return SizeClass::kXL;
+  }
+  return SizeClass::kL;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Figure 8 + Table 3 reproduction: performance with increasing working-set
+// sizes XS..XL, normalized to SGXBOUNDS (as the paper plots it), plus the
+// Table 3 counter breakdown (LLC misses, page faults, MPX bounds tables).
+//
+// Paper expectation (SS6.3):
+//   * kmeans: overheads hump at M (MPX's bounds tables spill the EPC while
+//     SGXBounds still fits -> MPX up to ~8.3x), then converge at L/XL when
+//     everyone thrashes;
+//   * matrixmul: MPX ~on par with SGXBounds at every size (3 arrays, bounds
+//     live in registers, 1 bounds table); ASan spikes hugely at XL when its
+//     shadow breaks what cache locality is left.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  int64_t threads = 8;
+  parser.AddInt("threads", &threads, "worker threads");
+  parser.Parse(argc, argv);
+
+  std::printf("Figure 8 + Table 3: increasing working sets (normalized to SGXBounds)\n");
+  std::printf("paper expectation: kmeans MPX hump at M (~8x); matrixmul MPX ~1x always, "
+              "ASan spike at XL; SGXBounds deviation across sizes ~2%%\n");
+
+  const SizeClass sizes[] = {SizeClass::kXS, SizeClass::kS, SizeClass::kM, SizeClass::kL,
+                             SizeClass::kXL};
+
+  for (const char* name : {"kmeans", "matrixmul", "wordcount", "linear_regression"}) {
+    const WorkloadInfo* w = WorkloadRegistry::Instance().Find(name);
+    if (w == nullptr) {
+      continue;
+    }
+    std::printf("\n== %s ==\n", name);
+    Table perf({"size", "ws(native)", "SGX/SGXBnd", "MPX/SGXBnd", "ASan/SGXBnd"});
+    Table counters({"size", "ASan LLC-miss%", "MPX LLC-miss%", "ASan faults(x)",
+                    "MPX faults(x)", "MPX #BTs"});
+    for (SizeClass size : sizes) {
+      WorkloadConfig cfg;
+      cfg.size = size;
+      cfg.threads = static_cast<uint32_t>(threads);
+      MachineSpec spec;
+      std::fprintf(stderr, "[fig08] %s %s...\n", name, SizeClassName(size));
+      const SuiteRow row = RunAllPolicies(*w, spec, cfg);
+      const RunResult& base = row.sgxb;
+      auto ratio_cell = [&](const RunResult& r) {
+        return r.crashed ? std::string("crash") : FormatRatio(r.CyclesRatioOver(base));
+      };
+      perf.AddRow({SizeClassName(size), FormatBytes(row.native.peak_vm_bytes),
+                   ratio_cell(row.native), ratio_cell(row.mpx), ratio_cell(row.asan)});
+
+      auto miss_pct = [](const RunResult& r, const RunResult& b) {
+        if (r.crashed || b.counters.llc_misses == 0) {
+          return std::string("-");
+        }
+        const double delta = (static_cast<double>(r.counters.llc_misses) -
+                              static_cast<double>(b.counters.llc_misses)) /
+                             static_cast<double>(b.counters.llc_misses) * 100.0;
+        return FormatDouble(delta, 1);
+      };
+      auto fault_ratio = [](const RunResult& r, const RunResult& b) {
+        if (r.crashed || b.counters.page_faults() == 0) {
+          return std::string("-");
+        }
+        return FormatDouble(static_cast<double>(r.counters.page_faults()) /
+                                static_cast<double>(b.counters.page_faults()),
+                            1);
+      };
+      counters.AddRow({SizeClassName(size), miss_pct(row.asan, base), miss_pct(row.mpx, base),
+                       fault_ratio(row.asan, base), fault_ratio(row.mpx, base),
+                       row.mpx.crashed ? std::string("-")
+                                       : std::to_string(row.mpx.mpx_bt_count)});
+    }
+    perf.Print();
+    std::printf("-- Table 3 style counters (vs SGXBounds) --\n");
+    counters.Print();
+  }
+  return 0;
+}

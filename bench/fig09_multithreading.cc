@@ -1,0 +1,55 @@
+// Figure 9 reproduction: ASan vs SGXBounds overheads over native SGX with 1
+// and 4 threads (8-thread numbers are Fig. 7).
+//
+// Paper expectation (SS6.4): ASan's average overhead grows from ~35% (1T) to
+// ~49% (4T) - shared-LLC pollution by shadow accesses - while SGXBounds stays
+// flat (~17% -> ~16%); matrixmul is the poster child (ASan 6.7x more LLC
+// misses at 4 threads).
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  std::string size = "S";
+  parser.AddString("size", &size, "input size class");
+  parser.Parse(argc, argv);
+
+  std::printf("Figure 9: overheads over native SGX at 1 and 4 threads\n");
+  std::printf("paper expectation: ASan ~1.35x@1T -> ~1.49x@4T; SGXBounds flat ~1.17x\n\n");
+
+  Table table({"benchmark", "ASan 1T", "ASan 4T", "SGXBnd 1T", "SGXBnd 4T"});
+  std::vector<double> asan1;
+  std::vector<double> asan4;
+  std::vector<double> sgxb1;
+  std::vector<double> sgxb4;
+
+  for (const std::string suite : {"phoenix", "parsec"}) {
+    for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite(suite)) {
+      MachineSpec spec;
+      WorkloadConfig cfg1;
+      cfg1.size = ParseSizeClass(size);
+      cfg1.threads = 1;
+      WorkloadConfig cfg4 = cfg1;
+      cfg4.threads = 4;
+      std::fprintf(stderr, "[fig09] %s...\n", w->name.c_str());
+      const RunResult n1 = w->run(PolicyKind::kNative, spec, PolicyOptions{}, cfg1);
+      const RunResult n4 = w->run(PolicyKind::kNative, spec, PolicyOptions{}, cfg4);
+      const RunResult a1 = w->run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg1);
+      const RunResult a4 = w->run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg4);
+      const RunResult s1 = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg1);
+      const RunResult s4 = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg4);
+      table.AddRow({w->name, PerfCell(a1, n1), PerfCell(a4, n4), PerfCell(s1, n1),
+                    PerfCell(s4, n4)});
+      asan1.push_back(a1.CyclesRatioOver(n1));
+      asan4.push_back(a4.CyclesRatioOver(n4));
+      sgxb1.push_back(s1.CyclesRatioOver(n1));
+      sgxb4.push_back(s4.CyclesRatioOver(n4));
+    }
+  }
+  table.AddSeparator();
+  table.AddRow({"gmean", FormatRatio(GeoMean(asan1)), FormatRatio(GeoMean(asan4)),
+                FormatRatio(GeoMean(sgxb1)), FormatRatio(GeoMean(sgxb4))});
+  table.Print();
+  return 0;
+}

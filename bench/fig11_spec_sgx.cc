@@ -1,0 +1,34 @@
+// Figure 11 reproduction: SPEC CPU2006 inside the enclave - performance and
+// memory overheads over native SGX.
+//
+// Paper expectation (SS6.7): gmean perf SGXBounds ~1.41x, ASan ~1.76x, MPX
+// ~1.52x; memory SGXBounds ~1.004x, ASan ~10x, MPX ~2.1x. MPX fails with
+// OOM on astar, mcf, and xalanc; ASan's worst case is mcf (2.4x, EPC
+// thrashing) where SGXBounds is ~1%.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  std::string size = "L";
+  parser.AddString("size", &size, "input size class");
+  parser.Parse(argc, argv);
+
+  std::printf("Figure 11: SPEC CPU2006 inside the enclave\n");
+  std::printf("paper expectation: gmean SGXBounds ~1.41x / ASan ~1.76x / MPX ~1.52x; "
+              "MPX OOM on astar, mcf, xalanc\n");
+
+  MachineSpec spec;  // enclave mode on
+  WorkloadConfig cfg;
+  cfg.size = ParseSizeClass(size);
+  cfg.threads = 1;  // SPEC is single-threaded
+
+  std::vector<SuiteRow> rows;
+  for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite("spec")) {
+    std::fprintf(stderr, "[fig11] running %s...\n", w->name.c_str());
+    rows.push_back(RunAllPolicies(*w, spec, cfg));
+  }
+  PrintOverheadTables("Fig.11 SPEC in-enclave (" + size + ")", rows);
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Figure 13 reproduction: throughput-latency behaviour and peak memory of
+// the three networked case studies (Memcached, Apache-httpd, Nginx), each
+// under native SGX / MPX / ASan / SGXBounds.
+//
+// Method: the simulator measures each server's per-request service demand at
+// a given connection count (real policy-instrumented servers over the
+// simulated enclave); a closed-loop queueing model turns demand into the
+// throughput/latency pairs memaslap/ab would report (see apps/netserver.h).
+//
+// Paper expectation (SS7):
+//   Memcached: SGX ~60-75% of native; ASan ~= SGX; SGXBounds ~= SGX;
+//              MPX collapses (bounds tables blow the working set past EPC);
+//              peak memory SGX 71.6 MB / MPX 641 MB / ASan 649 MB / SGXBnd 71.8 MB
+//   Apache:    SGXBounds on par with SGX; ASan ~2% worse; MPX degrades with
+//              client count; SGXBounds memory +50% (pool-page artifact)
+//   Nginx:     ASan worst (~65-70% of SGX throughput); SGXBounds 80-85%;
+//              peak memory SGX 0.9 MB / ASan 893 MB / SGXBnd 1.0 MB
+
+#include "bench/bench_util.h"
+#include "src/apps/httpd.h"
+#include "src/apps/memcached.h"
+#include "src/apps/netserver.h"
+#include "src/apps/nginx_app.h"
+
+namespace sgxb {
+namespace {
+
+struct ServicePoint {
+  double service_cycles = 0;
+  uint64_t peak_vm = 0;
+  bool crashed = false;
+  std::string trap;
+};
+
+// --- Memcached ------------------------------------------------------------------
+
+ServicePoint MeasureMemcached(PolicyKind kind, uint32_t clients, uint64_t preload_items,
+                              uint32_t value_bytes, uint32_t requests) {
+  MachineSpec spec;
+  ServicePoint point;
+  const RunResult r = RunPolicyKind(kind, spec, PolicyOptions{}, [&](auto& env) {
+    using P = std::decay_t<decltype(env.policy)>;
+    SyscallShim shim(&env.enclave);
+    Memcached<P> cache(&env.policy, &env.cpu, &shim);
+    Rng rng(7);
+    for (uint64_t k = 0; k < preload_items; ++k) {
+      cache.Set(k, value_bytes);
+    }
+    const uint64_t before = env.cpu.cycles();
+    for (uint32_t q = 0; q < requests; ++q) {
+      const uint64_t key = rng.NextZipf(preload_items, 0.9);
+      if (rng.NextBounded(10) == 0) {
+        cache.ServeRequest("S " + std::to_string(key) + " " + std::to_string(value_bytes));
+      } else {
+        cache.ServeRequest("G " + std::to_string(key));
+      }
+      (void)clients;
+    }
+    point.service_cycles =
+        static_cast<double>(env.cpu.cycles() - before) / static_cast<double>(requests);
+  });
+  point.peak_vm = r.peak_vm_bytes;
+  point.crashed = r.crashed;
+  point.trap = r.trap_message;
+  return point;
+}
+
+// --- Apache httpd ------------------------------------------------------------------
+
+ServicePoint MeasureHttpd(PolicyKind kind, uint32_t clients, uint32_t requests) {
+  MachineSpec spec;
+  ServicePoint point;
+  const RunResult r = RunPolicyKind(kind, spec, PolicyOptions{}, [&](auto& env) {
+    using P = std::decay_t<decltype(env.policy)>;
+    SyscallShim shim(&env.enclave);
+    Httpd<P> server(&env.policy, &env.cpu, &shim);
+    for (uint32_t c = 0; c < clients; ++c) {
+      server.OpenConnection();
+    }
+    const uint64_t before = env.cpu.cycles();
+    for (uint32_t q = 0; q < requests; ++q) {
+      server.ServeGet(q % clients, "GET / HTTP/1.1\r\nHost: bench\r\n\r\n");
+    }
+    point.service_cycles =
+        static_cast<double>(env.cpu.cycles() - before) / static_cast<double>(requests);
+  });
+  point.peak_vm = r.peak_vm_bytes;
+  point.crashed = r.crashed;
+  point.trap = r.trap_message;
+  return point;
+}
+
+// --- Nginx ---------------------------------------------------------------------------
+
+ServicePoint MeasureNginx(PolicyKind kind, uint32_t requests) {
+  MachineSpec spec;
+  ServicePoint point;
+  const RunResult r = RunPolicyKind(kind, spec, PolicyOptions{}, [&](auto& env) {
+    using P = std::decay_t<decltype(env.policy)>;
+    SyscallShim shim(&env.enclave);
+    NginxApp<P> server(&env.policy, &env.cpu, &shim);
+    const uint64_t before = env.cpu.cycles();
+    for (uint32_t q = 0; q < requests; ++q) {
+      server.ServeGet("GET /page.html HTTP/1.1\r\n\r\n");
+    }
+    point.service_cycles =
+        static_cast<double>(env.cpu.cycles() - before) / static_cast<double>(requests);
+  });
+  point.peak_vm = r.peak_vm_bytes;
+  point.crashed = r.crashed;
+  point.trap = r.trap_message;
+  return point;
+}
+
+std::string Cell(const ServicePoint& p, uint32_t clients, uint32_t servers) {
+  if (p.crashed) {
+    return "crash";
+  }
+  const CurvePoint cp = ClosedLoopPoint(clients, servers, p.service_cycles);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f kops @ %.2f ms", cp.kops_per_sec, cp.latency_ms);
+  return buf;
+}
+
+}  // namespace
+}  // namespace sgxb
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  uint64_t mc_items = 80000;     // ~80 MB working set with 1 KB values
+  uint64_t mc_requests = 20000;
+  uint64_t web_requests = 2000;
+  parser.AddUint("mc_items", &mc_items, "memcached preloaded items");
+  parser.AddUint("mc_requests", &mc_requests, "memcached measured requests");
+  parser.AddUint("web_requests", &web_requests, "httpd/nginx measured requests");
+  parser.Parse(argc, argv);
+
+  std::printf("Figure 13: case studies (throughput @ latency per client count, and peak "
+              "memory)\n\n");
+
+  const PolicyKind kinds[] = {PolicyKind::kNative, PolicyKind::kMpx, PolicyKind::kAsan,
+                              PolicyKind::kSgxBounds};
+
+  // --- Memcached -------------------------------------------------------------
+  {
+    std::printf("== Memcached (memaslap-like: 90%% GET / 10%% SET, 1 KB values, zipf) ==\n");
+    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
+    ServicePoint points[4];
+    int i = 0;
+    for (PolicyKind kind : kinds) {
+      std::fprintf(stderr, "[fig13] memcached %s...\n", PolicyName(kind));
+      points[i++] = MeasureMemcached(kind, 8, mc_items, 1024,
+                                     static_cast<uint32_t>(mc_requests));
+    }
+    for (uint32_t clients : {1u, 4u, 8u, 16u, 32u}) {
+      t.AddRow({std::to_string(clients), Cell(points[0], clients, 4),
+                Cell(points[1], clients, 4), Cell(points[2], clients, 4),
+                Cell(points[3], clients, 4)});
+    }
+    t.Print();
+    Table mem({"scheme", "peak memory", "paper"});
+    const char* paper_mem[] = {"71.6 MB", "641 MB", "649 MB", "71.8 MB"};
+    for (int k = 0; k < 4; ++k) {
+      mem.AddRow({PolicyName(kinds[k]), FormatBytes(points[k].peak_vm), paper_mem[k]});
+    }
+    mem.Print();
+  }
+
+  // --- Apache ---------------------------------------------------------------
+  {
+    std::printf("\n== Apache httpd (ab-like GETs; 25 worker threads; per-client pools) ==\n");
+    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
+    const uint32_t client_counts[] = {8, 32, 64, 128};
+    std::vector<std::vector<ServicePoint>> per_kind(4);
+    for (int k = 0; k < 4; ++k) {
+      for (uint32_t clients : client_counts) {
+        std::fprintf(stderr, "[fig13] httpd %s c=%u...\n", PolicyName(kinds[k]), clients);
+        per_kind[k].push_back(
+            MeasureHttpd(kinds[k], clients, static_cast<uint32_t>(web_requests)));
+      }
+    }
+    for (size_t ci = 0; ci < 4; ++ci) {
+      t.AddRow({std::to_string(client_counts[ci]),
+                Cell(per_kind[0][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
+                Cell(per_kind[1][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
+                Cell(per_kind[2][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
+                Cell(per_kind[3][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers)});
+    }
+    t.Print();
+    Table mem({"scheme", "peak memory (64 clients)", "paper"});
+    const char* paper_mem[] = {"15.4 MB", "144 MB", "598 MB", "23.2 MB"};
+    for (int k = 0; k < 4; ++k) {
+      mem.AddRow({PolicyName(kinds[k]), FormatBytes(per_kind[k][2].peak_vm), paper_mem[k]});
+    }
+    mem.Print();
+  }
+
+  // --- Nginx ----------------------------------------------------------------
+  {
+    std::printf("\n== Nginx (ab-like GETs of a 200 KB page; single worker) ==\n");
+    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
+    ServicePoint points[4];
+    int i = 0;
+    for (PolicyKind kind : kinds) {
+      std::fprintf(stderr, "[fig13] nginx %s...\n", PolicyName(kind));
+      points[i++] = MeasureNginx(kind, static_cast<uint32_t>(web_requests));
+    }
+    for (uint32_t clients : {1u, 2u, 4u, 8u}) {
+      t.AddRow({std::to_string(clients), Cell(points[0], clients, 1),
+                Cell(points[1], clients, 1), Cell(points[2], clients, 1),
+                Cell(points[3], clients, 1)});
+    }
+    t.Print();
+    Table mem({"scheme", "peak memory", "paper"});
+    const char* paper_mem[] = {"0.9 MB", "37.0 MB", "893 MB", "1.0 MB"};
+    for (int k = 0; k < 4; ++k) {
+      mem.AddRow({PolicyName(kinds[k]), FormatBytes(points[k].peak_vm), paper_mem[k]});
+    }
+    mem.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// General-purpose experiment driver: run any registered workload under any
+// scheme/size/thread-count/EPC configuration and print the full counter
+// breakdown. The "swiss-army knife" the figure binaries are specializations
+// of; handy for exploring the simulator interactively:
+//
+//   ./build/bench/run_workload --list
+//   ./build/bench/run_workload --workload=kmeans --policy=mpx --size=M \
+//       --threads=8 --epc_mb=94
+//   ./build/bench/run_workload --workload=mcf --policy=sgxbounds --no_enclave
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  std::string workload = "kmeans";
+  std::string policy = "sgxbounds";
+  std::string size = "S";
+  int64_t threads = 1;
+  uint64_t epc_mb = 94;
+  bool no_enclave = false;
+  bool list = false;
+  bool no_opts = false;
+  parser.AddString("workload", &workload, "workload name (see --list)");
+  parser.AddString("policy", &policy, "native|asan|mpx|sgxbounds");
+  parser.AddString("size", &size, "XS|S|M|L|XL");
+  parser.AddInt("threads", &threads, "worker threads");
+  parser.AddUint("epc_mb", &epc_mb, "usable EPC size in MiB");
+  parser.AddBool("no_enclave", &no_enclave, "run outside the enclave (no EPC/MEE)");
+  parser.AddBool("no_opts", &no_opts, "disable the SS4.4 optimizations (SGXBounds)");
+  parser.AddBool("list", &list, "list registered workloads and exit");
+  parser.Parse(argc, argv);
+
+  auto& registry = WorkloadRegistry::Instance();
+  if (list) {
+    Table t({"workload", "suite", "multithreaded"});
+    for (const WorkloadInfo* w : registry.All()) {
+      t.AddRow({w->name, w->suite, w->multithreaded ? "yes" : "no"});
+    }
+    t.Print();
+    return 0;
+  }
+
+  const WorkloadInfo* w = registry.Find(workload);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n", workload.c_str());
+    return 2;
+  }
+  PolicyKind kind;
+  if (policy == "native") {
+    kind = PolicyKind::kNative;
+  } else if (policy == "asan") {
+    kind = PolicyKind::kAsan;
+  } else if (policy == "mpx") {
+    kind = PolicyKind::kMpx;
+  } else if (policy == "sgxbounds") {
+    kind = PolicyKind::kSgxBounds;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    return 2;
+  }
+
+  MachineSpec spec;
+  spec.enclave_mode = !no_enclave;
+  spec.epc_bytes = epc_mb * kMiB;
+  WorkloadConfig cfg;
+  cfg.size = ParseSizeClass(size);
+  cfg.threads = static_cast<uint32_t>(threads);
+  PolicyOptions options;
+  if (no_opts) {
+    options.opt_safe_elision = false;
+    options.opt_hoist_checks = false;
+  }
+
+  const RunResult r = w->run(kind, spec, options, cfg);
+
+  std::printf("%s / %s / size %s / %lld thread(s) / %s, EPC %llu MiB\n", w->name.c_str(),
+              PolicyName(kind), size.c_str(), static_cast<long long>(threads),
+              no_enclave ? "outside enclave" : "inside enclave",
+              static_cast<unsigned long long>(epc_mb));
+  if (r.crashed) {
+    std::printf("CRASHED: %s\n", r.trap_message.c_str());
+    return 1;
+  }
+  const PerfCounters& c = r.counters;
+  Table t({"metric", "value"});
+  auto row = [&](const char* name, uint64_t v) { t.AddRow({name, std::to_string(v)}); };
+  row("cycles", r.cycles);
+  row("instructions", c.instructions());
+  row("app loads", c.loads);
+  row("app stores", c.stores);
+  row("metadata loads", c.metadata_loads);
+  row("metadata stores", c.metadata_stores);
+  row("bounds checks", c.bounds_checks);
+  row("L1 accesses", c.l1_accesses);
+  row("L1 misses", c.l1_misses);
+  row("LLC accesses", c.llc_accesses);
+  row("LLC misses", c.llc_misses);
+  row("EPC faults", c.epc_faults);
+  row("minor faults", c.minor_faults);
+  t.AddRow({"peak virtual memory", FormatBytes(r.peak_vm_bytes)});
+  if (kind == PolicyKind::kMpx) {
+    row("MPX bounds tables", r.mpx_bt_count);
+  }
+  t.Print();
+  return 0;
+}

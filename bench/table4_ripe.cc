@@ -1,0 +1,53 @@
+// Table 4 reproduction: RIPE security benchmark results inside the enclave.
+//
+// Paper expectation:
+//   MPX        2/16 prevented (only direct stack smashes; libc loses bounds)
+//   ASan       8/16 prevented (all but the in-struct overflows)
+//   SGXBounds  8/16 prevented (same 8; object-granularity bounds)
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/ripe/ripe.h"
+
+int main() {
+  using namespace sgxb;
+  std::printf("Table 4: RIPE attack matrix (16 attacks surviving under SGX)\n");
+  std::printf("paper expectation: MPX 2/16, ASan 8/16, SGXBounds 8/16\n\n");
+
+  const Defense defenses[] = {Defense::kNone, Defense::kMpx, Defense::kAsan,
+                              Defense::kSgxBounds};
+
+  Table matrix({"attack", "native", "MPX", "ASan", "SGXBounds"});
+  for (const auto& scenario : RipeScenarios()) {
+    std::vector<std::string> cells{scenario.name};
+    for (Defense d : defenses) {
+      const AttackOutcome outcome = RunAttack(scenario, d);
+      cells.push_back(outcome.prevented ? "prevented"
+                                        : (outcome.succeeded ? "HIJACKED" : "no effect"));
+    }
+    matrix.AddRow(std::move(cells));
+  }
+  matrix.Print();
+
+  Table summary({"defense", "prevented", "expected (paper)"});
+  summary.AddRow({"native", std::to_string(RunRipeSuite(Defense::kNone).prevented) + "/16",
+                  "0/16"});
+  summary.AddRow({"MPX", std::to_string(RunRipeSuite(Defense::kMpx).prevented) + "/16",
+                  "2/16"});
+  summary.AddRow({"ASan", std::to_string(RunRipeSuite(Defense::kAsan).prevented) + "/16",
+                  "8/16"});
+  summary.AddRow({"SGXBounds",
+                  std::to_string(RunRipeSuite(Defense::kSgxBounds).prevented) + "/16",
+                  "8/16"});
+  summary.AddRow(
+      {"SGXBounds+narrowing (SS8 ext.)",
+       std::to_string(RunRipeSuite(Defense::kSgxBounds, nullptr, true).prevented) + "/16",
+       "n/a (future work)"});
+  std::printf("\n");
+  summary.Print();
+  std::printf("\nThe last row is this repo's implementation of the paper's SS8 future-work\n"
+              "item: bounds narrowing on struct-field pointers catches the 8 intra-object\n"
+              "overflows that object-granularity bounds miss.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Heartbleed, three ways (paper SS7): the same heartbeat over-read served by
+// the Apache analogue running (1) native, (2) under SGXBounds fail-fast,
+// (3) under SGXBounds with boundless memory - showing leak, detection, and
+// failure-oblivious continuation respectively.
+//
+// Build & run:  ./build/examples/heartbleed_demo
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/httpd.h"
+
+using namespace sgxb;
+
+namespace {
+
+void RunVariant(const char* title, PolicyKind kind, OobPolicy oob) {
+  std::printf("== %s ==\n", title);
+  PolicyOptions options;
+  options.oob = oob;
+  MachineSpec spec;
+  spec.space_bytes = 2 * kGiB;
+  spec.heap_reserve = 512 * kMiB;
+
+  const RunResult r = RunPolicyKind(kind, spec, options, [&](auto& env) {
+    using P = std::decay_t<decltype(env.policy)>;
+    SyscallShim shim(&env.enclave);
+    Httpd<P> server(&env.policy, &env.cpu, &shim);
+
+    // The attacker sends a 16-byte heartbeat claiming 4096 bytes.
+    bool survived = false;
+    const auto echoed = server.Heartbeat(/*actual_payload=*/16, /*claimed_len=*/4096,
+                                         &survived);
+    // What did the attacker get back?
+    std::string printable;
+    for (size_t i = 16; i < echoed.size(); ++i) {
+      const char c = static_cast<char>(echoed[i]);
+      if (c >= ' ' && c <= '~') {
+        printable.push_back(c);
+      }
+    }
+    if (printable.find("PRIVATE-KEY") != std::string::npos) {
+      std::printf("  attacker recovered: \"...%s...\"  <-- CONFIDENTIALITY LOST\n",
+                  printable.substr(0, 48).c_str());
+    } else {
+      std::printf("  attacker recovered %zu bytes, all zeros - nothing leaked\n",
+                  echoed.size() - 16);
+    }
+    const uint32_t cid = server.OpenConnection();
+    server.ServeGet(cid, "GET / HTTP/1.1\r\n\r\n");
+    std::printf("  server still serving requests: yes\n");
+  });
+  if (r.crashed) {
+    std::printf("  defense fired: %s\n", r.trap_message.c_str());
+    std::printf("  server still serving requests: no (fail-stop)\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Heartbleed inside the enclave (paper SS7, Apache+OpenSSL analogue)\n\n");
+  RunVariant("native SGX: shielded execution alone does not stop memory bugs",
+             PolicyKind::kNative, OobPolicy::kFailFast);
+  RunVariant("SGXBounds, fail-fast: attack detected, worker halted",
+             PolicyKind::kSgxBounds, OobPolicy::kFailFast);
+  RunVariant("SGXBounds, boundless memory: zeros echoed, availability preserved",
+             PolicyKind::kSgxBounds, OobPolicy::kBoundless);
+  return 0;
+}

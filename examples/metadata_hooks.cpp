@@ -1,0 +1,78 @@
+// Metadata management API demo (paper SS4.3, Table 2): extending SGXBounds'
+// per-object footer with custom metadata and lifecycle hooks.
+//
+// Implements both examples the paper sketches:
+//   1. probabilistic double-free detection via a magic-number slot,
+//   2. access-origin accounting (which objects are hot) via on_access.
+//
+// Build & run:  ./build/examples/metadata_hooks
+
+#include <cstdio>
+#include <map>
+
+#include "src/sgxbounds/bounds_runtime.h"
+
+using namespace sgxb;
+
+int main() {
+  EnclaveConfig config;
+  Enclave enclave(config);
+  Cpu& cpu = enclave.main_cpu();
+  Heap heap(&enclave, 64 * kMiB);
+
+  // One extra 4-byte metadata slot after the lower bound.
+  MetadataRegistry registry(/*extra_slots=*/1);
+
+  constexpr uint32_t kMagicLive = 0xa110c8ed;
+  constexpr uint32_t kMagicFreed = 0xdeadf7ee;
+  int double_frees_caught = 0;
+  std::map<uint32_t, uint64_t> access_counts;  // footer addr -> accesses
+
+  MetadataHooks hooks;
+  hooks.on_create = [&](Cpu& c, uint32_t base, uint32_t size, ObjKind) {
+    // Slot 0 = liveness magic.
+    enclave.Store<uint32_t>(c, registry.SlotAddr(base + size, 0), kMagicLive,
+                            AccessClass::kMetadataStore);
+  };
+  hooks.on_access = [&](Cpu&, uint32_t, uint32_t, uint32_t metadata, AccessType) {
+    ++access_counts[metadata];
+  };
+  hooks.on_delete = [&](Cpu& c, uint32_t metadata) {
+    const uint32_t magic =
+        enclave.Load<uint32_t>(c, registry.SlotAddr(metadata, 0), AccessClass::kMetadataLoad);
+    if (magic == kMagicFreed) {
+      ++double_frees_caught;
+      std::printf("  double free detected on object with footer at 0x%08x!\n", metadata);
+    }
+    enclave.Store<uint32_t>(c, registry.SlotAddr(metadata, 0), kMagicFreed,
+                            AccessClass::kMetadataStore);
+  };
+  registry.Register(std::move(hooks));
+
+  SgxBoundsRuntime sgxbounds(&enclave, &heap, OobPolicy::kFailFast, &registry);
+  std::printf("footer bytes per object: %u (4 LB + 4 magic)\n\n", sgxbounds.FooterBytes());
+
+  // A hot object and a cold object.
+  TaggedPtr hot = sgxbounds.Malloc(cpu, 64);
+  TaggedPtr cold = sgxbounds.Malloc(cpu, 64);
+  for (int i = 0; i < 1000; ++i) {
+    sgxbounds.Store<uint32_t>(cpu, hot, i);
+  }
+  sgxbounds.Load<uint32_t>(cpu, cold);
+
+  std::printf("access profile (footer -> count):\n");
+  for (const auto& [footer, count] : access_counts) {
+    std::printf("  0x%08x : %llu %s\n", footer, (unsigned long long)count,
+                footer == ExtractUb(hot) ? "(the hot object)" : "");
+  }
+
+  // The double free. The first Free is legitimate; replaying the delete hook
+  // on the stale footer (what a second free() of the same pointer does before
+  // the allocator can object) trips the magic check.
+  std::printf("\nfreeing object, then double-freeing it:\n");
+  const uint32_t footer = ExtractUb(hot);
+  sgxbounds.Free(cpu, hot);
+  registry.FireDelete(cpu, footer);
+  std::printf("\ndouble frees caught: %d\n", double_frees_caught);
+  return double_frees_caught == 1 ? 0 : 1;
+}

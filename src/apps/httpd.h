@@ -1,0 +1,150 @@
+// Apache httpd analogue (paper SS7, Fig. 13b) with an OpenSSL-heartbeat
+// extension carrying the Heartbleed bug.
+//
+// Reproduced behaviours:
+//   * pool allocator: every connection gets page-aligned 8 KiB pools. Under
+//     SGXBounds the 4-byte footer spills each pool onto one extra page -
+//     the paper's "unexpected 50% increase in memory" artifact;
+//   * ~1 MiB of connection state per client (the reason MPX's bounds
+//     metadata balloons with client count in Fig. 13b);
+//   * heartbeat echo (RFC6520-style): the response length is taken from the
+//     attacker's request, and the copy runs directly over the request
+//     buffer - claimed_len > actual payload reads adjacent heap memory.
+//     Native leaks secrets; ASan/MPX trap; SGXBounds in boundless mode
+//     answers with zeros and keeps serving (SS7 "Apache" paragraph).
+
+#ifndef SGXBOUNDS_SRC_APPS_HTTPD_H_
+#define SGXBOUNDS_SRC_APPS_HTTPD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/policy/run.h"
+#include "src/runtime/syscall_shim.h"
+
+namespace sgxb {
+
+template <typename P>
+class Httpd {
+ public:
+  using Ptr = typename P::Ptr;
+
+  static constexpr uint32_t kPoolChunk = 8 * 1024;  // page-aligned pool chunks
+  static constexpr uint32_t kWorkers = 25;          // paper: Apache used 25 threads
+
+  Httpd(P* policy, Cpu* cpu, SyscallShim* shim, uint32_t page_bytes = 16 * 1024)
+      : policy_(policy), cpu_(cpu), shim_(shim), page_bytes_(page_bytes) {
+    // The served document.
+    document_ = policy_->Malloc(*cpu_, page_bytes_);
+    for (uint32_t off = 0; off + 8 <= page_bytes_; off += kCacheLineSize) {
+      policy_->template StoreField<uint64_t>(*cpu_, document_, off, 0x2f2f68746d6c3e3cULL);
+    }
+  }
+
+  // Opens a connection: allocates its pool set (~1 MiB of state, as the
+  // paper observes per Apache client). Returns a connection id.
+  uint32_t OpenConnection() {
+    Connection conn;
+    // 16 KiB of immediately-touched state + reservation-style pools.
+    for (int i = 0; i < 2; ++i) {
+      conn.pools.push_back(AllocPool());
+    }
+    conn.rx = AllocPool();
+    connections_.push_back(std::move(conn));
+    return static_cast<uint32_t>(connections_.size() - 1);
+  }
+
+  // Serves one "GET /" request on connection `cid`: parse from the shim,
+  // build headers in the connection pool, stream the document out.
+  void ServeGet(uint32_t cid, const std::string& request) {
+    Connection& conn = connections_[cid];
+    const std::vector<uint8_t> wire(request.begin(), request.end());
+    shim_->Recv(*cpu_, policy_->AddrOf(conn.rx), wire, 0, kPoolChunk);
+    // Header parsing: charged byte scanning of the request line.
+    cpu_->Alu(static_cast<uint32_t>(8 + request.size()));
+    cpu_->MemAccess(policy_->AddrOf(conn.rx),
+                    std::min<uint32_t>(static_cast<uint32_t>(request.size()), 256),
+                    AccessClass::kAppLoad);
+    // Response headers into the pool.
+    Ptr pool = conn.pools[0];
+    for (uint32_t off = 0; off < 256; off += kCacheLineSize) {
+      policy_->template StoreField<uint64_t>(*cpu_, pool, off, 0x0d0a304f4b313032ULL);
+    }
+    shim_->Send(*cpu_, policy_->AddrOf(pool), 256);
+    // Stream the document (read + copy out via the shim).
+    for (uint32_t off = 0; off + 8 <= page_bytes_; off += kCacheLineSize) {
+      (void)policy_->template LoadField<uint64_t>(*cpu_, document_, off);
+    }
+    shim_->Send(*cpu_, policy_->AddrOf(document_), page_bytes_);
+    ++requests_served_;
+  }
+
+  // --- Heartbleed analogue ---------------------------------------------------
+  // The server places `actual_payload` bytes of the heartbeat request in a
+  // fresh allocation, then echoes `claimed_len` bytes from it. Returns the
+  // echoed bytes (as recovered by the attacker) or an empty vector if the
+  // defense stopped the request; `*survived` says whether the server can
+  // keep serving afterwards.
+  std::vector<uint8_t> Heartbeat(uint32_t actual_payload, uint32_t claimed_len,
+                                 bool* survived) {
+    *survived = true;
+    // The request record, as OpenSSL allocates it from the SSL arena...
+    Ptr record = policy_->Malloc(*cpu_, actual_payload);
+    for (uint32_t i = 0; i < actual_payload; ++i) {
+      policy_->template Store<uint8_t>(*cpu_, policy_->Offset(*cpu_, record, i), 'P');
+    }
+    // ...next to confidential material (a private-key fragment).
+    Ptr secret = policy_->Malloc(*cpu_, 64);
+    static const char kSecret[] = "-----PRIVATE-KEY-AAAA-BBBB-CCCC-DDDD----";
+    for (uint32_t i = 0; i < sizeof(kSecret) - 1; ++i) {
+      policy_->template Store<uint8_t>(*cpu_, policy_->Offset(*cpu_, secret, i),
+                                       static_cast<uint8_t>(kSecret[i]));
+    }
+
+    // The bug: memcpy(bp, pl, payload) with payload from the wire. The copy
+    // is the instrumented in-app loop (OpenSSL's copy was inlined app code,
+    // not a libc call, which is why boundless-memory semantics apply).
+    std::vector<uint8_t> echoed;
+    echoed.reserve(claimed_len);
+    for (uint32_t i = 0; i < claimed_len; ++i) {
+      const uint8_t byte =
+          policy_->template Load<uint8_t>(*cpu_, policy_->Offset(*cpu_, record, i));
+      echoed.push_back(byte);
+    }
+    return echoed;
+  }
+
+  uint64_t requests_served() const { return requests_served_; }
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    std::vector<Ptr> pools;
+    Ptr rx{};
+  };
+
+  Ptr AllocPool() {
+    // Apache's allocator mmaps page-aligned, page-multiple chunks; the
+    // 4-byte SGXBounds footer tips each chunk onto one extra page (SS7).
+    Ptr pool = policy_->AlignedAlloc(*cpu_, kPoolChunk, kPageSize);
+    // Pools are touched immediately (apr pools zero their headers).
+    for (uint32_t off = 0; off < kPoolChunk; off += kPageSize) {
+      policy_->template StoreField<uint64_t>(*cpu_, pool, off, 0);
+    }
+    return pool;
+  }
+
+  P* policy_;
+  Cpu* cpu_;
+  SyscallShim* shim_;
+  uint32_t page_bytes_;
+  Ptr document_{};
+  std::vector<Connection> connections_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_APPS_HTTPD_H_

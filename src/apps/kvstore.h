@@ -1,0 +1,335 @@
+// Embedded ordered key-value store - the SQLite stand-in for Fig. 1.
+//
+// A B-tree with fixed-fanout nodes and heap-allocated value blobs, built
+// entirely on the policy API so it can be "compiled" native/ASan/MPX/
+// SGXBounds. Like SQLite it is exceptionally pointer-intensive: every tree
+// descent loads child pointers from node memory (bndldx storms under MPX),
+// and every row is a separate allocation (per-object metadata pressure).
+//
+// The speedtest workload mirrors SQLite's `speedtest1`: bulk inserts of N
+// working-set rows, point queries, range scans, and updates, with the
+// working set scaling linearly in N - the x-axis of Fig. 1.
+
+#ifndef SGXBOUNDS_SRC_APPS_KVSTORE_H_
+#define SGXBOUNDS_SRC_APPS_KVSTORE_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/policy/run.h"
+
+namespace sgxb {
+
+template <typename P>
+class KvStore {
+ public:
+  // Node layout (8-byte slots):
+  //   [0]      header: (nkeys << 1) | is_leaf
+  //   [8]      keys: kFanout x u64
+  //   [8+8F]   children/values: (kFanout+1) x pointer slot
+  static constexpr uint32_t kFanout = 32;
+  static constexpr uint32_t kKeysOff = 8;
+  static constexpr uint32_t kPtrsOff = kKeysOff + kFanout * 8;
+  static constexpr uint32_t kNodeBytes = kPtrsOff + (kFanout + 1) * kPtrSlotBytes;
+
+  using Ptr = typename P::Ptr;
+
+  KvStore(P* policy, Cpu* cpu) : policy_(policy), cpu_(cpu) {
+    root_ = NewNode(/*leaf=*/true);
+  }
+
+  // Inserts `key` with a value blob of `value_size` bytes (pattern-filled).
+  void Insert(uint64_t key, uint32_t value_size) {
+    Ptr value = policy_->Malloc(*cpu_, value_size);
+    // Fill one word per cache line (row serialization traffic).
+    for (uint32_t off = 0; off + 8 <= value_size; off += kCacheLineSize) {
+      policy_->template StoreField<uint64_t>(*cpu_, value, off, key ^ off);
+    }
+    InsertRec(root_, key, value, /*depth=*/0);
+    ++size_;
+  }
+
+  // Point lookup; returns true and the first value word on hit.
+  bool Get(uint64_t key, uint64_t* first_word) {
+    Ptr node = root_;
+    uint32_t depth = 0;
+    for (;;) {
+      const uint32_t header = Header(node);
+      const bool leaf = (header & 1) != 0;
+      const uint32_t nkeys = header >> 1;
+      if (leaf) {
+        const uint32_t idx = LowerBound(node, nkeys, key);
+        if (idx < nkeys && KeyAt(node, idx) == key) {
+          Ptr value = ChildAt(node, idx);
+          *first_word = policy_->template LoadField<uint64_t>(*cpu_, value, 0);
+          return true;
+        }
+        return false;
+      }
+      node = ChildAt(node, DescendIndex(node, nkeys, key));
+      if (++depth > 64) {
+        return false;  // defensive: malformed tree
+      }
+    }
+  }
+
+  // Updates the first word of an existing value (row update).
+  bool Update(uint64_t key, uint64_t new_word) {
+    Ptr node = root_;
+    for (uint32_t depth = 0; depth <= 64; ++depth) {
+      const uint32_t header = Header(node);
+      const bool leaf = (header & 1) != 0;
+      const uint32_t nkeys = header >> 1;
+      if (leaf) {
+        const uint32_t idx = LowerBound(node, nkeys, key);
+        if (idx < nkeys && KeyAt(node, idx) == key) {
+          Ptr value = ChildAt(node, idx);
+          policy_->template StoreField<uint64_t>(*cpu_, value, 0, new_word);
+          return true;
+        }
+        return false;
+      }
+      node = ChildAt(node, DescendIndex(node, nkeys, key));
+    }
+    return false;
+  }
+
+  // Scans up to `limit` keys starting at the leaf containing `start`,
+  // returning the number visited (leaf-local, like a short ORDER BY LIMIT).
+  uint32_t Scan(uint64_t start, uint32_t limit) {
+    Ptr node = root_;
+    for (uint32_t depth = 0; depth <= 64; ++depth) {
+      const uint32_t header = Header(node);
+      const bool leaf = (header & 1) != 0;
+      const uint32_t nkeys = header >> 1;
+      if (leaf) {
+        const uint32_t idx = LowerBound(node, nkeys, key_clamp(start));
+        uint32_t visited = 0;
+        for (uint32_t i = idx; i < nkeys && visited < limit; ++i, ++visited) {
+          Ptr value = ChildAt(node, i);
+          (void)policy_->template LoadField<uint64_t>(*cpu_, value, 0);
+        }
+        return visited;
+      }
+      node = ChildAt(node, DescendIndex(node, nkeys, key_clamp(start)));
+    }
+    return 0;
+  }
+
+  uint64_t size() const { return size_; }
+
+ private:
+  static uint64_t key_clamp(uint64_t k) { return k; }
+
+  Ptr NewNode(bool leaf) {
+    Ptr node = policy_->Calloc(*cpu_, 1, kNodeBytes);
+    SetHeader(node, leaf ? 1 : 0);
+    return node;
+  }
+
+  uint32_t Header(Ptr node) {
+    return policy_->template LoadField<uint32_t>(*cpu_, node, 0);
+  }
+  void SetHeader(Ptr node, uint32_t header) {
+    policy_->template StoreField<uint32_t>(*cpu_, node, 0, header);
+  }
+  uint64_t KeyAt(Ptr node, uint32_t i) {
+    return policy_->template LoadField<uint64_t>(*cpu_, node, kKeysOff + i * 8);
+  }
+  void SetKeyAt(Ptr node, uint32_t i, uint64_t key) {
+    policy_->template StoreField<uint64_t>(*cpu_, node, kKeysOff + i * 8, key);
+  }
+  Ptr ChildAt(Ptr node, uint32_t i) {
+    return policy_->LoadPtr(*cpu_,
+                            policy_->Offset(*cpu_, node, kPtrsOff + i * kPtrSlotBytes));
+  }
+  void SetChildAt(Ptr node, uint32_t i, Ptr child) {
+    policy_->StorePtr(*cpu_, policy_->Offset(*cpu_, node, kPtrsOff + i * kPtrSlotBytes),
+                      child);
+  }
+
+  uint32_t LowerBound(Ptr node, uint32_t nkeys, uint64_t key) {
+    uint32_t lo = 0;
+    uint32_t hi = nkeys;
+    while (lo < hi) {
+      cpu_->Alu(3);
+      cpu_->Branch();
+      const uint32_t mid = (lo + hi) / 2;
+      if (KeyAt(node, mid) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Internal-node descent index: first separator strictly greater than key
+  // (separators duplicate the first key of their right sibling, so equal
+  // keys must descend right).
+  uint32_t DescendIndex(Ptr node, uint32_t nkeys, uint64_t key) {
+    uint32_t lo = 0;
+    uint32_t hi = nkeys;
+    while (lo < hi) {
+      cpu_->Alu(3);
+      cpu_->Branch();
+      const uint32_t mid = (lo + hi) / 2;
+      if (KeyAt(node, mid) <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  struct SplitResult {
+    bool split = false;
+    uint64_t up_key = 0;
+    Ptr right{};
+  };
+
+  SplitResult InsertRec(Ptr node, uint64_t key, Ptr value, uint32_t depth) {
+    CHECK_LT(depth, 64u);
+    const uint32_t header = Header(node);
+    const bool leaf = (header & 1) != 0;
+    uint32_t nkeys = header >> 1;
+    const uint32_t idx = leaf ? LowerBound(node, nkeys, key) : DescendIndex(node, nkeys, key);
+
+    if (leaf) {
+      if (idx < nkeys && KeyAt(node, idx) == key) {
+        SetChildAt(node, idx, value);  // overwrite
+        return {};
+      }
+      // Shift right to make room.
+      for (uint32_t i = nkeys; i > idx; --i) {
+        SetKeyAt(node, i, KeyAt(node, i - 1));
+        SetChildAt(node, i, ChildAt(node, i - 1));
+      }
+      SetKeyAt(node, idx, key);
+      SetChildAt(node, idx, value);
+      ++nkeys;
+      SetHeader(node, (nkeys << 1) | 1);
+      if (nkeys < kFanout) {
+        return {};
+      }
+      return SplitNode(node, /*leaf=*/true);
+    }
+
+    Ptr child = ChildAt(node, idx);
+    const SplitResult sub = InsertRec(child, key, value, depth + 1);
+    if (!sub.split) {
+      return {};
+    }
+    // Insert the separator and right child.
+    for (uint32_t i = nkeys; i > idx; --i) {
+      SetKeyAt(node, i, KeyAt(node, i - 1));
+      SetChildAt(node, i + 1, ChildAt(node, i));
+    }
+    SetKeyAt(node, idx, sub.up_key);
+    SetChildAt(node, idx + 1, sub.right);
+    ++nkeys;
+    SetHeader(node, nkeys << 1);
+    if (nkeys < kFanout) {
+      return {};
+    }
+    return SplitNode(node, /*leaf=*/false);
+  }
+
+  SplitResult SplitNode(Ptr node, bool leaf) {
+    const uint32_t nkeys = Header(node) >> 1;
+    const uint32_t mid = nkeys / 2;
+    Ptr right = NewNode(leaf);
+    const uint32_t right_keys = nkeys - mid - (leaf ? 0 : 1);
+    for (uint32_t i = 0; i < right_keys; ++i) {
+      const uint32_t src = mid + (leaf ? 0 : 1) + i;
+      SetKeyAt(right, i, KeyAt(node, src));
+      SetChildAt(right, i, ChildAt(node, src));
+    }
+    if (!leaf) {
+      SetChildAt(right, right_keys, ChildAt(node, nkeys));
+    }
+    SetHeader(right, (right_keys << 1) | (leaf ? 1 : 0));
+    const uint64_t up_key = KeyAt(node, mid);
+    SetHeader(node, (mid << 1) | (leaf ? 1 : 0));
+
+    SplitResult result;
+    result.split = true;
+    result.up_key = up_key;
+    result.right = right;
+
+    if (SamePtr(node, root_)) {
+      Ptr new_root = NewNode(/*leaf=*/false);
+      SetHeader(new_root, 1u << 1);
+      SetKeyAt(new_root, 0, up_key);
+      SetChildAt(new_root, 0, node);
+      SetChildAt(new_root, 1, right);
+      root_ = new_root;
+      result.split = false;  // absorbed at the root
+    }
+    return result;
+  }
+
+  bool SamePtr(Ptr a, Ptr b) const { return policy_->AddrOf(a) == policy_->AddrOf(b); }
+
+  P* policy_;
+  Cpu* cpu_;
+  Ptr root_{};
+  uint64_t size_ = 0;
+};
+
+// --- the Fig. 1 speedtest workload ---------------------------------------------
+
+struct SpeedtestConfig {
+  uint64_t items = 100 * 1000;  // working-set rows
+  uint32_t value_bytes = 360;   // row payload (SQLite speedtest rows ~few hundred B)
+  uint32_t queries_per_item = 1;
+  uint64_t seed = 42;
+};
+
+struct SpeedtestResult {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t scanned = 0;
+};
+
+template <typename P>
+SpeedtestResult RunSpeedtest(Env<P>& env, const SpeedtestConfig& cfg) {
+  KvStore<P> store(&env.policy, &env.cpu);
+  Rng rng(cfg.seed);
+  SpeedtestResult result;
+
+  // Phase 1: bulk insert in shuffled key order (a multiplicative permutation
+  // of [0, items), like speedtest1's randomized insert phase).
+  const uint64_t stride = 2654435761ULL;
+  for (uint64_t i = 0; i < cfg.items; ++i) {
+    store.Insert((i * stride) % cfg.items, cfg.value_bytes);
+  }
+
+  // Phase 2: point queries.
+  const uint64_t queries = cfg.items * cfg.queries_per_item;
+  for (uint64_t q = 0; q < queries; ++q) {
+    uint64_t word = 0;
+    if (store.Get(rng.NextBounded(cfg.items), &word)) {
+      ++result.hits;
+    } else {
+      ++result.misses;
+    }
+  }
+
+  // Phase 3: updates on 10% of the keys.
+  for (uint64_t u = 0; u < cfg.items / 10; ++u) {
+    store.Update(rng.NextBounded(cfg.items), u);
+  }
+
+  // Phase 4: short range scans.
+  for (uint64_t s = 0; s < cfg.items / 20; ++s) {
+    result.scanned += store.Scan(rng.NextBounded(cfg.items), 10);
+  }
+  return result;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_APPS_KVSTORE_H_

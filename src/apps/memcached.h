@@ -1,0 +1,189 @@
+// Memcached analogue (paper SS7, Fig. 13a) - an in-memory cache with a
+// chained hash table, LRU-stamped items, and a text get/set protocol served
+// through the SCONE-style syscall shim. Policy-templated like everything
+// else, so the four "builds" of Fig. 13a come from the same source.
+//
+// Reproduced behaviours:
+//   * the working set (~70 MB at the memaslap-like load) stresses the EPC;
+//   * items are individually allocated and chained by pointers, so Intel MPX
+//     pays bndldx/bndstx per probe and its bounds tables push the working
+//     set past the EPC (the paper's "abysmal" MPX throughput);
+//   * CVE-2011-4971 analogue: a SET whose binary body length is negative is
+//     reinterpreted as a huge unsigned copy length (the DoS the paper
+//     reproduces in SS7).
+
+#ifndef SGXBOUNDS_SRC_APPS_MEMCACHED_H_
+#define SGXBOUNDS_SRC_APPS_MEMCACHED_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/policy/run.h"
+#include "src/runtime/syscall_shim.h"
+
+namespace sgxb {
+
+template <typename P>
+class Memcached {
+ public:
+  using Ptr = typename P::Ptr;
+
+  // Item layout: [0]=next Ptr slot, [8]=key u64, [16]=value Ptr slot,
+  // [24]=value_len u32, [28]=lru_stamp u32.
+  static constexpr uint32_t kItemBytes = 32;
+
+  Memcached(P* policy, Cpu* cpu, SyscallShim* shim, uint32_t buckets = 1 << 16)
+      : policy_(policy), cpu_(cpu), shim_(shim), buckets_(buckets) {
+    table_ = policy_->Calloc(*cpu_, buckets_, kPtrSlotBytes);
+    rx_buf_ = policy_->Malloc(*cpu_, kRxBytes);
+  }
+
+  // --- cache operations -------------------------------------------------------
+
+  void Set(uint64_t key, uint32_t value_bytes) {
+    Ptr slot = BucketSlot(key);
+    Ptr item = FindItem(slot, key);
+    if (policy_->AddrOf(item) == 0) {
+      item = policy_->Malloc(*cpu_, kItemBytes);
+      policy_->template StoreField<uint64_t>(*cpu_, item, 8, key);
+      Ptr head = policy_->LoadPtr(*cpu_, slot);
+      policy_->StorePtr(*cpu_, policy_->Offset(*cpu_, item, 0), head);
+      policy_->StorePtr(*cpu_, slot, item);
+      ++item_count_;
+    } else {
+      // Replace: free the old value.
+      Ptr old_value = policy_->LoadPtr(*cpu_, policy_->Offset(*cpu_, item, 16));
+      if (policy_->AddrOf(old_value) != 0) {
+        policy_->Free(*cpu_, old_value);
+      }
+    }
+    Ptr value = policy_->Malloc(*cpu_, value_bytes);
+    // Value payload write (one word per line, like a network copy would).
+    for (uint32_t off = 0; off + 8 <= value_bytes; off += kCacheLineSize) {
+      policy_->template StoreField<uint64_t>(*cpu_, value, off, key + off);
+    }
+    policy_->StorePtr(*cpu_, policy_->Offset(*cpu_, item, 16), value);
+    policy_->template StoreField<uint32_t>(*cpu_, item, 24, value_bytes);
+    policy_->template StoreField<uint32_t>(*cpu_, item, 28, ++lru_clock_);
+  }
+
+  // Returns value length (0 on miss) and touches the value like a real GET
+  // (reads it for the response copy).
+  uint32_t Get(uint64_t key) {
+    Ptr slot = BucketSlot(key);
+    Ptr item = FindItem(slot, key);
+    if (policy_->AddrOf(item) == 0) {
+      return 0;
+    }
+    policy_->template StoreField<uint32_t>(*cpu_, item, 28, ++lru_clock_);
+    const uint32_t len = policy_->template LoadField<uint32_t>(*cpu_, item, 24);
+    Ptr value = policy_->LoadPtr(*cpu_, policy_->Offset(*cpu_, item, 16));
+    for (uint32_t off = 0; off + 8 <= len; off += kCacheLineSize) {
+      (void)policy_->template LoadField<uint64_t>(*cpu_, value, off);
+    }
+    return len;
+  }
+
+  // --- protocol layer -----------------------------------------------------------
+
+  // Serves one memaslap-style request arriving from the untrusted world.
+  // Wire format (text-ish): "G <key>\n" or "S <key> <len>\n<payload>".
+  // Returns the response size sent.
+  uint32_t ServeRequest(const std::string& wire) {
+    const std::vector<uint8_t> bytes(wire.begin(), wire.end());
+    const uint32_t n =
+        shim_->Recv(*cpu_, policy_->AddrOf(rx_buf_), bytes, 0,
+                    std::min<uint32_t>(static_cast<uint32_t>(bytes.size()), kRxBytes));
+    // Parse (charged byte loads over the request head).
+    cpu_->Alu(12);
+    cpu_->MemAccess(policy_->AddrOf(rx_buf_), std::min<uint32_t>(n, 64),
+                    AccessClass::kAppLoad);
+    char op = 0;
+    uint64_t key = 0;
+    uint32_t len = 0;
+    if (std::sscanf(wire.c_str(), "%c %llu %u", &op,
+                    reinterpret_cast<unsigned long long*>(&key), &len) < 2) {
+      return 0;
+    }
+    if (op == 'G') {
+      const uint32_t value_len = Get(key);
+      if (value_len == 0) {
+        shim_->Send(*cpu_, policy_->AddrOf(rx_buf_), 16);  // "NOT_FOUND"
+        return 16;
+      }
+      // Response: header + value copied out through the shim.
+      shim_->Send(*cpu_, policy_->AddrOf(rx_buf_), std::min(value_len, kRxBytes));
+      return value_len;
+    }
+    if (op == 'S') {
+      Set(key, len);
+      shim_->Send(*cpu_, policy_->AddrOf(rx_buf_), 8);  // "STORED"
+      return 8;
+    }
+    return 0;
+  }
+
+  // --- CVE-2011-4971 analogue -----------------------------------------------------
+  // Binary-protocol SET with attacker-controlled *signed* body length. The
+  // bug: vlen is sign-extended then used as an unsigned copy length.
+  // Returns true if the server survived the request.
+  bool HandleBinarySet(int32_t claimed_vlen, std::string* outcome) {
+    const uint32_t item_bytes = 64;
+    Ptr item = policy_->Malloc(*cpu_, item_bytes);
+    const uint32_t copy_len = static_cast<uint32_t>(claimed_vlen);  // the bug
+    // memcpy(item, rx_buf, copy_len) - expressed as the instrumented loop
+    // memcached's hand-rolled copy performs. Capped iterations keep the
+    // simulation bounded; a real negative length means ~4 billion writes.
+    const uint32_t simulated = std::min<uint32_t>(copy_len, 4096);
+    for (uint32_t i = 0; i < simulated; ++i) {
+      policy_->template Store<uint8_t>(*cpu_, policy_->Offset(*cpu_, item, i),
+                                       static_cast<uint8_t>(i));
+    }
+    if (copy_len > item_bytes) {
+      *outcome = "overflow ran to completion (heap corrupted)";
+      return false;
+    }
+    *outcome = "request handled";
+    return true;
+  }
+
+  uint64_t item_count() const { return item_count_; }
+
+ private:
+  static constexpr uint32_t kRxBytes = 16 * 1024;
+
+  Ptr BucketSlot(uint64_t key) {
+    const uint32_t bucket = static_cast<uint32_t>((key * 2654435761ULL) % buckets_);
+    cpu_->Alu(3);
+    return policy_->Offset(*cpu_, table_, bucket * kPtrSlotBytes);
+  }
+
+  Ptr FindItem(Ptr slot, uint64_t key) {
+    Ptr item = policy_->LoadPtr(*cpu_, slot);
+    while (policy_->AddrOf(item) != 0) {
+      cpu_->Branch();
+      if (policy_->template LoadField<uint64_t>(*cpu_, item, 8) == key) {
+        return item;
+      }
+      item = policy_->LoadPtr(*cpu_, policy_->Offset(*cpu_, item, 0));
+    }
+    return item;
+  }
+
+  P* policy_;
+  Cpu* cpu_;
+  SyscallShim* shim_;
+  uint32_t buckets_;
+  Ptr table_{};
+  Ptr rx_buf_{};
+  uint64_t item_count_ = 0;
+  uint32_t lru_clock_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_APPS_MEMCACHED_H_

@@ -1,0 +1,43 @@
+// Closed-loop throughput/latency model for the networked case studies
+// (Fig. 13). The simulator measures a server's *service demand* per request
+// (cycles, at a given live-connection count); classic closed-loop queueing
+// over that demand produces the throughput-latency pairs the paper plots
+// with memaslap/ab:
+//
+//   c clients, k server threads, service s seconds/request, no think time:
+//     throughput X(c) = min(c, k) / s
+//     latency    W(c) = c * s / min(c, k)
+//
+// The interesting signal is in s itself: it is measured by running the real
+// (policy-instrumented) server over the simulated enclave, so EPC thrashing
+// from bounds tables or shadow memory shows up as a collapsing curve exactly
+// as in the paper.
+
+#ifndef SGXBOUNDS_SRC_APPS_NETSERVER_H_
+#define SGXBOUNDS_SRC_APPS_NETSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgxb {
+
+struct CurvePoint {
+  uint32_t clients = 0;
+  double kops_per_sec = 0;
+  double latency_ms = 0;
+};
+
+inline CurvePoint ClosedLoopPoint(uint32_t clients, uint32_t server_threads,
+                                  double service_cycles, double ghz = 3.6) {
+  CurvePoint p;
+  p.clients = clients;
+  const double busy = clients < server_threads ? clients : server_threads;
+  const double service_sec = service_cycles / (ghz * 1e9);
+  p.kops_per_sec = busy / service_sec / 1000.0;
+  p.latency_ms = clients * service_sec / busy * 1000.0;
+  return p;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_APPS_NETSERVER_H_

@@ -1,0 +1,11 @@
+#include "src/common/check.h"
+
+namespace sgxb {
+
+void FatalError(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[FATAL] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sgxb

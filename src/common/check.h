@@ -1,0 +1,76 @@
+// Lightweight assertion and fatal-error macros used across the project.
+//
+// CHECK(cond)      - always-on invariant check; aborts with a message on failure.
+// CHECK_xx(a, b)   - binary comparison variants that print both operands.
+// DCHECK(cond)     - debug-only variant (compiled out in NDEBUG builds).
+// FATAL(msg)       - unconditional abort with a message.
+//
+// These are deliberately minimal: no streaming of arbitrary state, no
+// stack-trace machinery. The project is a simulator, so a failed CHECK means a
+// logic bug, and the file:line is enough to find it.
+
+#ifndef SGXBOUNDS_SRC_COMMON_CHECK_H_
+#define SGXBOUNDS_SRC_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sgxb {
+
+[[noreturn]] void FatalError(const char* file, int line, const std::string& message);
+
+namespace internal {
+
+template <typename A, typename B>
+std::string FormatBinaryCheck(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " (lhs=" << a << ", rhs=" << b << ")";
+  return os.str();
+}
+
+}  // namespace internal
+
+}  // namespace sgxb
+
+#define SGXB_STRINGIFY_INNER(x) #x
+#define SGXB_STRINGIFY(x) SGXB_STRINGIFY_INNER(x)
+
+#define CHECK(cond)                                                             \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::sgxb::FatalError(__FILE__, __LINE__, "CHECK failed: " #cond);           \
+    }                                                                           \
+  } while (0)
+
+#define SGXB_CHECK_OP(op, a, b)                                                 \
+  do {                                                                          \
+    const auto& sgxb_check_a = (a);                                             \
+    const auto& sgxb_check_b = (b);                                             \
+    if (!(sgxb_check_a op sgxb_check_b)) {                                      \
+      ::sgxb::FatalError(__FILE__, __LINE__,                                    \
+                         ::sgxb::internal::FormatBinaryCheck(                   \
+                             #a " " #op " " #b, sgxb_check_a, sgxb_check_b));   \
+    }                                                                           \
+  } while (0)
+
+#define CHECK_EQ(a, b) SGXB_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) SGXB_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) SGXB_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) SGXB_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) SGXB_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) SGXB_CHECK_OP(>=, a, b)
+
+#define FATAL(msg) ::sgxb::FatalError(__FILE__, __LINE__, (msg))
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // SGXBOUNDS_SRC_COMMON_CHECK_H_

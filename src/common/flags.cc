@@ -1,0 +1,165 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sgxb {
+
+namespace {
+
+std::string DefaultToString(FlagParser* unused, const void* target, int kind_index) {
+  (void)unused;
+  std::ostringstream os;
+  switch (kind_index) {
+    case 0:
+      os << *static_cast<const int64_t*>(target);
+      break;
+    case 1:
+      os << *static_cast<const uint64_t*>(target);
+      break;
+    case 2:
+      os << *static_cast<const double*>(target);
+      break;
+    case 3:
+      os << (*static_cast<const bool*>(target) ? "true" : "false");
+      break;
+    case 4:
+      os << *static_cast<const std::string*>(target);
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void FlagParser::AddInt(const std::string& name, int64_t* target, const std::string& help) {
+  flags_.push_back({name, Kind::kInt, target, help, DefaultToString(this, target, 0)});
+}
+
+void FlagParser::AddUint(const std::string& name, uint64_t* target, const std::string& help) {
+  flags_.push_back({name, Kind::kUint, target, help, DefaultToString(this, target, 1)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target, const std::string& help) {
+  flags_.push_back({name, Kind::kDouble, target, help, DefaultToString(this, target, 2)});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target, const std::string& help) {
+  flags_.push_back({name, Kind::kBool, target, help, DefaultToString(this, target, 3)});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target, const std::string& help) {
+  flags_.push_back({name, Kind::kString, target, help, DefaultToString(this, target, 4)});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool FlagParser::SetValue(const Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        return false;
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kUint: {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        return false;
+      }
+      *static_cast<uint64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+    case Kind::kString: {
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> FlagParser::Parse(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), Usage(argv[0]).c_str());
+      std::exit(2);
+    }
+    if (!has_value && flag->kind != Kind::kBool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!SetValue(*flag, value)) {
+      std::fprintf(stderr, "invalid value '%s' for flag --%s\n", value.c_str(), name.c_str());
+      std::exit(2);
+    }
+  }
+  return positional;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  " << flag.help << " (default: " << flag.default_value
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace sgxb

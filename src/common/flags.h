@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+//   FlagParser parser;
+//   int threads = 8;
+//   parser.AddInt("threads", &threads, "worker thread count");
+//   parser.Parse(argc, argv);   // accepts --threads=4 and --threads 4
+//
+// Unknown flags abort with usage text; positional arguments are collected.
+
+#ifndef SGXBOUNDS_SRC_COMMON_FLAGS_H_
+#define SGXBOUNDS_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgxb {
+
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t* target, const std::string& help);
+  void AddUint(const std::string& name, uint64_t* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+
+  // Returns positional (non-flag) arguments. Exits on --help or parse errors.
+  std::vector<std::string> Parse(int argc, char** argv);
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static bool SetValue(const Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_FLAGS_H_

@@ -1,0 +1,53 @@
+// Minimal leveled logging. Usage:
+//
+//   LOG(INFO) << "enclave created, epc=" << epc_bytes;
+//
+// The global level defaults to kInfo and can be raised/lowered with
+// SetLogLevel(). Output goes to stderr so benchmark result tables on stdout
+// stay machine-parsable.
+
+#ifndef SGXBOUNDS_SRC_COMMON_LOG_H_
+#define SGXBOUNDS_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace sgxb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sgxb
+
+#define SGXB_LOG_DEBUG ::sgxb::LogLevel::kDebug
+#define SGXB_LOG_INFO ::sgxb::LogLevel::kInfo
+#define SGXB_LOG_WARNING ::sgxb::LogLevel::kWarning
+#define SGXB_LOG_ERROR ::sgxb::LogLevel::kError
+
+#define LOG(severity) ::sgxb::LogMessage(SGXB_LOG_##severity, __FILE__, __LINE__).stream()
+
+#endif  // SGXBOUNDS_SRC_COMMON_LOG_H_

@@ -1,0 +1,99 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // 128-bit multiply-shift: unbiased enough for simulation purposes.
+  const unsigned __int128 product = static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  have_gaussian_ = true;
+  return u * factor;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  CHECK_GT(n, 0u);
+  // Approximate inverse-CDF sampling; exact Zipf is irrelevant for the
+  // experiments, skew is what matters.
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = std::pow(static_cast<double>(n), 1.0 - theta) / (1.0 - theta);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  double rank = std::pow(uz * (1.0 - theta), alpha);
+  if (rank >= static_cast<double>(n)) {
+    rank = static_cast<double>(n - 1);
+  }
+  return static_cast<uint64_t>(rank);
+}
+
+std::string Rng::NextKey(size_t len) {
+  std::string out(len, 'a');
+  for (auto& c : out) {
+    c = static_cast<char>('a' + NextBounded(26));
+  }
+  return out;
+}
+
+}  // namespace sgxb

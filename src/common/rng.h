@@ -1,0 +1,49 @@
+// Deterministic, seedable PRNG used by every workload and load generator.
+//
+// xoshiro256** with a SplitMix64 seeder. All experiment results in this repo
+// are deterministic functions of the seed, which is what makes the benchmark
+// output reproducible run-to-run.
+
+#ifndef SGXBOUNDS_SRC_COMMON_RNG_H_
+#define SGXBOUNDS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgxb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound) without modulo bias for practical bounds.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Zipf-distributed rank in [0, n) with exponent `theta` (used by the
+  // memcached/kvstore load generators for realistic skew).
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  // Fills `out` with `len` random lowercase letters.
+  std::string NextKey(size_t len);
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_RNG_H_

@@ -1,0 +1,97 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  CHECK(!values.empty());
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::string FormatRatio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+std::string FormatOverheadPercent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,53 @@
+// Small statistics helpers for benchmark reporting: running mean/min/max,
+// geometric mean (the paper reports "gmean" across benchmarks), percentiles
+// for latency distributions, and overhead formatting.
+
+#ifndef SGXBOUNDS_SRC_COMMON_STATS_H_
+#define SGXBOUNDS_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgxb {
+
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  // Sample standard deviation (Welford).
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Geometric mean of strictly positive values; returns 0 for an empty input.
+double GeoMean(const std::vector<double>& values);
+
+// p in [0, 100]; linear interpolation between closest ranks. Sorts a copy.
+double Percentile(std::vector<double> values, double p);
+
+// Formats a ratio as the paper does: "1.17x" or "17%" style strings.
+std::string FormatRatio(double ratio);
+std::string FormatOverheadPercent(double ratio);
+
+// Human-readable byte counts ("71.6 MB").
+std::string FormatBytes(uint64_t bytes);
+
+// Fixed-point helper, e.g. FormatDouble(3.14159, 2) -> "3.14".
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_STATS_H_

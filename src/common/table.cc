@@ -1,0 +1,89 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sgxb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  Row row;
+  row.cells = std::move(cells);
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() {
+  Row row;
+  row.separator = true;
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto emit_line = [&](std::ostringstream& os) {
+    os << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        os << '-';
+      }
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& cells,
+                      bool header) {
+    os << '|';
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      const size_t pad = widths[i] - cell.size();
+      os << ' ';
+      if (i == 0 || header) {
+        os << cell;
+        for (size_t p = 0; p < pad; ++p) {
+          os << ' ';
+        }
+      } else {
+        for (size_t p = 0; p < pad; ++p) {
+          os << ' ';
+        }
+        os << cell;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_line(os);
+  emit_row(os, headers_, /*header=*/true);
+  emit_line(os);
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_line(os);
+    } else {
+      emit_row(os, row.cells, /*header=*/false);
+    }
+  }
+  emit_line(os);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace sgxb

@@ -1,0 +1,37 @@
+// Console table printer used by the benchmark binaries so every figure/table
+// reproduction prints aligned, diff-friendly rows.
+
+#ifndef SGXBOUNDS_SRC_COMMON_TABLE_H_
+#define SGXBOUNDS_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sgxb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  // Renders with column alignment. First column left-aligned, the rest
+  // right-aligned (numbers).
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_TABLE_H_

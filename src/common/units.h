@@ -1,0 +1,33 @@
+// Byte-size and address constants shared across the simulator.
+
+#ifndef SGXBOUNDS_SRC_COMMON_UNITS_H_
+#define SGXBOUNDS_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace sgxb {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kCacheLineSize = 64;
+inline constexpr uint32_t kCacheLineShift = 6;
+
+inline constexpr uint32_t PageOf(uint32_t addr) { return addr >> kPageShift; }
+inline constexpr uint32_t LineOf(uint32_t addr) { return addr >> kCacheLineShift; }
+inline constexpr uint64_t PagesFor(uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+inline constexpr uint32_t AlignUp(uint32_t value, uint32_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+inline constexpr uint64_t AlignUp64(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_UNITS_H_

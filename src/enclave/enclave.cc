@@ -1,0 +1,46 @@
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+
+Enclave::Enclave(const EnclaveConfig& config)
+    : config_(config),
+      memsys_(config.sim),
+      space_(config.space_bytes),
+      pages_(config.space_bytes, &memsys_),
+      main_cpu_(&memsys_) {
+  pages_.AttachZeroHook(space_.HostPtr(0));
+}
+
+Cpu* Enclave::NewCpu() {
+  extra_cpus_.push_back(std::make_unique<Cpu>(&memsys_));
+  return extra_cpus_.back().get();
+}
+
+void Enclave::LoadBytes(Cpu& cpu, uint32_t addr, void* dst, uint32_t n, AccessClass klass) {
+  if (n == 0) {
+    return;
+  }
+  CheckAddressable(addr, n);
+  cpu.MemAccess(addr, n, klass);
+  std::memcpy(dst, space_.HostPtr(addr), n);
+}
+
+void Enclave::StoreBytes(Cpu& cpu, uint32_t addr, const void* src, uint32_t n,
+                         AccessClass klass) {
+  if (n == 0) {
+    return;
+  }
+  CheckAddressable(addr, n);
+  cpu.MemAccess(addr, n, klass);
+  std::memcpy(space_.HostPtr(addr), src, n);
+}
+
+PerfCounters Enclave::TotalCounters() const {
+  PerfCounters total = main_cpu_.counters();
+  for (const auto& cpu : extra_cpus_) {
+    total += cpu->counters();
+  }
+  return total;
+}
+
+}  // namespace sgxb

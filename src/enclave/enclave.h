@@ -1,0 +1,126 @@
+// The simulated enclave: 32-bit address space + memory-system simulation.
+//
+// An Enclave composes the AddressSpace (backing bytes), the PageManager
+// (commit/guard/accounting) and the MemorySystem (caches + EPC + MEE). All
+// guest memory accesses go through Load/Store here: they perform the real
+// host-side data movement AND charge simulated cycles, so workload results
+// carry both correct values and a faithful cost account.
+//
+// Typical wiring:
+//
+//   EnclaveConfig cfg;                 // enclave_mode defaults to true
+//   Enclave enclave(cfg);
+//   Cpu& cpu = enclave.main_cpu();
+//   uint32_t a = enclave.pages().ReserveLow(1 * kMiB, "heap");
+//   enclave.pages().Commit(&cpu, a, 1 * kMiB);
+//   enclave.Store<uint64_t>(cpu, a, 42);
+//   uint64_t v = enclave.Load<uint64_t>(cpu, a);
+
+#ifndef SGXBOUNDS_SRC_ENCLAVE_ENCLAVE_H_
+#define SGXBOUNDS_SRC_ENCLAVE_ENCLAVE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/enclave/address_space.h"
+#include "src/enclave/page_manager.h"
+#include "src/enclave/trap.h"
+#include "src/sim/machine.h"
+
+namespace sgxb {
+
+struct EnclaveConfig {
+  SimConfig sim;
+  // Size of the enclave virtual address space. SGX1 hardware allows 36 bits;
+  // SGXBounds assumes <= 32 bits (SS3.1). 4 GiB reserves the full tagged-
+  // pointer space.
+  uint64_t space_bytes = 4 * kGiB;
+};
+
+class Enclave {
+ public:
+  explicit Enclave(const EnclaveConfig& config = EnclaveConfig());
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  MemorySystem& memsys() { return memsys_; }
+  PageManager& pages() { return pages_; }
+  AddressSpace& space() { return space_; }
+  Cpu& main_cpu() { return main_cpu_; }
+  const EnclaveConfig& config() const { return config_; }
+
+  // Creates an additional hardware-thread context sharing this enclave's
+  // LLC/EPC. Lifetime is owned by the enclave.
+  Cpu* NewCpu();
+
+  // --- Guest memory access (charged + checked) ---
+
+  template <typename T>
+  T Load(Cpu& cpu, uint32_t addr, AccessClass klass = AccessClass::kAppLoad) {
+    CheckAddressable(addr, sizeof(T));
+    cpu.MemAccess(addr, sizeof(T), klass);
+    T value;
+    std::memcpy(&value, space_.HostPtr(addr), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Store(Cpu& cpu, uint32_t addr, T value, AccessClass klass = AccessClass::kAppStore) {
+    CheckAddressable(addr, sizeof(T));
+    cpu.MemAccess(addr, sizeof(T), klass);
+    std::memcpy(space_.HostPtr(addr), &value, sizeof(T));
+  }
+
+  void LoadBytes(Cpu& cpu, uint32_t addr, void* dst, uint32_t n,
+                 AccessClass klass = AccessClass::kAppLoad);
+  void StoreBytes(Cpu& cpu, uint32_t addr, const void* src, uint32_t n,
+                  AccessClass klass = AccessClass::kAppStore);
+
+  // Direct (uncharged) views for test assertions and machine setup. Guest
+  // code must never use these on a measured path.
+  template <typename T>
+  T Peek(uint32_t addr) const {
+    T value;
+    std::memcpy(&value, space_.HostPtr(addr), sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void Poke(uint32_t addr, T value) {
+    std::memcpy(space_.HostPtr(addr), &value, sizeof(T));
+  }
+
+  // Peak virtual memory, the metric plotted in the paper's memory figures.
+  uint64_t PeakVirtualBytes() const { return pages_.peak_vm_bytes(); }
+
+  // Aggregated counters over all Cpus created on this enclave.
+  PerfCounters TotalCounters() const;
+
+ private:
+  void CheckAddressable(uint32_t addr, uint32_t size) {
+    const uint32_t first = PageOf(addr);
+    const uint32_t last = size == 0 ? first : PageOf(addr + size - 1);
+    for (uint32_t page = first;; ++page) {
+      if (!pages_.Addressable(page << kPageShift)) {
+        throw SimTrap(TrapKind::kSegFault, page << kPageShift,
+                      "access to unmapped or guard page");
+      }
+      if (page == last) {
+        break;
+      }
+    }
+  }
+
+  EnclaveConfig config_;
+  MemorySystem memsys_;
+  AddressSpace space_;
+  PageManager pages_;
+  Cpu main_cpu_;
+  std::vector<std::unique_ptr<Cpu>> extra_cpus_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_ENCLAVE_ENCLAVE_H_

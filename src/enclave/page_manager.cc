@@ -1,0 +1,130 @@
+#include "src/enclave/page_manager.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/enclave/trap.h"
+
+namespace sgxb {
+
+PageManager::PageManager(uint64_t space_bytes, MemorySystem* memory)
+    : space_bytes_(space_bytes), memory_(memory) {
+  CHECK_GT(space_bytes, 2 * kPageSize);
+  CHECK_LE(space_bytes, 4 * kGiB);
+  const uint64_t pages = space_bytes / kPageSize;
+  committed_.assign(pages, 0);
+  guard_.assign(pages, 0);
+  // Page 0 (NULL) and the top page (SS4.4 loop-hoisting precaution) are
+  // permanent guards.
+  guard_[0] = 1;
+  guard_[pages - 1] = 1;
+  high_cursor_ = space_bytes - kPageSize;
+}
+
+uint32_t PageManager::Carve(uint64_t bytes, const std::string& tag, VmAccounting accounting,
+                            bool low) {
+  const uint64_t rounded = AlignUp64(bytes, kPageSize);
+  uint32_t base;
+  if (low) {
+    if (low_cursor_ + rounded > high_cursor_) {
+      throw SimTrap(TrapKind::kOutOfMemory, static_cast<uint32_t>(low_cursor_),
+                    "address space exhausted reserving " + tag);
+    }
+    base = static_cast<uint32_t>(low_cursor_);
+    low_cursor_ += rounded;
+  } else {
+    if (high_cursor_ < rounded || high_cursor_ - rounded < low_cursor_) {
+      throw SimTrap(TrapKind::kOutOfMemory, static_cast<uint32_t>(high_cursor_),
+                    "address space exhausted reserving " + tag);
+    }
+    high_cursor_ -= rounded;
+    base = static_cast<uint32_t>(high_cursor_);
+  }
+  regions_.push_back({base, rounded, tag, accounting});
+  if (accounting == VmAccounting::kFull) {
+    BumpVm(rounded);
+  }
+  return base;
+}
+
+uint32_t PageManager::ReserveLow(uint64_t bytes, const std::string& tag,
+                                 VmAccounting accounting) {
+  return Carve(bytes, tag, accounting, /*low=*/true);
+}
+
+uint32_t PageManager::ReserveHigh(uint64_t bytes, const std::string& tag,
+                                  VmAccounting accounting) {
+  return Carve(bytes, tag, accounting, /*low=*/false);
+}
+
+VmAccounting PageManager::AccountingFor(uint32_t page) const {
+  const uint64_t addr = static_cast<uint64_t>(page) * kPageSize;
+  for (const auto& region : regions_) {
+    if (addr >= region.base && addr < region.base + region.bytes) {
+      return region.accounting;
+    }
+  }
+  return VmAccounting::kOnCommit;
+}
+
+void PageManager::Commit(Cpu* cpu, uint32_t addr, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const uint32_t first = PageOf(addr);
+  const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
+  for (uint32_t page = first; page <= last; ++page) {
+    if (committed_[page]) {
+      continue;
+    }
+    committed_[page] = 1;
+    committed_bytes_ += kPageSize;
+    if (AccountingFor(page) == VmAccounting::kOnCommit) {
+      BumpVm(kPageSize);
+    }
+    if (arena_base_ != nullptr) {
+      std::memset(arena_base_ + static_cast<uint64_t>(page) * kPageSize, 0, kPageSize);
+    }
+    if (cpu != nullptr) {
+      ++cpu->counters().minor_faults;
+      cpu->Charge(memory_->costs().minor_fault);
+    }
+  }
+  peak_committed_bytes_ = std::max(peak_committed_bytes_, committed_bytes_);
+}
+
+void PageManager::Decommit(uint32_t addr, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const uint32_t first = PageOf(addr);
+  const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
+  for (uint32_t page = first; page <= last; ++page) {
+    if (!committed_[page]) {
+      continue;
+    }
+    committed_[page] = 0;
+    committed_bytes_ -= kPageSize;
+    if (AccountingFor(page) == VmAccounting::kOnCommit) {
+      vm_bytes_ -= kPageSize;
+    }
+    memory_->epc().Invalidate(page);
+  }
+}
+
+void PageManager::SetGuardPage(uint32_t page) {
+  CHECK_LT(page, guard_.size());
+  guard_[page] = 1;
+}
+
+uint64_t PageManager::ReservedForTag(const std::string& tag) const {
+  uint64_t total = 0;
+  for (const auto& region : regions_) {
+    if (region.tag == tag) {
+      total += region.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace sgxb

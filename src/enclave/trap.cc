@@ -1,0 +1,38 @@
+#include "src/enclave/trap.h"
+
+#include <cstdio>
+
+namespace sgxb {
+
+const char* TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kSegFault:
+      return "SIGSEGV";
+    case TrapKind::kSgxBoundsViolation:
+      return "SGXBOUNDS-VIOLATION";
+    case TrapKind::kAsanReport:
+      return "ASAN-REPORT";
+    case TrapKind::kMpxBoundRange:
+      return "MPX-#BR";
+    case TrapKind::kOutOfMemory:
+      return "OUT-OF-MEMORY";
+    case TrapKind::kIllegalInstruction:
+      return "SIGILL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string FormatTrap(TrapKind kind, uint32_t addr, const std::string& detail) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s at 0x%08x: ", TrapKindName(kind), addr);
+  return std::string(buf) + detail;
+}
+
+}  // namespace
+
+SimTrap::SimTrap(TrapKind kind, uint32_t addr, const std::string& detail)
+    : std::runtime_error(FormatTrap(kind, addr, detail)), kind_(kind), addr_(addr) {}
+
+}  // namespace sgxb

@@ -1,0 +1,49 @@
+// Simulated hardware/runtime traps.
+//
+// A memory-safety scheme turns silent corruption into a trap; the security
+// experiments (RIPE, CVE reproductions) observe which trap fired, if any.
+// Traps are modeled as C++ exceptions so a harness can catch and classify
+// them; production code paths in the simulator never throw on the hot path.
+
+#ifndef SGXBOUNDS_SRC_ENCLAVE_TRAP_H_
+#define SGXBOUNDS_SRC_ENCLAVE_TRAP_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sgxb {
+
+enum class TrapKind : uint8_t {
+  // Access to an unmapped/guard page (the simulated SIGSEGV).
+  kSegFault,
+  // SGXBounds check failure (fail-fast mode).
+  kSgxBoundsViolation,
+  // AddressSanitizer redzone / poisoned-shadow hit.
+  kAsanReport,
+  // Intel MPX #BR bound-range exception.
+  kMpxBoundRange,
+  // Allocation failure (enclave memory exhausted) - how MPX dies on dedup.
+  kOutOfMemory,
+  // Guest program invoked an illegal operation (e.g. `int` in shellcode,
+  // which SGX forbids - SS6.6).
+  kIllegalInstruction,
+};
+
+const char* TrapKindName(TrapKind kind);
+
+class SimTrap : public std::runtime_error {
+ public:
+  SimTrap(TrapKind kind, uint32_t addr, const std::string& detail);
+
+  TrapKind kind() const { return kind_; }
+  uint32_t addr() const { return addr_; }
+
+ private:
+  TrapKind kind_;
+  uint32_t addr_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_ENCLAVE_TRAP_H_

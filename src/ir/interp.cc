@@ -1,0 +1,342 @@
+#include "src/ir/interp.h"
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+namespace {
+
+uint64_t TruncateToType(IrType type, uint64_t value) {
+  switch (type) {
+    case IrType::kI8:
+      return value & 0xff;
+    case IrType::kI16:
+      return value & 0xffff;
+    case IrType::kI32:
+      return value & 0xffffffff;
+    case IrType::kI64:
+    case IrType::kPtr:
+      return value;
+  }
+  return value;
+}
+
+bool EvalCmp(IrCmp pred, uint64_t a, uint64_t b) {
+  const int64_t sa = static_cast<int64_t>(a);
+  const int64_t sb = static_cast<int64_t>(b);
+  switch (pred) {
+    case IrCmp::kEq:
+      return a == b;
+    case IrCmp::kNe:
+      return a != b;
+    case IrCmp::kULt:
+      return a < b;
+    case IrCmp::kULe:
+      return a <= b;
+    case IrCmp::kUGt:
+      return a > b;
+    case IrCmp::kUGe:
+      return a >= b;
+    case IrCmp::kSLt:
+      return sa < sb;
+    case IrCmp::kSLe:
+      return sa <= sb;
+    case IrCmp::kSGt:
+      return sa > sb;
+    case IrCmp::kSGe:
+      return sa >= sb;
+  }
+  return false;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(Enclave* enclave, Heap* heap, StackAllocator* stack)
+    : enclave_(enclave), heap_(heap), stack_(stack) {}
+
+uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint64_t>& args,
+                          uint64_t max_steps) {
+  std::vector<uint64_t> values(fn.num_values, 0);
+  // Per-run MPX bounds side table: SSA value id -> bounds (the "register"
+  // association a compiler tracks for each pointer temp).
+  std::unordered_map<ValueId, MpxBounds> mpx_bounds;
+
+  const uint32_t frame = stack_->PushFrame();
+  uint32_t block = 0;
+  uint32_t prev_block = ~0u;
+  uint64_t ret = 0;
+
+  auto addr_of = [](uint64_t v) { return static_cast<uint32_t>(v); };
+
+  try {
+    for (;;) {
+      const IrBlock& bb = fn.blocks[block];
+      // Phase 1: evaluate phis against predecessor values.
+      size_t i = 0;
+      if (prev_block != ~0u && !bb.preds.empty()) {
+        size_t pred_index = 0;
+        for (size_t p = 0; p < bb.preds.size(); ++p) {
+          if (bb.preds[p] == prev_block) {
+            pred_index = p;
+            break;
+          }
+        }
+        std::vector<std::pair<ValueId, uint64_t>> phi_values;
+        for (; i < bb.instrs.size() && bb.instrs[i].op == IrOp::kPhi; ++i) {
+          const IrInstr& phi = bb.instrs[i];
+          phi_values.emplace_back(phi.id, values[phi.args[pred_index]]);
+          if (mpx_ != nullptr) {
+            auto it = mpx_bounds.find(phi.args[pred_index]);
+            if (it != mpx_bounds.end()) {
+              mpx_bounds[phi.id] = it->second;
+            }
+          }
+        }
+        for (const auto& [id, v] : phi_values) {
+          values[id] = v;
+        }
+      } else {
+        while (i < bb.instrs.size() && bb.instrs[i].op == IrOp::kPhi) {
+          ++i;
+        }
+      }
+
+      // Phase 2: straight-line execution.
+      bool jumped = false;
+      for (; i < bb.instrs.size(); ++i) {
+        const IrInstr& in = bb.instrs[i];
+        if (++stats_.steps > max_steps) {
+          throw SimTrap(TrapKind::kIllegalInstruction, 0, "interpreter step limit exceeded");
+        }
+        switch (in.op) {
+          case IrOp::kConst:
+            values[in.id] = static_cast<uint64_t>(in.imm);
+            break;
+          case IrOp::kArg:
+            values[in.id] = in.imm < static_cast<int64_t>(args.size())
+                                ? args[static_cast<size_t>(in.imm)]
+                                : 0;
+            break;
+          case IrOp::kAdd:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] + values[in.args[1]];
+            break;
+          case IrOp::kSub:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] - values[in.args[1]];
+            break;
+          case IrOp::kMul:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] * values[in.args[1]];
+            break;
+          case IrOp::kUDiv:
+            cpu.Alu(1);
+            values[in.id] =
+                values[in.args[1]] == 0 ? 0 : values[in.args[0]] / values[in.args[1]];
+            break;
+          case IrOp::kURem:
+            cpu.Alu(1);
+            values[in.id] =
+                values[in.args[1]] == 0 ? 0 : values[in.args[0]] % values[in.args[1]];
+            break;
+          case IrOp::kAnd:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] & values[in.args[1]];
+            break;
+          case IrOp::kOr:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] | values[in.args[1]];
+            break;
+          case IrOp::kXor:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] ^ values[in.args[1]];
+            break;
+          case IrOp::kShl:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] << (values[in.args[1]] & 63);
+            break;
+          case IrOp::kLShr:
+            cpu.Alu(1);
+            values[in.id] = values[in.args[0]] >> (values[in.args[1]] & 63);
+            break;
+          case IrOp::kICmp:
+            cpu.Alu(1);
+            values[in.id] =
+                EvalCmp(static_cast<IrCmp>(in.imm), values[in.args[0]], values[in.args[1]])
+                    ? 1
+                    : 0;
+            break;
+          case IrOp::kBr:
+            cpu.Branch();
+            prev_block = block;
+            block = static_cast<uint32_t>(in.imm);
+            jumped = true;
+            break;
+          case IrOp::kCondBr:
+            cpu.Branch();
+            prev_block = block;
+            block = values[in.args[0]] != 0 ? static_cast<uint32_t>(in.imm)
+                                            : static_cast<uint32_t>(in.imm2);
+            jumped = true;
+            break;
+          case IrOp::kRet:
+            if (!in.args.empty()) {
+              ret = values[in.args[0]];
+            }
+            stack_->PopFrame(frame);
+            return ret;
+          case IrOp::kAlloca: {
+            const uint32_t size = static_cast<uint32_t>(in.imm);
+            if (in.symbol == "sgx") {
+              const uint32_t base = stack_->Alloca(cpu, size + sgx_->FooterBytes());
+              values[in.id] = sgx_->SpecifyBounds(cpu, base, base + size, ObjKind::kStack);
+            } else if (in.symbol == "asan") {
+              const uint32_t rz = asan_->RedzoneFor(size);
+              const uint32_t base = stack_->Alloca(cpu, size + 2 * rz, 16);
+              asan_->RegisterObject(cpu, base + rz, size, AsanRuntime::kShadowStackRedzone);
+              values[in.id] = base + rz;
+            } else {
+              values[in.id] = stack_->Alloca(cpu, size);
+              if (mpx_ != nullptr) {
+                mpx_bounds[in.id] = mpx_->BndMk(cpu, addr_of(values[in.id]), size);
+              }
+            }
+            break;
+          }
+          case IrOp::kMalloc: {
+            const uint32_t size = static_cast<uint32_t>(values[in.args[0]]);
+            if (in.symbol == "sgx") {
+              values[in.id] = sgx_->Malloc(cpu, size);
+            } else if (in.symbol == "asan") {
+              values[in.id] = asan_->Malloc(cpu, size);
+            } else {
+              values[in.id] = heap_->Alloc(cpu, size);
+              if (mpx_ != nullptr) {
+                mpx_bounds[in.id] = mpx_->BndMk(cpu, addr_of(values[in.id]), size);
+              }
+            }
+            break;
+          }
+          case IrOp::kFree:
+            if (in.symbol == "sgx") {
+              sgx_->Free(cpu, values[in.args[0]]);
+            } else if (in.symbol == "asan") {
+              asan_->Free(cpu, addr_of(values[in.args[0]]));
+            } else {
+              heap_->Free(cpu, addr_of(values[in.args[0]]));
+            }
+            break;
+          case IrOp::kGep: {
+            cpu.Alu(2);
+            values[in.id] = values[in.args[0]] +
+                            values[in.args[1]] * static_cast<uint64_t>(in.imm) +
+                            static_cast<uint64_t>(in.imm2);
+            if (mpx_ != nullptr) {
+              auto it = mpx_bounds.find(in.args[0]);
+              if (it != mpx_bounds.end()) {
+                mpx_bounds[in.id] = it->second;
+              }
+            }
+            break;
+          }
+          case IrOp::kMaskPtr: {
+            // tagged = (UB of original) | (low 32 of arithmetic result).
+            cpu.Alu(2);
+            values[in.id] = (values[in.args[1]] & 0xffffffff00000000ULL) |
+                            (values[in.args[0]] & 0xffffffffULL);
+            break;
+          }
+          case IrOp::kLoad: {
+            ++stats_.loads;
+            const uint32_t addr = addr_of(values[in.args[0]]);
+            const uint32_t size = IrTypeSize(in.type);
+            uint64_t raw = 0;
+            enclave_->LoadBytes(cpu, addr, &raw, size);
+            values[in.id] = TruncateToType(in.type, raw);
+            break;
+          }
+          case IrOp::kStore: {
+            ++stats_.stores;
+            const uint32_t addr = addr_of(values[in.args[1]]);
+            const uint32_t size = IrTypeSize(in.type);
+            const uint64_t raw = TruncateToType(in.type, values[in.args[0]]);
+            enclave_->StoreBytes(cpu, addr, &raw, size);
+            break;
+          }
+          case IrOp::kSgxCheck: {
+            ++stats_.checks;
+            sgx_->CheckAccess(cpu, values[in.args[0]], static_cast<uint32_t>(in.imm),
+                              in.imm2 != 0 ? AccessType::kWrite : AccessType::kRead);
+            break;
+          }
+          case IrOp::kSgxCheckUpper: {
+            ++stats_.checks;
+            sgx_->CheckAccessUpperOnly(cpu, values[in.args[0]], static_cast<uint32_t>(in.imm),
+                                       in.imm2 != 0 ? AccessType::kWrite : AccessType::kRead);
+            break;
+          }
+          case IrOp::kSgxCheckRange: {
+            ++stats_.checks;
+            sgx_->CheckRange(cpu, values[in.args[0]], values[in.args[1]]);
+            break;
+          }
+          case IrOp::kAsanCheck: {
+            ++stats_.checks;
+            asan_->CheckAccess(cpu, addr_of(values[in.args[0]]),
+                               static_cast<uint32_t>(in.imm), in.imm2 != 0);
+            break;
+          }
+          case IrOp::kMpxCheck: {
+            ++stats_.checks;
+            MpxBounds bounds;  // INIT if untracked
+            auto it = mpx_bounds.find(in.args[0]);
+            if (it != mpx_bounds.end()) {
+              bounds = it->second;
+            }
+            mpx_->BndCheck(cpu, bounds, addr_of(values[in.args[0]]),
+                           static_cast<uint32_t>(in.imm));
+            break;
+          }
+          case IrOp::kMpxLdx: {
+            mpx_bounds[in.args[0]] = mpx_->BndLdx(cpu, addr_of(values[in.args[1]]),
+                                                  addr_of(values[in.args[0]]));
+            break;
+          }
+          case IrOp::kMpxStx: {
+            MpxBounds bounds;
+            auto it = mpx_bounds.find(in.args[0]);
+            if (it != mpx_bounds.end()) {
+              bounds = it->second;
+            }
+            mpx_->BndStx(cpu, addr_of(values[in.args[1]]), addr_of(values[in.args[0]]),
+                         bounds);
+            break;
+          }
+          case IrOp::kCall: {
+            cpu.Call();
+            // Builtin runtime symbols; unknown symbols are no-ops returning 0
+            // (external functions are out of scope for the mini IR).
+            if (in.symbol == "abs64" && !in.args.empty()) {
+              const int64_t v = static_cast<int64_t>(values[in.args[0]]);
+              values[in.id] = static_cast<uint64_t>(v < 0 ? -v : v);
+            } else if (in.id != 0) {
+              values[in.id] = 0;
+            }
+            break;
+          }
+          case IrOp::kPhi:
+            FATAL("phi reached in straight-line phase");
+        }
+        if (jumped) {
+          break;
+        }
+      }
+      CHECK(jumped);
+    }
+  } catch (...) {
+    stack_->PopFrame(frame);
+    throw;
+  }
+}
+
+}  // namespace sgxb

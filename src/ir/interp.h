@@ -1,0 +1,62 @@
+// IR interpreter executing over the simulated enclave.
+//
+// Every instruction charges its cost on the Cpu; loads/stores move real bytes
+// through Enclave::Load/Store (cache + EPC + MEE charged); instrumentation
+// opcodes call into the attached hardening runtimes. Violations surface as
+// SimTrap, exactly like the policy layer.
+//
+// Pointer values follow the instrumentation mode: an uninstrumented program
+// holds raw 32-bit addresses in 64-bit SSA values; an SGXBounds-instrumented
+// program holds tagged pointers (the pass rewrites allocations, masks
+// arithmetic, and inserts checks).
+
+#ifndef SGXBOUNDS_SRC_IR_INTERP_H_
+#define SGXBOUNDS_SRC_IR_INTERP_H_
+
+#include <unordered_map>
+
+#include "src/asan/asan_runtime.h"
+#include "src/ir/ir.h"
+#include "src/mpx/mpx_runtime.h"
+#include "src/runtime/stack.h"
+#include "src/sgxbounds/bounds_runtime.h"
+
+namespace sgxb {
+
+struct InterpStats {
+  uint64_t steps = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t checks = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(Enclave* enclave, Heap* heap, StackAllocator* stack);
+
+  // Attach hardening runtimes (required iff the program contains the
+  // corresponding instrumentation opcodes).
+  void AttachSgx(SgxBoundsRuntime* rt) { sgx_ = rt; }
+  void AttachAsan(AsanRuntime* rt) { asan_ = rt; }
+  void AttachMpx(MpxRuntime* rt) { mpx_ = rt; }
+
+  // Executes `fn`; returns the kRet value (0 if none). Throws SimTrap on
+  // memory-safety violations and on exceeding `max_steps` (runaway loop).
+  uint64_t Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint64_t>& args = {},
+               uint64_t max_steps = 200 * 1000 * 1000);
+
+  const InterpStats& stats() const { return stats_; }
+
+ private:
+  Enclave* enclave_;
+  Heap* heap_;
+  StackAllocator* stack_;
+  SgxBoundsRuntime* sgx_ = nullptr;
+  AsanRuntime* asan_ = nullptr;
+  MpxRuntime* mpx_ = nullptr;
+  InterpStats stats_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_INTERP_H_

@@ -1,0 +1,76 @@
+// Instrumentation passes - the reproduction of the paper's LLVM pass
+// (SS5.1) and of the baselines' compiler support, plus the SS4.4 analyses:
+//
+//   RunSgxBoundsPass: rewrites malloc/alloca/free to the tagged wrappers,
+//     masks pointer arithmetic (kMaskPtr after every gep), inserts kSgxCheck
+//     before every load/store. Options control the two optimizations:
+//       elide_safe  - SizeOffsetVisitor-style analysis: a gep with constant
+//                     index into a known-size object whose access is provably
+//                     in bounds gets no check.
+//       hoist_loops - scalar evolution: for a counted loop with an affine
+//                     induction variable (step*scale <= 1024 bytes, SS4.4),
+//                     per-iteration checks on gep(base, iv) are replaced by a
+//                     single range check in the preheader.
+//
+//   RunAsanPass: allocator interception + shadow check before every access.
+//
+//   RunMpxPass: bndcl/bndcu before every access, bndldx after pointer loads,
+//     bndstx after pointer stores.
+//
+// All passes preserve program semantics for in-bounds executions.
+
+#ifndef SGXBOUNDS_SRC_IR_PASSES_H_
+#define SGXBOUNDS_SRC_IR_PASSES_H_
+
+#include "src/ir/ir.h"
+
+namespace sgxb {
+
+struct SgxPassOptions {
+  bool elide_safe = true;
+  bool hoist_loops = true;
+  // SS4.4: hoisting applies only to loops with increments up to 1024 bytes.
+  uint32_t max_hoist_stride = 1024;
+};
+
+struct SgxPassStats {
+  uint32_t checks_inserted = 0;
+  uint32_t checks_elided_safe = 0;
+  uint32_t checks_hoisted = 0;
+  uint32_t geps_masked = 0;
+};
+
+SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options = {});
+
+struct BaselinePassStats {
+  uint32_t checks_inserted = 0;
+  uint32_t ptr_loads_instrumented = 0;   // MPX bndldx
+  uint32_t ptr_stores_instrumented = 0;  // MPX bndstx
+};
+
+BaselinePassStats RunAsanPass(IrFunction& fn);
+BaselinePassStats RunMpxPass(IrFunction& fn);
+
+// --- analyses (exposed for tests) ---------------------------------------------
+
+// A natural counted loop in canonical builder form.
+struct LoopInfo {
+  uint32_t preheader;
+  uint32_t header;
+  ValueId iv;        // the induction phi
+  ValueId start;     // incoming from preheader
+  ValueId bound;     // loop-invariant bound (icmp slt iv, bound)
+  int64_t step;      // constant increment
+  std::vector<uint32_t> body_blocks;
+};
+
+std::vector<LoopInfo> FindCountedLoops(const IrFunction& fn);
+
+// True if the load/store at (block, index) is provably in bounds: its
+// address is gep(object, const index) with const offset+size within the
+// object's statically known size.
+bool IsProvablySafeAccess(const IrFunction& fn, uint32_t block, size_t instr_index);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_PASSES_H_

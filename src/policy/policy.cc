@@ -1,0 +1,19 @@
+#include "src/policy/policy.h"
+
+namespace sgxb {
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNative:
+      return "SGX";
+    case PolicyKind::kAsan:
+      return "ASan";
+    case PolicyKind::kMpx:
+      return "MPX";
+    case PolicyKind::kSgxBounds:
+      return "SGXBounds";
+  }
+  return "?";
+}
+
+}  // namespace sgxb

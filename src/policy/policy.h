@@ -1,0 +1,54 @@
+// Memory-safety policies: the four "compilations" of every workload.
+//
+// The paper compiles each benchmark four ways: plain SGX (native), with
+// AddressSanitizer, with Intel MPX, and with SGXBounds. In this reproduction
+// each workload is a template over a Policy class that supplies pointer
+// representation, allocation, checked access, pointer-in-memory operations
+// and loop-span access - the observable effects of the four instrumentations.
+//
+// The Policy concept (duck-typed; see native_policy.h for the reference):
+//
+//   using Ptr = ...;                  // pointer representation
+//   static constexpr PolicyKind kKind;
+//   Ptr   Malloc(Cpu&, uint32_t size);
+//   Ptr   Calloc(Cpu&, uint32_t count, uint32_t elem);
+//   void  Free(Cpu&, Ptr);
+//   Ptr   Offset(Cpu&, Ptr, int64_t delta);          // pointer arithmetic
+//   uint32_t AddrOf(Ptr) const;                      // raw enclave address
+//   T     Load<T>(Cpu&, Ptr);                        // checked access
+//   void  Store<T>(Cpu&, Ptr, T);
+//   T     LoadField<T>(Cpu&, Ptr, uint32_t off);     // provably-safe access
+//   void  StoreField<T>(Cpu&, Ptr, uint32_t off, T); //   (SS4.4 elision point)
+//   Ptr   LoadPtr(Cpu&, Ptr slot);                   // pointer-in-memory
+//   void  StorePtr(Cpu&, Ptr slot, Ptr value);       //   (MPX bndldx/bndstx point)
+//   Span  OpenSpan(Cpu&, Ptr base, uint64_t extent); // monotone-loop access
+//                                                    //   (SS4.4 hoisting point)
+//   void  Memcpy/Memset(Cpu&, ...);                  // libc-wrapper point
+
+#ifndef SGXBOUNDS_SRC_POLICY_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_POLICY_H_
+
+#include <cstdint>
+
+#include "src/sgxbounds/bounds_runtime.h"
+
+namespace sgxb {
+
+enum class PolicyKind : uint8_t { kNative, kAsan, kMpx, kSgxBounds };
+
+const char* PolicyName(PolicyKind kind);
+
+// Pointer slots in guest memory are 8 bytes for every policy (x86-64 ABI).
+inline constexpr uint32_t kPtrSlotBytes = 8;
+
+// SS4.4 optimization switches (effective for SGXBounds only; the other
+// schemes' tooling does not implement them, matching the paper's setup).
+struct PolicyOptions {
+  OobPolicy oob = OobPolicy::kFailFast;
+  bool opt_safe_elision = true;
+  bool opt_hoist_checks = true;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_POLICY_H_

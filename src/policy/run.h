@@ -1,0 +1,131 @@
+// Experiment harness: build a machine, pick a policy, run a workload body,
+// collect the paper's metrics (cycles, peak virtual memory, counters, crash).
+//
+// Usage:
+//   MachineSpec spec;
+//   spec.threads = 8;
+//   RunResult r = RunPolicyKind(PolicyKind::kSgxBounds, spec, PolicyOptions{},
+//                               [](auto& env) { MyKernel(env); });
+//
+// The body receives Env<P>& where P is the concrete policy class; workload
+// kernels are templates over that type, which is the moral equivalent of
+// compiling the same C source under four different instrumentations.
+
+#ifndef SGXBOUNDS_SRC_POLICY_RUN_H_
+#define SGXBOUNDS_SRC_POLICY_RUN_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/policy/asan_policy.h"
+#include "src/policy/mpx_policy.h"
+#include "src/policy/native_policy.h"
+#include "src/policy/sgxbounds_policy.h"
+#include "src/runtime/thread_pool.h"
+
+namespace sgxb {
+
+struct MachineSpec {
+  bool enclave_mode = true;
+  uint64_t epc_bytes = 94 * kMiB;
+  uint64_t space_bytes = 4 * kGiB;
+  // 3 GiB: large enough for every workload's data; the remaining ~1 GiB of
+  // address space is what Intel MPX's on-demand 4 MiB bounds tables compete
+  // for - pointer-heavy workloads with >~250 MiB of pointer-bearing heap
+  // exhaust it and die with kOutOfMemory, reproducing the paper's MPX
+  // crashes (dedup, SQLite, astar, mcf, xalanc).
+  uint64_t heap_reserve = 3 * kGiB;
+  uint32_t threads = 1;
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  PolicyKind kind = PolicyKind::kNative;
+  uint64_t cycles = 0;
+  uint64_t peak_vm_bytes = 0;
+  PerfCounters counters;
+  bool crashed = false;
+  TrapKind trap = TrapKind::kSegFault;
+  std::string trap_message;
+  // MPX-specific (Table 3).
+  uint32_t mpx_bt_count = 0;
+
+  double CyclesRatioOver(const RunResult& base) const {
+    return base.cycles == 0 ? 0.0 : static_cast<double>(cycles) / base.cycles;
+  }
+  double VmRatioOver(const RunResult& base) const {
+    return base.peak_vm_bytes == 0
+               ? 0.0
+               : static_cast<double>(peak_vm_bytes) / base.peak_vm_bytes;
+  }
+};
+
+template <typename P>
+struct Env {
+  Enclave& enclave;
+  Heap& heap;
+  P& policy;
+  Cpu& cpu;
+  uint32_t threads;
+  Rng rng;
+
+  using Ptr = typename P::Ptr;
+
+  // Convenience: run a parallel region with this env's enclave.
+  template <typename Body>
+  ParallelResult Parallel(const Body& body) {
+    return RunParallel(enclave, cpu, threads, body);
+  }
+};
+
+template <typename P, typename Fn>
+RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, Fn&& fn) {
+  EnclaveConfig cfg;
+  cfg.sim.enclave_mode = spec.enclave_mode;
+  cfg.sim.epc_bytes = spec.epc_bytes;
+  cfg.space_bytes = spec.space_bytes;
+  Enclave enclave(cfg);
+  Heap heap(&enclave, spec.heap_reserve);
+
+  RunResult result;
+  result.kind = P::kKind;
+  try {
+    P policy(&enclave, &heap, options);
+    Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed)};
+    fn(env);
+    if constexpr (P::kKind == PolicyKind::kMpx) {
+      result.mpx_bt_count = policy.runtime().bt_count();
+    }
+  } catch (const SimTrap& trap) {
+    result.crashed = true;
+    result.trap = trap.kind();
+    result.trap_message = trap.what();
+  }
+  result.cycles = enclave.main_cpu().cycles();
+  result.peak_vm_bytes = enclave.PeakVirtualBytes();
+  result.counters = enclave.TotalCounters();
+  return result;
+}
+
+template <typename Fn>
+RunResult RunPolicyKind(PolicyKind kind, const MachineSpec& spec, const PolicyOptions& options,
+                        Fn&& fn) {
+  switch (kind) {
+    case PolicyKind::kNative:
+      return RunWithPolicy<NativePolicy>(spec, options, std::forward<Fn>(fn));
+    case PolicyKind::kAsan:
+      return RunWithPolicy<AsanPolicy>(spec, options, std::forward<Fn>(fn));
+    case PolicyKind::kMpx:
+      return RunWithPolicy<MpxPolicy>(spec, options, std::forward<Fn>(fn));
+    case PolicyKind::kSgxBounds:
+      return RunWithPolicy<SgxBoundsPolicy>(spec, options, std::forward<Fn>(fn));
+  }
+  return RunResult{};
+}
+
+inline constexpr PolicyKind kAllPolicies[] = {PolicyKind::kNative, PolicyKind::kMpx,
+                                              PolicyKind::kAsan, PolicyKind::kSgxBounds};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_RUN_H_

@@ -1,0 +1,332 @@
+#include "src/ripe/ripe.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+const char* DefenseName(Defense defense) {
+  switch (defense) {
+    case Defense::kNone:
+      return "native";
+    case Defense::kMpx:
+      return "MPX";
+    case Defense::kAsan:
+      return "ASan";
+    case Defense::kSgxBounds:
+      return "SGXBounds";
+  }
+  return "?";
+}
+
+const std::vector<AttackScenario>& RipeScenarios() {
+  static const std::vector<AttackScenario>* scenarios = [] {
+    auto* v = new std::vector<AttackScenario>{
+        // --- 8 inter-object attacks -------------------------------------------
+        // The two direct stack smashes MPX catches (Table 4).
+        {"stack-direct-funcptr", AttackLocation::kStack, AttackTechnique::kDirectLoop,
+         AttackTarget::kFuncPtr, false},
+        {"stack-direct-longjmp", AttackLocation::kStack, AttackTechnique::kDirectLoop,
+         AttackTarget::kLongjmpBuf, false},
+        // Six libc-mediated attacks: ASan/SGXBounds interpose libc; MPX loses
+        // bounds across the uninstrumented call and misses them.
+        {"stack-memcpy-funcptr", AttackLocation::kStack, AttackTechnique::kLibcMemcpy,
+         AttackTarget::kFuncPtr, false},
+        {"heap-memcpy-funcptr", AttackLocation::kHeap, AttackTechnique::kLibcMemcpy,
+         AttackTarget::kFuncPtr, false},
+        {"heap-strcpy-data", AttackLocation::kHeap, AttackTechnique::kLibcStrcpy,
+         AttackTarget::kPlainData, false},
+        {"bss-memcpy-funcptr", AttackLocation::kBss, AttackTechnique::kLibcMemcpy,
+         AttackTarget::kFuncPtr, false},
+        {"data-strcpy-funcptr", AttackLocation::kData, AttackTechnique::kLibcStrcpy,
+         AttackTarget::kFuncPtr, false},
+        {"heap-memcpy-longjmp", AttackLocation::kHeap, AttackTechnique::kLibcMemcpy,
+         AttackTarget::kLongjmpBuf, false},
+        // --- 8 intra-object attacks (missed by all three defenses) ------------
+        {"stack-intra-funcptr", AttackLocation::kStack, AttackTechnique::kDirectLoop,
+         AttackTarget::kFuncPtr, true},
+        {"stack-intra-data", AttackLocation::kStack, AttackTechnique::kDirectLoop,
+         AttackTarget::kPlainData, true},
+        {"heap-intra-funcptr", AttackLocation::kHeap, AttackTechnique::kDirectLoop,
+         AttackTarget::kFuncPtr, true},
+        {"heap-intra-data", AttackLocation::kHeap, AttackTechnique::kDirectLoop,
+         AttackTarget::kPlainData, true},
+        {"bss-intra-funcptr", AttackLocation::kBss, AttackTechnique::kDirectLoop,
+         AttackTarget::kFuncPtr, true},
+        {"bss-intra-longjmp", AttackLocation::kBss, AttackTechnique::kDirectLoop,
+         AttackTarget::kLongjmpBuf, true},
+        {"data-intra-funcptr", AttackLocation::kData, AttackTechnique::kDirectLoop,
+         AttackTarget::kFuncPtr, true},
+        {"data-intra-data", AttackLocation::kData, AttackTechnique::kDirectLoop,
+         AttackTarget::kPlainData, true},
+    };
+    return v;
+  }();
+  return *scenarios;
+}
+
+namespace {
+
+constexpr uint32_t kBufBytes = 64;
+constexpr uint64_t kAttackerValue = 0x41414141deadc0deULL;  // "hijacked" marker
+
+// A per-run environment with all defenses' runtimes constructed on demand.
+struct DefenseContext {
+  explicit DefenseContext(Defense defense_in) : defense(defense_in) {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 512 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 128 * kMiB);
+    stack = std::make_unique<StackAllocator>(enclave.get(), 1 * kMiB);
+    stack->PushFrame();  // the vulnerable function's frame
+    // The bss/data segments of the "program".
+    bss_base = enclave->pages().ReserveLow(64 * kPageSize, "bss");
+    enclave->pages().Commit(nullptr, bss_base, 64 * kPageSize);
+    data_base = enclave->pages().ReserveLow(64 * kPageSize, "data");
+    enclave->pages().Commit(nullptr, data_base, 64 * kPageSize);
+    switch (defense) {
+      case Defense::kSgxBounds:
+        sgx = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get());
+        libc = std::make_unique<FortifiedLibc>(sgx.get());
+        break;
+      case Defense::kAsan:
+        asan = std::make_unique<AsanRuntime>(enclave.get(), heap.get());
+        break;
+      case Defense::kMpx:
+        mpx = std::make_unique<MpxRuntime>(enclave.get());
+        break;
+      case Defense::kNone:
+        break;
+    }
+  }
+
+  Cpu& cpu() { return enclave->main_cpu(); }
+
+  // An allocated object with the defense-specific handle attached.
+  struct Obj {
+    uint32_t addr = 0;
+    uint32_t size = 0;
+    TaggedPtr tagged = 0;  // SGXBounds handle
+    MpxBounds bounds;      // MPX register-held bounds
+  };
+
+  // Allocates an object at `location` and registers it with the defense.
+  // For kStack/kBss/kData, consecutive calls yield adjacent objects (the
+  // attack layouts rely on that, like RIPE's real frames/segments do).
+  Obj Allocate(AttackLocation location, uint32_t size) {
+    Obj obj;
+    obj.size = size;
+    switch (location) {
+      case AttackLocation::kHeap:
+        if (sgx != nullptr) {
+          obj.tagged = sgx->Malloc(cpu(), size);
+          obj.addr = ExtractPtr(obj.tagged);
+          return obj;
+        }
+        if (asan != nullptr) {
+          obj.addr = asan->Malloc(cpu(), size);
+          return obj;
+        }
+        obj.addr = heap->Alloc(cpu(), size);
+        break;
+      case AttackLocation::kStack:
+        // ASan's stack instrumentation separates locals with redzones; the
+        // extra 32 bytes reproduce that gap (poisoned by RegisterNonHeap).
+        obj.addr = stack->Alloca(cpu(), size + FooterPad() + (asan != nullptr ? 32 : 0), 16);
+        break;
+      case AttackLocation::kBss:
+        obj.addr = SegmentCarve(&bss_cursor, bss_base, size);
+        break;
+      case AttackLocation::kData:
+        obj.addr = SegmentCarve(&data_cursor, data_base, size);
+        break;
+    }
+    RegisterNonHeap(obj, size);
+    return obj;
+  }
+
+  uint32_t FooterPad() const { return sgx != nullptr ? sgx->FooterBytes() : 0; }
+
+  uint32_t SegmentCarve(uint32_t* cursor, uint32_t base, uint32_t size) {
+    const uint32_t addr = AlignUp(base + *cursor, 16);
+    *cursor = addr - base + size + FooterPad() + (asan != nullptr ? 32 : 0);
+    return addr;
+  }
+
+  void RegisterNonHeap(Obj& obj, uint32_t size) {
+    if (sgx != nullptr) {
+      obj.tagged = sgx->SpecifyBounds(cpu(), obj.addr, obj.addr + size, ObjKind::kGlobal);
+    } else if (asan != nullptr) {
+      asan->RegisterObject(cpu(), obj.addr, size, AsanRuntime::kShadowGlobalRedzone);
+    } else if (mpx != nullptr) {
+      obj.bounds = mpx->BndMk(cpu(), obj.addr, size);
+    }
+  }
+
+  // One instrumented byte store through the defense at obj+offset.
+  // Returns false (prevention) instead of throwing so callers can classify.
+  bool StoreByte(const Obj& obj, uint32_t offset, uint8_t value) {
+    Cpu& c = cpu();
+    if (sgx != nullptr) {
+      const ResolvedAccess r =
+          sgx->CheckAccessAuto(c, TaggedAdd(obj.tagged, offset), 1, AccessType::kWrite);
+      (void)r;
+      enclave->Store<uint8_t>(c, obj.addr + offset, value);
+      return true;
+    }
+    if (asan != nullptr) {
+      asan->CheckAccess(c, obj.addr + offset, 1, /*is_write=*/true);
+      enclave->Store<uint8_t>(c, obj.addr + offset, value);
+      return true;
+    }
+    if (mpx != nullptr) {
+      mpx->BndCheck(c, obj.bounds, obj.addr + offset, 1);
+      enclave->Store<uint8_t>(c, obj.addr + offset, value);
+      return true;
+    }
+    enclave->Store<uint8_t>(c, obj.addr + offset, value);
+    return true;
+  }
+
+  // A libc-mediated copy of `n` attacker bytes into obj (memcpy/strcpy-like).
+  // Models each defense's real libc story:
+  //   SGXBounds: fortified wrapper -> EINVAL, copy refused (SS5.1);
+  //   ASan: interceptor checks the range -> report;
+  //   MPX: libc is NOT instrumented -> the copy just happens;
+  //   native: the copy just happens.
+  bool LibcCopyInto(const Obj& obj, const uint8_t* payload, uint32_t n) {
+    Cpu& c = cpu();
+    if (sgx != nullptr) {
+      // Stage the payload in an untagged scratch area (the attacker's
+      // request buffer), then call the wrapper.
+      const uint32_t scratch = heap->Alloc(c, n);
+      std::memcpy(enclave->space().HostPtr(scratch), payload, n);
+      const TaggedPtr src = MakeTagged(scratch, 0);
+      const LibcError err = libc->Memcpy(c, obj.tagged, src, n);
+      heap->Free(c, scratch);
+      return err == LibcError::kOk;
+    }
+    if (asan != nullptr) {
+      asan->CheckAccess(c, obj.addr, n, /*is_write=*/true);  // throws on overflow
+      c.MemAccess(obj.addr, n, AccessClass::kAppStore);
+      std::memcpy(enclave->space().HostPtr(obj.addr), payload, n);
+      return true;
+    }
+    // MPX and native: uninstrumented libc copies blindly.
+    c.MemAccess(obj.addr, n, AccessClass::kAppStore);
+    std::memcpy(enclave->space().HostPtr(obj.addr), payload, n);
+    return true;
+  }
+
+  Defense defense;
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<StackAllocator> stack;
+  std::unique_ptr<SgxBoundsRuntime> sgx;
+  std::unique_ptr<FortifiedLibc> libc;
+  std::unique_ptr<AsanRuntime> asan;
+  std::unique_ptr<MpxRuntime> mpx;
+  uint32_t bss_base = 0;
+  uint32_t data_base = 0;
+  uint32_t bss_cursor = 0;
+  uint32_t data_cursor = 0;
+};
+
+}  // namespace
+
+AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
+                        bool narrow_bounds) {
+  AttackOutcome outcome;
+  DefenseContext ctx(defense);
+
+  try {
+    DefenseContext::Obj buf;
+    uint32_t target_addr;  // where the victim slot lives
+
+    if (scenario.intra_object) {
+      // One struct: { char buf[64]; uint64 victim; } - a single allocation.
+      buf = ctx.Allocate(scenario.location, kBufBytes + 8);
+      target_addr = buf.addr + kBufBytes;
+      if (narrow_bounds && ctx.sgx != nullptr) {
+        // SS8 extension: &obj.buf is narrowed to the 64-byte field.
+        buf.tagged = ctx.sgx->NarrowBounds(ctx.cpu(), buf.tagged, 0, kBufBytes);
+        buf.size = kBufBytes;
+      }
+      // The attacker overflows the *inner* buffer, staying inside the object.
+    } else {
+      // Two adjacent objects: the vulnerable buffer, then the victim.
+      buf = ctx.Allocate(scenario.location, kBufBytes);
+      const DefenseContext::Obj victim = ctx.Allocate(scenario.location, 8);
+      target_addr = victim.addr;
+    }
+
+    // Stamp the victim with a benign value.
+    ctx.enclave->Poke<uint64_t>(target_addr, 0x600d600d600d600dULL);
+
+    const uint32_t overflow_len = target_addr + 8 - buf.addr;
+    CHECK_GT(overflow_len, kBufBytes);
+
+    switch (scenario.technique) {
+      case AttackTechnique::kDirectLoop: {
+        // for (i = 0; i < overflow_len; i++) buf[i] = payload[i];
+        for (uint32_t i = 0; i < overflow_len; ++i) {
+          const uint8_t byte =
+              reinterpret_cast<const uint8_t*>(&kAttackerValue)[(i - (overflow_len - 8)) % 8];
+          ctx.StoreByte(buf, i, i < overflow_len - 8 ? 0x41 : byte);
+        }
+        break;
+      }
+      case AttackTechnique::kLibcMemcpy:
+      case AttackTechnique::kLibcStrcpy: {
+        std::vector<uint8_t> payload(overflow_len, 0x41);
+        std::memcpy(payload.data() + overflow_len - 8, &kAttackerValue, 8);
+        if (scenario.technique == AttackTechnique::kLibcStrcpy) {
+          // strcpy semantics: no NUL until past the victim.
+          for (auto& b : payload) {
+            if (b == 0) {
+              b = 0x42;
+            }
+          }
+        }
+        if (!ctx.LibcCopyInto(buf, payload.data(), overflow_len)) {
+          outcome.prevented = true;
+          outcome.detail = "libc wrapper returned EINVAL";
+          return outcome;
+        }
+        break;
+      }
+    }
+
+    // Did the attacker take the target? (Simulates dereferencing the
+    // function pointer / longjmp-ing / using the data.)
+    const uint64_t victim_value = ctx.enclave->Peek<uint64_t>(target_addr);
+    if (victim_value == kAttackerValue) {
+      outcome.succeeded = true;
+      outcome.detail = "target overwritten; control-flow hijack possible";
+    } else {
+      outcome.detail = "attack ran but target survived";
+    }
+  } catch (const SimTrap& trap) {
+    outcome.prevented = true;
+    outcome.detail = trap.what();
+  }
+  return outcome;
+}
+
+RipeSummary RunRipeSuite(Defense defense, std::vector<AttackOutcome>* outcomes,
+                         bool narrow_bounds) {
+  RipeSummary summary;
+  for (const auto& scenario : RipeScenarios()) {
+    const AttackOutcome outcome = RunAttack(scenario, defense, narrow_bounds);
+    summary.total += 1;
+    summary.prevented += outcome.prevented ? 1 : 0;
+    summary.succeeded += outcome.succeeded ? 1 : 0;
+    if (outcomes != nullptr) {
+      outcomes->push_back(outcome);
+    }
+  }
+  return summary;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,132 @@
+#include "src/runtime/heap.h"
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+namespace {
+
+// Cycle prices for the allocator fast path (dlmalloc-class costs).
+constexpr uint32_t kMallocCycles = 60;
+constexpr uint32_t kFreeCycles = 45;
+
+}  // namespace
+
+Heap::Heap(Enclave* enclave, uint64_t reserve_bytes, const std::string& tag)
+    : enclave_(enclave), reserve_bytes_(reserve_bytes) {
+  base_ = enclave_->pages().ReserveLow(reserve_bytes, tag);
+  wilderness_ = base_;
+}
+
+uint32_t Heap::Alloc(Cpu& cpu, uint32_t size, uint32_t align) {
+  return AllocLocked(cpu, size, align, /*may_throw=*/true);
+}
+
+uint32_t Heap::TryAlloc(Cpu& cpu, uint32_t size, uint32_t align) {
+  return AllocLocked(cpu, size, align, /*may_throw=*/false);
+}
+
+uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_throw) {
+  CHECK_GT(align, 0u);
+  CHECK_EQ((align & (align - 1)), 0u);
+  if (size == 0) {
+    size = 1;
+  }
+  const uint32_t needed = AlignUp(size, 16);
+  cpu.Charge(kMallocCycles);
+
+  // First fit over the free list.
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    const uint32_t addr = AlignUp(it->first, align);
+    const uint32_t slack = addr - it->first;
+    if (it->second < slack + needed) {
+      continue;
+    }
+    const uint32_t block_base = it->first;
+    const uint32_t block_size = it->second;
+    free_blocks_.erase(it);
+    if (slack >= 16) {
+      free_blocks_[block_base] = slack;
+    }
+    const uint32_t tail = block_size - slack - needed;
+    if (tail >= 16) {
+      free_blocks_[addr + needed] = tail;
+    }
+    live_blocks_[addr] = size;
+    ++stats_.alloc_calls;
+    stats_.live_bytes += size;
+    stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+    cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);  // header write
+    return addr;
+  }
+
+  // Extend into the wilderness.
+  const uint32_t addr = AlignUp(wilderness_, align);
+  const uint64_t end = static_cast<uint64_t>(addr) + needed;
+  if (end > static_cast<uint64_t>(base_) + reserve_bytes_) {
+    ++stats_.failed_allocs;
+    if (may_throw) {
+      throw SimTrap(TrapKind::kOutOfMemory, wilderness_, "enclave heap exhausted");
+    }
+    return 0;
+  }
+  if (addr - wilderness_ >= 16) {
+    free_blocks_[wilderness_] = addr - wilderness_;
+  }
+  wilderness_ = static_cast<uint32_t>(end);
+  enclave_->pages().Commit(&cpu, addr, needed);
+  live_blocks_[addr] = size;
+  ++stats_.alloc_calls;
+  stats_.live_bytes += size;
+  stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+  cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);
+  return addr;
+}
+
+void Heap::Free(Cpu& cpu, uint32_t addr) {
+  auto it = live_blocks_.find(addr);
+  CHECK(it != live_blocks_.end());
+  const uint32_t size = it->second;
+  const uint32_t block = AlignUp(size, 16);
+  live_blocks_.erase(it);
+  ++stats_.free_calls;
+  stats_.live_bytes -= size;
+  cpu.Charge(kFreeCycles);
+  cpu.MemAccess(addr, 8, AccessClass::kMetadataLoad);  // header read
+
+  // Insert and coalesce with neighbours.
+  uint32_t start = addr;
+  uint32_t extent = block;
+  auto next = free_blocks_.lower_bound(addr);
+  if (next != free_blocks_.end() && next->first == addr + block) {
+    extent += next->second;
+    free_blocks_.erase(next);
+  }
+  auto prev = free_blocks_.lower_bound(addr);
+  if (prev != free_blocks_.begin()) {
+    --prev;
+    if (prev->first + prev->second == addr) {
+      start = prev->first;
+      extent += prev->second;
+      free_blocks_.erase(prev);
+    }
+  }
+  free_blocks_[start] = extent;
+}
+
+uint32_t Heap::BlockSize(uint32_t addr) const {
+  auto it = live_blocks_.find(addr);
+  CHECK(it != live_blocks_.end());
+  return it->second;
+}
+
+bool Heap::IsLive(uint32_t addr) const {
+  auto it = live_blocks_.upper_bound(addr);
+  if (it == live_blocks_.begin()) {
+    return false;
+  }
+  --it;
+  return addr < it->first + it->second;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,77 @@
+// Enclave heap allocator (the malloc the shielded libc provides).
+//
+// First-fit with address-ordered coalescing over a reserved heap region.
+// Allocator bookkeeping lives host-side (it is "runtime" code, not app data),
+// but its cost is charged: each malloc/free charges fixed cycles plus a
+// header-sized metadata access at the block address, and page commits charge
+// minor faults - so allocation-churn-heavy workloads (PARSEC swaptions) pay
+// realistic costs.
+//
+// Hardening schemes wrap this allocator: SGXBounds adds 4 footer bytes
+// (SS3.2), ASan adds redzones + quarantine, MPX allocates bounds tables on
+// the side.
+
+#ifndef SGXBOUNDS_SRC_RUNTIME_HEAP_H_
+#define SGXBOUNDS_SRC_RUNTIME_HEAP_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+
+struct HeapStats {
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t live_bytes = 0;
+  uint64_t peak_live_bytes = 0;
+  uint64_t failed_allocs = 0;
+};
+
+class Heap {
+ public:
+  // reserve_bytes: maximum heap size; address space is reserved immediately
+  // (counts toward peak virtual memory), pages commit on demand.
+  Heap(Enclave* enclave, uint64_t reserve_bytes, const std::string& tag = "heap");
+
+  // Returns the block address (16-byte aligned). Throws SimTrap(kOutOfMemory)
+  // when the reservation is exhausted - this is how Intel MPX dies on dedup
+  // and how Fig. 1 MPX dies on SQLite.
+  uint32_t Alloc(Cpu& cpu, uint32_t size, uint32_t align = 16);
+
+  // Convenience: allocation that returns 0 instead of trapping.
+  uint32_t TryAlloc(Cpu& cpu, uint32_t size, uint32_t align = 16);
+
+  void Free(Cpu& cpu, uint32_t addr);
+
+  // Size originally requested for the block at `addr` (must be live).
+  uint32_t BlockSize(uint32_t addr) const;
+
+  const HeapStats& stats() const { return stats_; }
+  uint32_t base() const { return base_; }
+  uint64_t reserve_bytes() const { return reserve_bytes_; }
+
+  // True if `addr` lies inside a live block (diagnostic; used by tests).
+  bool IsLive(uint32_t addr) const;
+
+ private:
+  struct FreeBlock {
+    uint32_t size;
+  };
+
+  uint32_t AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_throw);
+
+  Enclave* enclave_;
+  uint64_t reserve_bytes_;
+  uint32_t base_;
+  uint32_t wilderness_;  // start of the never-allocated tail
+  HeapStats stats_;
+  // Address-ordered free blocks (coalescing) and live blocks with their size.
+  std::map<uint32_t, uint32_t> free_blocks_;  // addr -> size
+  std::map<uint32_t, uint32_t> live_blocks_;  // addr -> requested size
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_RUNTIME_HEAP_H_

@@ -1,0 +1,41 @@
+#include "src/runtime/stack.h"
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+StackAllocator::StackAllocator(Enclave* enclave, uint64_t reserve_bytes, const std::string& tag)
+    : enclave_(enclave) {
+  base_ = enclave_->pages().ReserveLow(reserve_bytes + kPageSize, tag);
+  limit_ = static_cast<uint32_t>(base_ + reserve_bytes);
+  // Guard page at the end of the reservation.
+  enclave_->pages().SetGuardPage(PageOf(limit_));
+  top_ = base_;
+  enclave_->pages().Commit(nullptr, base_, kPageSize);
+}
+
+uint32_t StackAllocator::PushFrame() {
+  frames_.push_back(top_);
+  return static_cast<uint32_t>(frames_.size());
+}
+
+void StackAllocator::PopFrame(uint32_t frame_id) {
+  CHECK_EQ(frame_id, static_cast<uint32_t>(frames_.size()));
+  CHECK(!frames_.empty());
+  top_ = frames_.back();
+  frames_.pop_back();
+}
+
+uint32_t StackAllocator::Alloca(Cpu& cpu, uint32_t size, uint32_t align) {
+  CHECK(!frames_.empty());
+  const uint32_t addr = AlignUp(top_, align);
+  const uint64_t end = static_cast<uint64_t>(addr) + size;
+  if (end >= limit_) {
+    throw SimTrap(TrapKind::kSegFault, limit_, "stack overflow into guard page");
+  }
+  top_ = static_cast<uint32_t>(end);
+  enclave_->pages().Commit(&cpu, addr, size);
+  return addr;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,46 @@
+// Per-thread stack allocator: bump allocation with frame push/pop. Used by
+// the IR interpreter for allocas and by the RIPE attack scenarios (stack
+// smashing needs a real stack layout in the simulated address space).
+//
+// Stacks grow upward in the simulation (frame N+1 above frame N); a guard
+// page above the reservation stops runaway growth. Layout inside a frame is
+// caller-controlled, which lets RIPE place a saved-return-address slot next
+// to a vulnerable buffer exactly as the attack requires.
+
+#ifndef SGXBOUNDS_SRC_RUNTIME_STACK_H_
+#define SGXBOUNDS_SRC_RUNTIME_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+
+class StackAllocator {
+ public:
+  StackAllocator(Enclave* enclave, uint64_t reserve_bytes = 1 * kMiB,
+                 const std::string& tag = "stack");
+
+  // Opens a new frame; returns a frame id for PopFrame sanity checking.
+  uint32_t PushFrame();
+  void PopFrame(uint32_t frame_id);
+
+  // Allocates `size` bytes in the current frame, aligned to `align`.
+  uint32_t Alloca(Cpu& cpu, uint32_t size, uint32_t align = 16);
+
+  uint32_t base() const { return base_; }
+  uint32_t top() const { return top_; }
+  uint32_t depth() const { return static_cast<uint32_t>(frames_.size()); }
+
+ private:
+  Enclave* enclave_;
+  uint32_t base_;
+  uint32_t limit_;
+  uint32_t top_;
+  std::vector<uint32_t> frames_;  // saved tops
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_RUNTIME_STACK_H_

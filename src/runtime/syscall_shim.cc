@@ -1,0 +1,36 @@
+#include "src/runtime/syscall_shim.h"
+
+#include <algorithm>
+
+namespace sgxb {
+
+SyscallShim::SyscallShim(Enclave* enclave) : enclave_(enclave) {}
+
+uint32_t SyscallShim::Recv(Cpu& cpu, uint32_t addr, const std::vector<uint8_t>& src,
+                           uint32_t offset, uint32_t len) {
+  cpu.Syscall();
+  ++stats_.syscalls;
+  if (offset >= src.size()) {
+    return 0;
+  }
+  const uint32_t n = std::min<uint32_t>(len, static_cast<uint32_t>(src.size() - offset));
+  enclave_->StoreBytes(cpu, addr, src.data() + offset, n);
+  stats_.bytes_in += n;
+  return n;
+}
+
+std::vector<uint8_t> SyscallShim::Send(Cpu& cpu, uint32_t addr, uint32_t len) {
+  cpu.Syscall();
+  ++stats_.syscalls;
+  std::vector<uint8_t> out(len);
+  enclave_->LoadBytes(cpu, addr, out.data(), len);
+  stats_.bytes_out += len;
+  return out;
+}
+
+void SyscallShim::Plain(Cpu& cpu) {
+  cpu.Syscall();
+  ++stats_.syscalls;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,56 @@
+// SCONE-style syscall shim.
+//
+// Under shielded execution the enclave never issues syscalls directly: a
+// wrapper copies arguments/buffers between enclave memory and the untrusted
+// world (SS2.1). The shim models that boundary:
+//   * each call charges the exit/enter cost,
+//   * buffer payloads are copied for real between enclave memory and
+//     host-side byte vectors (the "untrusted world"), generating genuine
+//     enclave-memory traffic that the cache/EPC simulation observes.
+//
+// The networked case studies (Memcached/Apache/Nginx analogues) move all
+// request/response bytes through Send/Recv here, which reproduces the
+// double-copy overhead the paper reports for Nginx's 200 KB page.
+
+#ifndef SGXBOUNDS_SRC_RUNTIME_SYSCALL_SHIM_H_
+#define SGXBOUNDS_SRC_RUNTIME_SYSCALL_SHIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+
+struct ShimStats {
+  uint64_t syscalls = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class SyscallShim {
+ public:
+  explicit SyscallShim(Enclave* enclave);
+
+  // Copies untrusted bytes into enclave memory at `addr` (a recv/read).
+  // Returns bytes copied (min(len, src.size() - offset)).
+  uint32_t Recv(Cpu& cpu, uint32_t addr, const std::vector<uint8_t>& src, uint32_t offset,
+                uint32_t len);
+
+  // Copies enclave memory out to the untrusted world (a send/write).
+  std::vector<uint8_t> Send(Cpu& cpu, uint32_t addr, uint32_t len);
+
+  // A no-payload syscall (e.g. epoll_wait, futex).
+  void Plain(Cpu& cpu);
+
+  const ShimStats& stats() const { return stats_; }
+
+ private:
+  Enclave* enclave_;
+  ShimStats stats_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_RUNTIME_SYSCALL_SHIM_H_

@@ -1,0 +1,31 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+namespace {
+
+// pthread_create + join cost per worker, charged to the spawning thread.
+constexpr uint32_t kSpawnCycles = 4500;
+
+}  // namespace
+
+ParallelResult RunParallel(Enclave& enclave, Cpu& caller, uint32_t nthreads,
+                           const std::function<void(ThreadCtx&)>& body) {
+  CHECK_GT(nthreads, 0u);
+  ParallelResult result;
+  for (uint32_t tid = 0; tid < nthreads; ++tid) {
+    Cpu* cpu = enclave.NewCpu();
+    ThreadCtx ctx{cpu, tid, nthreads};
+    body(ctx);
+    result.makespan_cycles = std::max(result.makespan_cycles, cpu->cycles());
+    result.combined += cpu->counters();
+  }
+  caller.Charge(result.makespan_cycles + static_cast<uint64_t>(nthreads) * kSpawnCycles);
+  return result;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,45 @@
+// Deterministic simulated threading.
+//
+// The paper's multithreaded experiments (Figs. 7, 9) measure how hardening
+// schemes scale with thread count. This pool models a parallel region the way
+// an architecture simulator does:
+//
+//   * each worker gets a fresh Cpu (private L1/L2, zeroed counters) sharing
+//     the enclave's LLC + EPC,
+//   * worker bodies execute sequentially on the host (fully deterministic,
+//     host-core-count independent),
+//   * the parallel region's cost charged to the caller is the MAKESPAN:
+//     max over workers of their cycle account, plus a per-thread spawn/join
+//     cost (the paper's "lightweight wrappers around pthreads").
+//
+// This is exactly the measurement model the paper uses (wall time of the
+// slowest thread), while staying reproducible on a 1-core CI box.
+
+#ifndef SGXBOUNDS_SRC_RUNTIME_THREAD_POOL_H_
+#define SGXBOUNDS_SRC_RUNTIME_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+
+struct ThreadCtx {
+  Cpu* cpu;
+  uint32_t tid;
+  uint32_t nthreads;
+};
+
+struct ParallelResult {
+  uint64_t makespan_cycles = 0;
+  PerfCounters combined;  // sum over workers (for counter-based tables)
+};
+
+// Runs `body` for tids 0..nthreads-1 and charges the makespan to `caller`.
+ParallelResult RunParallel(Enclave& enclave, Cpu& caller, uint32_t nthreads,
+                           const std::function<void(ThreadCtx&)>& body);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_RUNTIME_THREAD_POOL_H_

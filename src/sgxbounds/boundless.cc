@@ -1,0 +1,77 @@
+#include "src/sgxbounds/boundless.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+namespace {
+
+// Global-lock acquire/release + hash lookup on the declared slow path.
+constexpr uint32_t kSlowPathCycles = 220;
+
+}  // namespace
+
+BoundlessMemory::BoundlessMemory(Enclave* enclave, Heap* overlay_heap, uint32_t capacity_bytes)
+    : enclave_(enclave), heap_(overlay_heap), capacity_chunks_(capacity_bytes / kChunkBytes) {
+  CHECK_GT(capacity_chunks_, 0u);
+}
+
+void BoundlessMemory::ChargeSlowPath(Cpu& cpu) {
+  cpu.Charge(kSlowPathCycles);
+  cpu.Call();
+}
+
+uint32_t BoundlessMemory::LookupOrInsert(Cpu& cpu, uint32_t oob_addr, bool insert) {
+  const uint32_t key = KeyFor(oob_addr);
+  auto it = chunks_.find(key);
+  if (it != chunks_.end()) {
+    // Move to MRU.
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return it->second.overlay_base + (oob_addr - key);
+  }
+  if (!insert) {
+    return 0;
+  }
+  if (chunks_.size() >= capacity_chunks_) {
+    const uint32_t victim_key = lru_.back();
+    lru_.pop_back();
+    auto victim = chunks_.find(victim_key);
+    CHECK(victim != chunks_.end());
+    heap_->Free(cpu, victim->second.overlay_base);
+    chunks_.erase(victim);
+    ++stats_.chunk_evictions;
+  }
+  const uint32_t base = heap_->Alloc(cpu, kChunkBytes, kChunkBytes);
+  ++stats_.chunk_allocs;
+  lru_.push_front(key);
+  chunks_[key] = Chunk{base, lru_.begin()};
+  // New chunks read as zeros; Commit() zeroed the pages, but a recycled heap
+  // block may hold stale data - clear it host-side and charge the memset.
+  std::memset(enclave_->space().HostPtr(base), 0, kChunkBytes);
+  cpu.MemAccess(base, kChunkBytes, AccessClass::kMetadataStore);
+  return base + (oob_addr - key);
+}
+
+uint32_t BoundlessMemory::RedirectStore(Cpu& cpu, uint32_t oob_addr) {
+  ChargeSlowPath(cpu);
+  ++stats_.redirected_stores;
+  return LookupOrInsert(cpu, oob_addr, /*insert=*/true);
+}
+
+bool BoundlessMemory::RedirectLoad(Cpu& cpu, uint32_t oob_addr, uint32_t* overlay_addr) {
+  ChargeSlowPath(cpu);
+  ++stats_.redirected_loads;
+  const uint32_t addr = LookupOrInsert(cpu, oob_addr, /*insert=*/false);
+  if (addr == 0) {
+    ++stats_.zero_fills;
+    return false;
+  }
+  *overlay_addr = addr;
+  return true;
+}
+
+}  // namespace sgxb

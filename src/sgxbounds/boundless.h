@@ -1,0 +1,75 @@
+// Boundless memory blocks (paper SS4.2, after Rinard et al.).
+//
+// When fail-oblivious mode is on, an out-of-bounds access is redirected into
+// an "overlay" area instead of trapping:
+//   * stores go to an on-demand 1 KiB overlay chunk keyed by the faulting
+//     address, allocated from a dedicated overlay heap,
+//   * loads from addresses with no overlay chunk return zeros,
+//   * the overlay is a bounded LRU cache (default 1 MiB) so attacks spanning
+//     gigabytes (negative-size bugs) cannot exhaust enclave memory.
+//
+// The paper implements this with uthash + a global lock; here the map is
+// host-side runtime state and the lock cost is charged per redirect (it is a
+// declared slow path).
+
+#ifndef SGXBOUNDS_SRC_SGXBOUNDS_BOUNDLESS_H_
+#define SGXBOUNDS_SRC_SGXBOUNDS_BOUNDLESS_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/runtime/heap.h"
+
+namespace sgxb {
+
+struct BoundlessStats {
+  uint64_t redirected_loads = 0;
+  uint64_t redirected_stores = 0;
+  uint64_t zero_fills = 0;     // loads with no overlay chunk
+  uint64_t chunk_allocs = 0;
+  uint64_t chunk_evictions = 0;
+};
+
+class BoundlessMemory {
+ public:
+  static constexpr uint32_t kChunkBytes = 1024;      // SS4.2: 1 KiB chunks
+  static constexpr uint32_t kDefaultCapacity = 1024 * 1024;  // SS4.2: 1 MiB cap
+
+  // Overlay chunks are allocated from `overlay_heap` (normally the regular
+  // enclave heap; kept explicit so tests can bound it separately).
+  BoundlessMemory(Enclave* enclave, Heap* overlay_heap,
+                  uint32_t capacity_bytes = kDefaultCapacity);
+
+  // Resolves an out-of-bounds STORE target. Returns the overlay address to
+  // write to (always succeeds; evicts LRU chunk if the cache is full).
+  uint32_t RedirectStore(Cpu& cpu, uint32_t oob_addr);
+
+  // Resolves an out-of-bounds LOAD. Returns true and sets *overlay_addr when
+  // a chunk exists; returns false when the load must be satisfied with zeros.
+  bool RedirectLoad(Cpu& cpu, uint32_t oob_addr, uint32_t* overlay_addr);
+
+  const BoundlessStats& stats() const { return stats_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    uint32_t overlay_base;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+
+  uint32_t KeyFor(uint32_t addr) const { return addr & ~(kChunkBytes - 1); }
+  uint32_t LookupOrInsert(Cpu& cpu, uint32_t oob_addr, bool insert);
+  void ChargeSlowPath(Cpu& cpu);
+
+  Enclave* enclave_;
+  Heap* heap_;
+  uint32_t capacity_chunks_;
+  BoundlessStats stats_;
+  std::unordered_map<uint32_t, Chunk> chunks_;  // key -> chunk
+  std::list<uint32_t> lru_;                     // front = MRU, holds keys
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_SGXBOUNDS_BOUNDLESS_H_

@@ -1,0 +1,33 @@
+#include "src/sgxbounds/metadata.h"
+
+namespace sgxb {
+
+void MetadataRegistry::FireCreate(Cpu& cpu, uint32_t base, uint32_t size, ObjKind kind) const {
+  for (const auto& hooks : hooks_) {
+    if (hooks.on_create) {
+      cpu.Call();
+      hooks.on_create(cpu, base, size, kind);
+    }
+  }
+}
+
+void MetadataRegistry::FireAccess(Cpu& cpu, uint32_t addr, uint32_t size, uint32_t metadata,
+                                  AccessType type) const {
+  for (const auto& hooks : hooks_) {
+    if (hooks.on_access) {
+      cpu.Call();
+      hooks.on_access(cpu, addr, size, metadata, type);
+    }
+  }
+}
+
+void MetadataRegistry::FireDelete(Cpu& cpu, uint32_t metadata) const {
+  for (const auto& hooks : hooks_) {
+    if (hooks.on_delete) {
+      cpu.Call();
+      hooks.on_delete(cpu, metadata);
+    }
+  }
+}
+
+}  // namespace sgxb

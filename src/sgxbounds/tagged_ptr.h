@@ -1,0 +1,55 @@
+// Tagged-pointer codec (paper Fig. 5).
+//
+// A 64-bit SGXBounds pointer packs:
+//   bits  0..31  - the pointer value `p` (enclave addresses fit in 32 bits)
+//   bits 32..63  - the referent object's upper bound UB
+//
+// UB doubles as the address of the object's metadata area: the 4-byte lower
+// bound (LB) is stored at [UB, UB+4), immediately after the object. A pointer
+// with UB == 0 is "untagged": library code treats it as unbounded (this is
+// what uninstrumented constants/NULL look like).
+//
+// All functions are branch-free bit manipulation; the simulator charges their
+// ALU cost at the call sites in bounds_runtime.h.
+
+#ifndef SGXBOUNDS_SRC_SGXBOUNDS_TAGGED_PTR_H_
+#define SGXBOUNDS_SRC_SGXBOUNDS_TAGGED_PTR_H_
+
+#include <cstdint>
+
+namespace sgxb {
+
+using TaggedPtr = uint64_t;
+
+constexpr uint32_t ExtractPtr(TaggedPtr tagged) { return static_cast<uint32_t>(tagged); }
+
+constexpr uint32_t ExtractUb(TaggedPtr tagged) { return static_cast<uint32_t>(tagged >> 32); }
+
+constexpr TaggedPtr MakeTagged(uint32_t p, uint32_t ub) {
+  return (static_cast<uint64_t>(ub) << 32) | p;
+}
+
+constexpr bool IsTagged(TaggedPtr tagged) { return ExtractUb(tagged) != 0; }
+
+// Pointer arithmetic instrumented per SS3.2: only the low 32 bits change, so
+// an overflowing index can never corrupt the upper bound.
+constexpr TaggedPtr TaggedAdd(TaggedPtr tagged, int64_t delta) {
+  const uint32_t p = static_cast<uint32_t>(ExtractPtr(tagged) + static_cast<uint64_t>(delta));
+  return MakeTagged(p, ExtractUb(tagged));
+}
+
+// Re-tags a pointer with a new low half, keeping the bound (used for casts
+// that round-trip through integers; SS3.2 "Type casts").
+constexpr TaggedPtr WithPtr(TaggedPtr tagged, uint32_t p) {
+  return MakeTagged(p, ExtractUb(tagged));
+}
+
+// The in-bounds predicate from SS3.2 (size-aware UB comparison):
+//   violated iff p < LB or p + size > UB
+constexpr bool BoundsViolated(uint32_t p, uint32_t lb, uint32_t ub, uint32_t size) {
+  return p < lb || static_cast<uint64_t>(p) + size > ub;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_SGXBOUNDS_TAGGED_PTR_H_

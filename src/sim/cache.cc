@@ -1,0 +1,67 @@
+#include "src/sim/cache.h"
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace sgxb {
+
+namespace {
+
+bool IsPowerOfTwo(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(uint64_t size_bytes, uint32_t ways) : size_bytes_(size_bytes), ways_(ways) {
+  CHECK_GT(ways, 0u);
+  const uint64_t lines = size_bytes / kCacheLineSize;
+  CHECK_EQ(lines % ways, 0u);
+  const uint64_t sets = lines / ways;
+  CHECK(IsPowerOfTwo(static_cast<uint32_t>(sets)));
+  sets_ = static_cast<uint32_t>(sets);
+  set_mask_ = sets_ - 1;
+  slots_.resize(static_cast<size_t>(sets_) * ways_);
+}
+
+bool Cache::Access(uint32_t line) {
+  const uint32_t set = line & set_mask_;
+  Way* base = &slots_[static_cast<size_t>(set) * ways_];
+  ++tick_;
+  uint32_t victim = 0;
+  uint64_t victim_stamp = UINT64_MAX;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].line == line) {
+      base[w].stamp = tick_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].stamp < victim_stamp) {
+      victim_stamp = base[w].stamp;
+      victim = w;
+    }
+  }
+  base[victim].line = line;
+  base[victim].stamp = tick_;
+  ++misses_;
+  return false;
+}
+
+bool Cache::Contains(uint32_t line) const {
+  const uint32_t set = line & set_mask_;
+  const Way* base = &slots_[static_cast<size_t>(set) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].line == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::Flush() {
+  for (auto& slot : slots_) {
+    slot.line = kInvalidLine;
+    slot.stamp = 0;
+  }
+  tick_ = 0;
+}
+
+}  // namespace sgxb

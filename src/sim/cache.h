@@ -1,0 +1,58 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// Operates on cache-line identifiers (address >> 6). Each level is an
+// independent Cache; the Cpu/MemorySystem wiring in machine.h composes them
+// into an inclusive-enough hierarchy (a miss at level N is looked up at level
+// N+1; fills propagate back).
+
+#ifndef SGXBOUNDS_SRC_SIM_CACHE_H_
+#define SGXBOUNDS_SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgxb {
+
+class Cache {
+ public:
+  // size_bytes must be a multiple of line_size * ways; the set count is
+  // derived and must be a power of two.
+  Cache(uint64_t size_bytes, uint32_t ways);
+
+  // Looks up a line; on miss, inserts it (evicting LRU). Returns true on hit.
+  bool Access(uint32_t line);
+
+  // Lookup without allocation (used by tests and the EPC prefetch logic).
+  bool Contains(uint32_t line) const;
+
+  // Drops all content (e.g. when an experiment resets the machine).
+  void Flush();
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint32_t ways() const { return ways_; }
+  uint32_t sets() const { return sets_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    uint32_t line = kInvalidLine;
+    uint64_t stamp = 0;
+  };
+
+  static constexpr uint32_t kInvalidLine = 0xffffffffu;
+
+  uint64_t size_bytes_;
+  uint32_t ways_;
+  uint32_t sets_;
+  uint32_t set_mask_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<Way> slots_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_SIM_CACHE_H_

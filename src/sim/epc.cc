@@ -1,0 +1,99 @@
+#include "src/sim/epc.h"
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace sgxb {
+
+EpcSim::EpcSim(uint64_t capacity_bytes)
+    : capacity_pages_(capacity_bytes / kPageSize),
+      prev_(kMaxPages, kNil),
+      next_(kMaxPages, kNil),
+      resident_(kMaxPages, 0) {
+  CHECK_GT(capacity_pages_, 0u);
+}
+
+void EpcSim::Unlink(uint32_t page) {
+  const uint32_t p = prev_[page];
+  const uint32_t n = next_[page];
+  if (p != kNil) {
+    next_[p] = n;
+  } else {
+    head_ = n;
+  }
+  if (n != kNil) {
+    prev_[n] = p;
+  } else {
+    tail_ = p;
+  }
+  prev_[page] = kNil;
+  next_[page] = kNil;
+}
+
+void EpcSim::PushFront(uint32_t page) {
+  prev_[page] = kNil;
+  next_[page] = head_;
+  if (head_ != kNil) {
+    prev_[head_] = page;
+  }
+  head_ = page;
+  if (tail_ == kNil) {
+    tail_ = page;
+  }
+}
+
+bool EpcSim::Touch(uint32_t page) {
+  CHECK_LT(page, kMaxPages);
+  if (resident_[page]) {
+    if (head_ != page) {
+      Unlink(page);
+      PushFront(page);
+    }
+    return false;
+  }
+  ++faults_;
+  if (resident_count_ >= capacity_pages_) {
+    const uint32_t victim = tail_;
+    CHECK_NE(victim, kNil);
+    Unlink(victim);
+    resident_[victim] = 0;
+    --resident_count_;
+    ++evictions_;
+  }
+  resident_[page] = 1;
+  ++resident_count_;
+  PushFront(page);
+  return true;
+}
+
+bool EpcSim::Resident(uint32_t page) const {
+  CHECK_LT(page, kMaxPages);
+  return resident_[page] != 0;
+}
+
+void EpcSim::Invalidate(uint32_t page) {
+  CHECK_LT(page, kMaxPages);
+  if (!resident_[page]) {
+    return;
+  }
+  Unlink(page);
+  resident_[page] = 0;
+  --resident_count_;
+}
+
+void EpcSim::Reset() {
+  for (uint32_t page = head_; page != kNil;) {
+    const uint32_t next = next_[page];
+    resident_[page] = 0;
+    prev_[page] = kNil;
+    next_[page] = kNil;
+    page = next;
+  }
+  head_ = kNil;
+  tail_ = kNil;
+  resident_count_ = 0;
+  faults_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace sgxb

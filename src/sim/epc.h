@@ -1,0 +1,62 @@
+// Enclave Page Cache (EPC) residency simulator.
+//
+// Intel SGX keeps enclave pages in a small MEE-protected region (128 MiB on
+// the paper's hardware, ~94 MiB usable). When the enclave working set exceeds
+// the EPC, the OS pages encrypted pages in and out ("EPC thrashing"), which is
+// the dominant performance effect in the paper's experiments (SS2.1, Table 3).
+//
+// This model tracks the resident page set with true LRU replacement. A touch
+// of a non-resident page is an EPC fault; the cost is charged by the caller
+// from CostModel::epc_fault.
+
+#ifndef SGXBOUNDS_SRC_SIM_EPC_H_
+#define SGXBOUNDS_SRC_SIM_EPC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgxb {
+
+class EpcSim {
+ public:
+  // capacity_bytes: usable EPC size. The page table covers the whole 32-bit
+  // enclave address space (2^20 pages of 4 KiB).
+  explicit EpcSim(uint64_t capacity_bytes);
+
+  // Marks a page access. Returns true if this access faulted (page was not
+  // resident and had to be paged in, possibly evicting the LRU page).
+  bool Touch(uint32_t page);
+
+  bool Resident(uint32_t page) const;
+
+  // Discards residency for a page (e.g. pages decommitted by the allocator).
+  void Invalidate(uint32_t page);
+
+  void Reset();
+
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  uint64_t resident_pages() const { return resident_count_; }
+  uint64_t faults() const { return faults_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr uint32_t kMaxPages = 1u << 20;  // 4 GiB / 4 KiB
+
+  void Unlink(uint32_t page);
+  void PushFront(uint32_t page);
+
+  uint64_t capacity_pages_;
+  uint64_t resident_count_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t evictions_ = 0;
+  uint32_t head_ = kNil;  // MRU
+  uint32_t tail_ = kNil;  // LRU
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<uint8_t> resident_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_SIM_EPC_H_

@@ -1,0 +1,116 @@
+// Cpu + MemorySystem: the cycle-charging execution context.
+//
+// A MemorySystem models the shared part of the machine (LLC, EPC, cost
+// table); a Cpu models one hardware thread (private L1/L2, perf counters,
+// cycle account). Workloads run "on" a Cpu: every modeled memory access and
+// every modeled ALU/branch/FP op charges cycles into the Cpu's counters.
+//
+// Threads are simulated deterministically: worker bodies execute sequentially
+// on separate Cpus sharing one MemorySystem, and the parallel region's cost is
+// the max over workers (see src/runtime/thread_pool.h). No host-level
+// concurrency ever touches these classes, so they are lock-free by design.
+
+#ifndef SGXBOUNDS_SRC_SIM_MACHINE_H_
+#define SGXBOUNDS_SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/sim/cache.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/epc.h"
+#include "src/sim/perf_counters.h"
+
+namespace sgxb {
+
+struct SimConfig {
+  uint64_t l1_bytes = 32 * kKiB;
+  uint32_t l1_ways = 8;
+  uint64_t l2_bytes = 256 * kKiB;
+  uint32_t l2_ways = 8;
+  uint64_t l3_bytes = 8 * kMiB;
+  uint32_t l3_ways = 16;
+  // Usable EPC (paper: 128 MiB total, ~94 MiB available to enclaves).
+  uint64_t epc_bytes = 94 * kMiB;
+  // true = inside an SGX enclave (EPC + MEE charged); false = normal process.
+  bool enclave_mode = true;
+  CostModel costs;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const SimConfig& config);
+
+  // Services an L2 miss for `line`. Returns the cycle cost and updates the
+  // shared structures; per-thread counters are updated through `counters`.
+  uint64_t ServiceL2Miss(uint32_t line, PerfCounters& counters);
+
+  void FlushCaches();
+
+  const SimConfig& config() const { return config_; }
+  Cache& l3() { return l3_; }
+  EpcSim& epc() { return epc_; }
+  bool enclave_mode() const { return config_.enclave_mode; }
+  const CostModel& costs() const { return config_.costs; }
+
+ private:
+  SimConfig config_;
+  Cache l3_;
+  EpcSim epc_;
+};
+
+enum class AccessClass : uint8_t {
+  kAppLoad,
+  kAppStore,
+  kMetadataLoad,
+  kMetadataStore,
+};
+
+class Cpu {
+ public:
+  explicit Cpu(MemorySystem* memory);
+
+  // Compute charging.
+  void Alu(uint32_t n = 1) {
+    counters_.alu_ops += n;
+    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().alu;
+  }
+  void Branch(uint32_t n = 1) {
+    counters_.branches += n;
+    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().branch;
+  }
+  void Fp(uint32_t n = 1) {
+    counters_.fp_ops += n;
+    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().fp;
+  }
+  void Call() { counters_.cycles += memory_->costs().call; }
+  void Charge(uint64_t cycles) { counters_.cycles += cycles; }
+
+  // Charges the memory hierarchy for an access of `size` bytes at enclave
+  // address `addr`. Touches every cache line the access spans.
+  void MemAccess(uint32_t addr, uint32_t size, AccessClass klass);
+
+  // Syscall boundary crossing (SS2.1: SCONE syscall interface).
+  void Syscall() {
+    counters_.cycles += memory_->enclave_mode() ? memory_->costs().syscall_exit
+                                                : memory_->costs().syscall_native;
+  }
+
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+  uint64_t cycles() const { return counters_.cycles; }
+  MemorySystem* memory() { return memory_; }
+
+  void ResetCounters() { counters_ = PerfCounters(); }
+
+ private:
+  MemorySystem* memory_;
+  Cache l1_;
+  Cache l2_;
+  PerfCounters counters_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_SIM_MACHINE_H_

@@ -1,0 +1,436 @@
+// PARSEC 3.0 suite analogues (paper SS6.1): blackscholes, bodytrack, dedup,
+// ferret, fluidanimate, streamcluster, swaptions, vips, x264.
+//
+// Each kernel preserves its original's defining memory characteristic:
+//   blackscholes  - flat array of option records, FP-dominated
+//   bodytrack     - particle filter with per-particle heap state (pointers)
+//   dedup         - chunk/hash/store pipeline; wide pointer-bearing heap span
+//                   (the workload that OOMs Intel MPX in Fig. 7)
+//   ferret        - feature-vector similarity search, FP + sequential
+//   fluidanimate  - SPH grid with neighbour-cell access (pointer slots)
+//   streamcluster - online clustering, repeated distance sweeps
+//   swaptions     - Monte-Carlo with intense small alloc/free churn
+//                   (the workload that blows ASan's quarantine to 413 MB)
+//   vips          - image pipeline: row-wise convolution over a large image
+//   x264          - motion search: strided SAD over a reference frame
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/workloads/workload.h"
+#include "src/workloads/workload_util.h"
+
+namespace sgxb {
+namespace {
+
+// --- blackscholes -------------------------------------------------------------
+struct BlackscholesBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    // Option record: S, K, r, v, T, type, result (32 B padded).
+    const uint32_t n = 64 * 1024 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kRec = 32;
+    Rng rng(cfg.seed);
+    auto opts = AllocSparseFilled(env, env.cpu, n * kRec, rng);
+    env.Parallel([&](ThreadCtx& t) {
+      Cpu& cpu = *t.cpu;
+      const Slice s = SliceFor(n, t.tid, t.nthreads);
+      for (uint64_t i = s.begin; i < s.end; ++i) {
+        const float spot = 10.f + 90.f * (env.policy.template LoadAt<uint32_t>(cpu, opts, i * kRec) % 997) / 997.f;
+        const float strike =
+            10.f + 90.f * (env.policy.template LoadAt<uint32_t>(cpu, opts, i * kRec + 4) % 991) / 991.f;
+        // CNDF-based closed form; ~40 FP ops per option like the original.
+        const float v = 0.3f;
+        const float tte = 1.0f;
+        const float d1 = (std::log(spot / strike) + (0.05f + v * v / 2) * tte) / (v * std::sqrt(tte));
+        const float d2 = d1 - v * std::sqrt(tte);
+        const float nd1 = 0.5f * (1.f + std::erf(d1 * 0.70710678f));
+        const float nd2 = 0.5f * (1.f + std::erf(d2 * 0.70710678f));
+        const float price = spot * nd1 - strike * std::exp(-0.05f * tte) * nd2;
+        cpu.Fp(40);
+        env.policy.template StoreAt<float>(cpu, opts, i * kRec + 24, price);
+      }
+    });
+    env.policy.Free(env.cpu, opts);
+  }
+};
+
+// --- bodytrack ----------------------------------------------------------------
+struct BodytrackBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    const uint32_t particles = 2048 * SizeMultiplier(cfg.size);
+    const uint32_t kStateFloats = 64;  // pose vector + weights
+    const uint32_t frames = 4;
+    Rng rng(cfg.seed);
+    // Particle states are individually heap-allocated (pointer array), the
+    // pattern that quadruples MPX's memory in the paper.
+    auto index = env.policy.Malloc(env.cpu, particles * kPtrSlotBytes);
+    for (uint32_t i = 0; i < particles; ++i) {
+      Ptr st = env.policy.Malloc(env.cpu, kStateFloats * 4);
+      for (uint32_t d = 0; d < kStateFloats * 4; d += kCacheLineSize) {
+        env.policy.template Store<float>(env.cpu, env.policy.Offset(env.cpu, st, d),
+                                         static_cast<float>(rng.NextDouble()));
+      }
+      env.policy.StorePtr(env.cpu, env.policy.Offset(env.cpu, index, i * kPtrSlotBytes), st);
+    }
+    // Small edge-map "image" per frame.
+    const uint32_t img_bytes = 512 * kKiB;
+    auto image = AllocSparseFilled(env, env.cpu, img_bytes, rng);
+    for (uint32_t f = 0; f < frames; ++f) {
+      env.Parallel([&](ThreadCtx& t) {
+        Cpu& cpu = *t.cpu;
+        const Slice s = SliceFor(particles, t.tid, t.nthreads);
+        for (uint64_t i = s.begin; i < s.end; ++i) {
+          double weight = 0;
+          for (uint32_t d = 0; d < 16; ++d) {
+            // particles[i]->pose[d]: the pointer reloads per element, the
+            // double-indirection pattern that floods MPX with bndldx.
+            Ptr st =
+                env.policy.LoadPtr(cpu, env.policy.Offset(cpu, index, i * kPtrSlotBytes));
+            const float pose = env.policy.template LoadField<float>(cpu, st, d * 4);
+            const uint32_t px =
+                (static_cast<uint32_t>(pose * 4096) + d * 131) % (img_bytes / 4);
+            weight += env.policy.template LoadAt<uint32_t>(cpu, image, static_cast<uint64_t>(px) * 4) & 0xff;
+            cpu.Fp(4);
+          }
+          Ptr st =
+              env.policy.LoadPtr(cpu, env.policy.Offset(cpu, index, i * kPtrSlotBytes));
+          env.policy.template StoreField<float>(cpu, st, 60 * 4, static_cast<float>(weight));
+        }
+      });
+    }
+  }
+};
+
+// --- dedup ---------------------------------------------------------------------
+// Chunking + dedup + store pipeline. Unique chunk payloads are copied into
+// the enclave heap, and chunk records (which hold payload pointers) end up
+// interleaved with payloads across the whole heap span. Under Intel MPX each
+// 1 MiB of record-bearing heap needs a 4 MiB bounds table: at the paper's
+// input sizes this exhausts the enclave address space -> kOutOfMemory, the
+// missing MPX bar for dedup in Fig. 7.
+struct DedupBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    const uint64_t input_bytes = 128ULL * kMiB * SizeMultiplier(cfg.size);
+    constexpr uint32_t kChunk = 8192;
+    constexpr uint32_t kBuckets = 1 << 14;
+    const uint32_t distinct = 1 << 13;
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+
+    auto buckets = env.policy.Calloc(cpu, kBuckets, kPtrSlotBytes);
+    auto staging = env.policy.Malloc(cpu, kChunk);
+
+    const uint64_t chunks = input_bytes / kChunk;
+    for (uint64_t c = 0; c < chunks; ++c) {
+      // "Read" a chunk: the content is a function of its id so duplicates
+      // exist; writing the staging buffer models the input copy. Most chunks
+      // are unique (the ~15% dedup ratio of the PARSEC input).
+      const uint64_t content_id = c % 7 != 0 ? c : rng.NextBounded(distinct);
+      env.policy.Memset(cpu, staging, static_cast<uint8_t>(content_id), kChunk);
+      // Rolling-hash fingerprint: sample 8 words of the chunk.
+      uint64_t fp = content_id * 0x9e3779b97f4a7c15ULL;
+      for (uint32_t w = 0; w < 8; ++w) {
+        fp = fp * 31 + env.policy.template LoadAt<uint64_t>(cpu, staging, w * 512);
+        cpu.Alu(3);
+      }
+      const uint32_t bucket = static_cast<uint32_t>(fp % kBuckets);
+      // Probe the chain: node = {fp u64, payload Ptr, next Ptr} = 24 B.
+      Ptr slot = env.policy.Offset(cpu, buckets, bucket * kPtrSlotBytes);
+      Ptr node = env.policy.LoadPtr(cpu, slot);
+      bool found = false;
+      while (env.policy.AddrOf(node) != 0) {
+        cpu.Branch();
+        if (env.policy.template LoadField<uint64_t>(cpu, node, 0) == fp) {
+          found = true;
+          break;
+        }
+        node = env.policy.LoadPtr(cpu, env.policy.Offset(cpu, node, 16));
+      }
+      if (!found) {
+        // Store the unique chunk: payload copy + record insert ("compress"
+        // modeled by the fingerprint pass above).
+        Ptr payload = env.policy.Malloc(cpu, kChunk);
+        env.policy.Memcpy(cpu, payload, staging, kChunk);
+        Ptr fresh = env.policy.Malloc(cpu, 24);
+        env.policy.template StoreField<uint64_t>(cpu, fresh, 0, fp);
+        env.policy.StorePtr(cpu, env.policy.Offset(cpu, fresh, 8), payload);
+        Ptr head = env.policy.LoadPtr(cpu, slot);
+        env.policy.StorePtr(cpu, env.policy.Offset(cpu, fresh, 16), head);
+        env.policy.StorePtr(cpu, slot, fresh);
+      }
+    }
+  }
+};
+
+// --- ferret -------------------------------------------------------------------
+struct FerretBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t db_vecs = 16 * 1024 * SizeMultiplier(cfg.size);
+    const uint32_t dim = 64;  // floats
+    const uint32_t queries = 64;
+    Rng rng(cfg.seed);
+    auto db = AllocSparseFilled(env, env.cpu, db_vecs * dim * 4, rng);
+    auto q = AllocDenseFilled(env, env.cpu, queries * dim * 4, rng);
+    env.Parallel([&](ThreadCtx& t) {
+      Cpu& cpu = *t.cpu;
+      const Slice s = SliceFor(queries, t.tid, t.nthreads);
+      for (uint64_t qi = s.begin; qi < s.end; ++qi) {
+        float best = 1e30f;
+        for (uint32_t v = 0; v < db_vecs; ++v) {
+          float dist = 0;
+          // Sample 8 dimensions per candidate (touches the vector's lines).
+          for (uint32_t d = 0; d < 8; ++d) {
+            const float a = env.policy.template LoadAt<float>(cpu, q, (qi * dim + d * 8) * 4);
+            const float b =
+                env.policy.template LoadAt<float>(cpu, db, (static_cast<uint64_t>(v) * dim + d * 8) * 4);
+            dist += (a - b) * (a - b);
+            cpu.Fp(3);
+          }
+          best = std::min(best, dist);
+          cpu.Branch();
+        }
+        ConsumeDouble(best);
+      }
+    });
+    env.policy.Free(env.cpu, q);
+    env.policy.Free(env.cpu, db);
+  }
+};
+
+// --- fluidanimate --------------------------------------------------------------
+struct FluidanimateBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    // Grid of cells; each cell holds a pointer to its particle block. The
+    // neighbour-cell pointer loads are why MPX's memory quadruples here.
+    const uint32_t grid = 24 * SizeMultiplier(cfg.size);  // grid^2 cells
+    const uint32_t cells = grid * grid;
+    constexpr uint32_t kCellBytes = 16 * 16;  // 16 particles x (x,y,vx,vy)
+    Rng rng(cfg.seed);
+    auto cell_index = env.policy.Malloc(env.cpu, cells * kPtrSlotBytes);
+    for (uint32_t i = 0; i < cells; ++i) {
+      Ptr cell = env.policy.Malloc(env.cpu, kCellBytes);
+      env.policy.template Store<float>(env.cpu, cell, static_cast<float>(rng.NextDouble()));
+      env.policy.StorePtr(env.cpu, env.policy.Offset(env.cpu, cell_index, i * kPtrSlotBytes),
+                          cell);
+    }
+    const uint32_t steps = 3;
+    for (uint32_t step = 0; step < steps; ++step) {
+      env.Parallel([&](ThreadCtx& t) {
+        Cpu& cpu = *t.cpu;
+        const Slice s = SliceFor(cells, t.tid, t.nthreads);
+        for (uint64_t ci = s.begin; ci < s.end; ++ci) {
+          const uint32_t cx = static_cast<uint32_t>(ci) % grid;
+          const uint32_t cy = static_cast<uint32_t>(ci) / grid;
+          Ptr self =
+              env.policy.LoadPtr(cpu, env.policy.Offset(cpu, cell_index, ci * kPtrSlotBytes));
+          // Density from the 4-neighbourhood.
+          float density = 0;
+          const int32_t dxs[] = {-1, 1, 0, 0};
+          const int32_t dys[] = {0, 0, -1, 1};
+          for (int nb = 0; nb < 4; ++nb) {
+            const int32_t nx = static_cast<int32_t>(cx) + dxs[nb];
+            const int32_t ny = static_cast<int32_t>(cy) + dys[nb];
+            if (nx < 0 || ny < 0 || nx >= static_cast<int32_t>(grid) ||
+                ny >= static_cast<int32_t>(grid)) {
+              continue;
+            }
+            Ptr other = env.policy.LoadPtr(
+                cpu, env.policy.Offset(cpu, cell_index,
+                                       (static_cast<uint64_t>(ny) * grid + nx) * kPtrSlotBytes));
+            for (uint32_t pp = 0; pp < 4; ++pp) {
+              density += env.policy.template LoadField<float>(cpu, other, pp * 64);
+              cpu.Fp(2);
+            }
+          }
+          env.policy.template StoreField<float>(cpu, self, 8, density);
+        }
+      });
+    }
+  }
+};
+
+// --- streamcluster --------------------------------------------------------------
+struct StreamclusterBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t n = 16 * 1024 * SizeMultiplier(cfg.size);
+    const uint32_t dim = 32;
+    const uint32_t centers = 16;
+    Rng rng(cfg.seed);
+    auto pts = AllocSparseFilled(env, env.cpu, n * dim * 4, rng);
+    auto ctr = AllocDenseFilled(env, env.cpu, centers * dim * 4, rng);
+    for (uint32_t round = 0; round < 2; ++round) {
+      env.Parallel([&](ThreadCtx& t) {
+        Cpu& cpu = *t.cpu;
+        const Slice s = SliceFor(n, t.tid, t.nthreads);
+        double cost = 0;
+        for (uint64_t i = s.begin; i < s.end; ++i) {
+          float best = 1e30f;
+          for (uint32_t c = 0; c < centers; ++c) {
+            float dist = 0;
+            for (uint32_t d = 0; d < 4; ++d) {  // 4 sampled dims / candidate
+              const float a = env.policy.template LoadAt<float>(cpu, pts, (i * dim + d * 8) * 4);
+              const float b = env.policy.template LoadAt<float>(cpu, ctr, (c * dim + d * 8) * 4);
+              dist += (a - b) * (a - b);
+              cpu.Fp(3);
+            }
+            best = std::min(best, dist);
+          }
+          cost += best;
+        }
+        ConsumeDouble(cost);
+      });
+    }
+    env.policy.Free(env.cpu, ctr);
+    env.policy.Free(env.cpu, pts);
+  }
+};
+
+// --- swaptions -----------------------------------------------------------------
+// HJM-style Monte Carlo: every trial allocates a small path matrix, fills it,
+// reduces it, frees it. Tiny working set, brutal alloc/free churn: ASan's
+// quarantine turns this into unbounded footprint growth (413 MB in the
+// paper); MPX keeps allocating bounds tables for the fresh path pointers.
+struct SwaptionsBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t trials = 3000 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kPathBytes = 2048;
+    Rng rng(cfg.seed);
+    env.Parallel([&](ThreadCtx& t) {
+      Cpu& cpu = *t.cpu;
+      Rng trng(cfg.seed + t.tid * 7919);
+      const Slice s = SliceFor(trials, t.tid, t.nthreads);
+      double price = 0;
+      for (uint64_t trial = s.begin; trial < s.end; ++trial) {
+        auto path = env.policy.Malloc(cpu, kPathBytes);
+        auto span = env.policy.OpenSpan(cpu, path, kPathBytes);
+        float rate = 0.05f;
+        for (uint32_t step = 0; step < kPathBytes / 8; ++step) {
+          rate += 0.001f * static_cast<float>(trng.NextGaussian());
+          span.template Store<float>(cpu, step * 8, rate);
+          cpu.Fp(6);
+        }
+        float payoff = 0;
+        for (uint32_t step = 0; step < kPathBytes / 8; step += 4) {
+          payoff += span.template Load<float>(cpu, step * 8);
+          cpu.Fp(1);
+        }
+        price += std::max(0.0f, payoff / (kPathBytes / 32) - 0.05f);
+        env.policy.Free(cpu, path);
+      }
+      ConsumeDouble(price);
+    });
+  }
+};
+
+// --- vips ----------------------------------------------------------------------
+struct VipsBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t width = 2048;
+    const uint32_t height = 256 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    auto src = AllocSparseFilled(env, env.cpu, width * height, rng);
+    auto dst = env.policy.Calloc(env.cpu, width * height, 1);
+    env.Parallel([&](ThreadCtx& t) {
+      Cpu& cpu = *t.cpu;
+      const Slice s = SliceFor(height - 2, t.tid, t.nthreads);
+      for (uint64_t y = s.begin + 1; y < s.end + 1; ++y) {
+        for (uint32_t x = 8; x + 8 < width; x += 8) {
+          // 3x3 box blur on 8-byte groups: 3 row reads, 1 write.
+          const uint64_t up = env.policy.template LoadAt<uint64_t>(cpu, src, (y - 1) * width + x);
+          const uint64_t mid = env.policy.template LoadAt<uint64_t>(cpu, src, y * width + x);
+          const uint64_t down = env.policy.template LoadAt<uint64_t>(cpu, src, (y + 1) * width + x);
+          const uint64_t blurred = (up >> 2) + (mid >> 1) + (down >> 2);
+          cpu.Alu(5);
+          env.policy.template StoreAt<uint64_t>(cpu, dst, y * width + x, blurred);
+        }
+      }
+    });
+    env.policy.Free(env.cpu, dst);
+    env.policy.Free(env.cpu, src);
+  }
+};
+
+// --- x264 ----------------------------------------------------------------------
+// Motion estimation: for each macroblock of the current frame, SAD over a
+// +-8 pixel search window in the reference frame (strided reads). The inner
+// SAD rows are fixed 16-byte reads at provably safe offsets - the safe-access
+// elision showcase (paper: up to 20% gain on x264).
+struct X264Body {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t width = 640;
+    const uint32_t height = 96 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    auto cur = AllocSparseFilled(env, env.cpu, width * height, rng);
+    // Multi-reference search: 8 reference frames reached through the
+    // picture-list pointer array (x264's frames->reference[]).
+    constexpr uint32_t kRefs = 8;
+    constexpr uint32_t kPasses = 6;  // frames encoded against the same references
+    auto ref_list = env.policy.Malloc(env.cpu, kRefs * kPtrSlotBytes);
+    for (uint32_t r = 0; r < kRefs; ++r) {
+      auto ref = AllocSparseFilled(env, env.cpu, width * height, rng);
+      env.policy.StorePtr(env.cpu, env.policy.Offset(env.cpu, ref_list, r * kPtrSlotBytes),
+                          ref);
+    }
+    env.Parallel([&](ThreadCtx& t) {
+      Cpu& cpu = *t.cpu;
+      auto cs = env.policy.OpenSpan(cpu, cur, static_cast<uint64_t>(width) * height);
+      const uint32_t mb_rows = height / 16;
+      const Slice s = SliceFor(mb_rows - 2, t.tid, t.nthreads);
+      uint32_t list_idx = t.tid;
+      for (uint32_t pass = 0; pass < kPasses; ++pass) {
+      for (uint64_t mby = s.begin + 1; mby < s.end + 1; ++mby) {
+        for (uint32_t mbx = 1; mbx + 1 < width / 16; ++mbx) {
+          uint64_t best_sad = ~0ULL;
+          for (int32_t dy = -8; dy <= 8; dy += 4) {
+            for (int32_t dx = -8; dx <= 8; dx += 4) {
+              uint64_t sad = 0;
+              auto ref = env.policy.LoadPtr(
+                  cpu, env.policy.Offset(cpu, ref_list,
+                                         (list_idx++ % kRefs) * kPtrSlotBytes));
+              for (uint32_t row = 0; row < 16; row += 4) {
+                const uint64_t a = cs.template Load<uint64_t>(
+                    cpu, (mby * 16 + row) * width + mbx * 16);
+                const uint64_t b = env.policy.template LoadAt<uint64_t>(cpu, ref, (mby * 16 + row + dy) * width + mbx * 16 + dx);
+                sad += (a > b) ? a - b : b - a;
+                cpu.Alu(3);
+              }
+              best_sad = std::min(best_sad, sad);
+              cpu.Branch();
+            }
+          }
+          Consume(best_sad);
+        }
+      }
+      }
+    });
+    env.policy.Free(env.cpu, cur);
+  }
+};
+
+}  // namespace
+
+void RegisterParsecWorkloads(WorkloadRegistry& registry) {
+  REGISTER_WORKLOAD(registry, "parsec", "blackscholes", true, BlackscholesBody);
+  REGISTER_WORKLOAD(registry, "parsec", "bodytrack", true, BodytrackBody);
+  REGISTER_WORKLOAD(registry, "parsec", "dedup", true, DedupBody);
+  REGISTER_WORKLOAD(registry, "parsec", "ferret", true, FerretBody);
+  REGISTER_WORKLOAD(registry, "parsec", "fluidanimate", true, FluidanimateBody);
+  REGISTER_WORKLOAD(registry, "parsec", "streamcluster", true, StreamclusterBody);
+  REGISTER_WORKLOAD(registry, "parsec", "swaptions", true, SwaptionsBody);
+  REGISTER_WORKLOAD(registry, "parsec", "vips", true, VipsBody);
+  REGISTER_WORKLOAD(registry, "parsec", "x264", true, X264Body);
+}
+
+}  // namespace sgxb

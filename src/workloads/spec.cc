@@ -1,0 +1,498 @@
+// SPEC CPU2006 analogues (paper SS6.7): the 13 programs the paper evaluates.
+// All single-threaded, CPU-intensive kernels whose defining memory behaviour
+// mirrors the original:
+//   astar   - grid of node records with neighbour pointers (MPX OOM in Fig. 11)
+//   bzip2   - block-sorting compression passes over a buffer
+//   gobmk   - branchy board evaluation on small arrays
+//   h264ref - macroblock motion search (single-threaded x264 variant)
+//   hmmer   - Viterbi DP rows, sequential
+//   lbm     - lattice sweep with many directional fields per cell
+//   libquantum - amplitude-vector gate sweeps
+//   mcf     - arc array with node pointer dereferences (MPX OOM in Fig. 11;
+//             ASan's worst EPC-thrashing case: 2.4x vs SGXBounds' 1%)
+//   milc    - SU(3) lattice link multiplications, large FP working set
+//   namd    - particle-pair force loops, small working set
+//   sjeng   - game-tree search with make/unmake on a small board
+//   sphinx3 - GMM acoustic scoring, FP streams
+//   xalanc  - DOM-style node tree with child/sibling pointers (MPX OOM)
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/workloads/workload.h"
+#include "src/workloads/workload_util.h"
+
+namespace sgxb {
+namespace {
+
+// --- astar ---------------------------------------------------------------------
+struct AstarBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    // Node record: 64 B with a neighbour-block pointer slot at offset 0
+    // (the original's `way` structures are pointer-linked the same way).
+    const uint32_t side = 1060 * static_cast<uint32_t>(std::sqrt(SizeMultiplier(cfg.size)));
+    const uint32_t nodes = side * side;
+    Cpu& cpu = env.cpu;
+    auto grid = env.policy.Calloc(cpu, nodes, 64);
+    // Link every node to its east neighbour at build time.
+    for (uint32_t i = 0; i + 1 < nodes; i += 1) {
+      Ptr node = env.policy.Offset(cpu, grid, static_cast<uint64_t>(i) * 64);
+      Ptr next = env.policy.Offset(cpu, grid, static_cast<uint64_t>(i + 1) * 64);
+      env.policy.StorePtr(cpu, node, next);
+      if ((i & 7) == 0) {
+        env.policy.template StoreField<uint32_t>(cpu, node, 8, i % 251);  // terrain cost
+      }
+    }
+    // Bounded best-first sweep: chase neighbour pointers accumulating cost.
+    Rng rng(cfg.seed);
+    uint64_t cost = 0;
+    const uint32_t expansions = 500 * 1000;
+    Ptr cursor = env.policy.LoadPtr(cpu, grid);
+    for (uint32_t e = 0; e < expansions; ++e) {
+      cost += env.policy.template LoadField<uint32_t>(cpu, cursor, 8);
+      env.policy.template StoreField<uint32_t>(cpu, cursor, 12, static_cast<uint32_t>(cost));
+      cpu.Alu(4);
+      cpu.Branch();
+      if ((e & 63) == 0) {
+        // Random restart: jump to a random node (open-list pop).
+        const uint32_t j = static_cast<uint32_t>(rng.NextBounded(nodes - 1));
+        cursor = env.policy.Offset(cpu, grid, static_cast<uint64_t>(j) * 64);
+      }
+      cursor = env.policy.LoadPtr(cpu, cursor);
+      if (env.policy.AddrOf(cursor) == 0) {
+        cursor = env.policy.LoadPtr(cpu, grid);
+      }
+    }
+    Consume(cost);
+  }
+};
+
+// --- bzip2 ---------------------------------------------------------------------
+struct Bzip2Body {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t bytes = kMiB * SizeMultiplier(cfg.size);
+    constexpr uint32_t kBlock = 256 * 1024;
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto buf = AllocDenseFilled(env, cpu, bytes, rng);
+    auto counts = env.policy.Calloc(cpu, 65536, 4);
+    for (uint32_t block = 0; block + kBlock <= bytes; block += kBlock) {
+      // Counting sort over 2-byte prefixes (the BWT bucket pass).
+      for (uint32_t i = 0; i < kBlock; i += 4) {
+        const uint32_t w = env.policy.template LoadAt<uint32_t>(cpu, buf, block + i);
+        const uint32_t prefix = w & 0xffff;
+        const uint32_t c = env.policy.template LoadAt<uint32_t>(cpu, counts, prefix * 4);
+        env.policy.template StoreAt<uint32_t>(cpu, counts, prefix * 4, c + 1);
+        cpu.Alu(3);
+      }
+      // MTF + RLE pass.
+      uint32_t run = 0;
+      uint32_t prev = ~0u;
+      for (uint32_t i = 0; i < kBlock; i += 8) {
+        const uint64_t w = env.policy.template LoadAt<uint64_t>(cpu, buf, block + i);
+        const uint32_t sym = static_cast<uint32_t>(w & 0xff);
+        run = sym == prev ? run + 1 : 0;
+        prev = sym;
+        cpu.Alu(4);
+        cpu.Branch();
+      }
+      Consume(run);
+    }
+  }
+};
+
+// --- gobmk ---------------------------------------------------------------------
+struct GobmkBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    constexpr uint32_t kBoard = 19 * 19;
+    const uint32_t positions = 12000 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto board = env.policy.Calloc(cpu, kBoard, 1);
+    auto marks = env.policy.Calloc(cpu, kBoard, 1);
+    for (uint32_t pos = 0; pos < positions; ++pos) {
+      // Play a stone, then count its liberties with a bounded flood fill.
+      const uint32_t at = static_cast<uint32_t>(rng.NextBounded(kBoard));
+      env.policy.template StoreAt<uint8_t>(cpu, board, at, static_cast<uint8_t>(1 + (pos & 1)));
+      uint32_t stack[16];
+      uint32_t sp = 0;
+      uint32_t liberties = 0;
+      stack[sp++] = at;
+      while (sp > 0 && liberties < 8) {
+        const uint32_t cur = stack[--sp];
+        env.policy.template StoreAt<uint8_t>(cpu, marks, cur, 1);
+        const int32_t deltas[4] = {-19, 19, -1, 1};
+        for (int32_t d : deltas) {
+          const int32_t nb = static_cast<int32_t>(cur) + d;
+          cpu.Alu(2);
+          cpu.Branch();
+          if (nb < 0 || nb >= static_cast<int32_t>(kBoard)) {
+            continue;
+          }
+          const uint8_t v = env.policy.template LoadAt<uint8_t>(cpu, board, static_cast<uint32_t>(nb));
+          if (v == 0) {
+            ++liberties;
+          } else if (sp < 16) {
+            stack[sp++] = static_cast<uint32_t>(nb);
+          }
+        }
+      }
+      Consume(liberties);
+      if ((pos & 127) == 0) {
+        env.policy.Memset(cpu, board, 0, kBoard);
+        env.policy.Memset(cpu, marks, 0, kBoard);
+      }
+    }
+  }
+};
+
+// --- h264ref -------------------------------------------------------------------
+struct H264refBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t width = 352;
+    const uint32_t height = 72 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto cur = AllocSparseFilled(env, cpu, width * height, rng);
+    auto ref = AllocSparseFilled(env, cpu, width * height, rng);
+    for (uint32_t mby = 1; mby + 1 < height / 16; ++mby) {
+      for (uint32_t mbx = 1; mbx + 1 < width / 16; ++mbx) {
+        uint64_t best = ~0ULL;
+        for (int32_t dy = -4; dy <= 4; dy += 2) {
+          for (int32_t dx = -4; dx <= 4; dx += 2) {
+            uint64_t sad = 0;
+            for (uint32_t row = 0; row < 16; row += 2) {
+              const uint64_t a =
+                  env.policy.template LoadAt<uint64_t>(cpu, cur, (mby * 16 + row) * width + mbx * 16);
+              const uint64_t b = env.policy.template LoadAt<uint64_t>(cpu, ref, (mby * 16 + row + dy) * width + mbx * 16 + dx);
+              sad += a > b ? a - b : b - a;
+              cpu.Alu(3);
+            }
+            best = std::min(best, sad);
+            cpu.Branch();
+          }
+        }
+        Consume(best);
+      }
+    }
+  }
+};
+
+// --- hmmer ---------------------------------------------------------------------
+struct HmmerBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t profile = 512;
+    const uint32_t seq_len = 1500 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto match = AllocDenseFilled(env, cpu, profile * 4, rng);
+    auto row_prev = env.policy.Calloc(cpu, profile, 4);
+    auto row_cur = env.policy.Calloc(cpu, profile, 4);
+    for (uint32_t pos = 0; pos < seq_len; ++pos) {
+      auto prev_row = pos % 2 == 0 ? row_prev : row_cur;
+      auto cur_row = pos % 2 == 0 ? row_cur : row_prev;
+      for (uint32_t k = 1; k < profile; ++k) {
+        const int32_t diag = env.policy.template LoadAt<int32_t>(cpu, prev_row, (k - 1) * 4);
+        const int32_t up = env.policy.template LoadAt<int32_t>(cpu, prev_row, k * 4);
+        const int32_t emit =
+            static_cast<int32_t>(env.policy.template LoadAt<uint32_t>(cpu, match, k * 4) & 0xff);
+        env.policy.template StoreAt<int32_t>(cpu, cur_row, k * 4, std::max(diag, up - 3) + emit);
+        cpu.Alu(4);
+        cpu.Branch();
+      }
+    }
+  }
+};
+
+// --- lbm -----------------------------------------------------------------------
+struct LbmBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    // Cells hold 19 directional doubles (152 B, padded to 160).
+    const uint32_t cells = 48 * 1024 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kCell = 160;
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto lattice = AllocSparseFilled(env, cpu, cells * kCell, rng);
+    for (uint32_t step = 0; step < 2; ++step) {
+      for (uint32_t c = 1; c + 1 < cells; ++c) {
+        double rho = 0;
+        // Stream from 4 sampled directions of this and neighbour cells.
+        rho += env.policy.template LoadAt<double>(cpu, lattice, static_cast<uint64_t>(c) * kCell);
+        rho += env.policy.template LoadAt<double>(cpu, lattice, static_cast<uint64_t>(c) * kCell + 72);
+        rho += env.policy.template LoadAt<double>(cpu, lattice, static_cast<uint64_t>(c - 1) * kCell + 8);
+        rho += env.policy.template LoadAt<double>(cpu, lattice, static_cast<uint64_t>(c + 1) * kCell + 16);
+        cpu.Fp(12);
+        env.policy.template StoreAt<double>(cpu, lattice, static_cast<uint64_t>(c) * kCell + 144, rho * 0.25);
+      }
+    }
+    env.policy.Free(cpu, lattice);
+  }
+};
+
+// --- libquantum ------------------------------------------------------------------
+struct LibquantumBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t amps = 256 * 1024 * SizeMultiplier(cfg.size);  // complex floats
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto state = AllocSparseFilled(env, cpu, amps * 8, rng);
+    for (uint32_t gate = 0; gate < 3; ++gate) {
+      const uint32_t stride = 1u << (gate + 1);
+      for (uint32_t i = 0; i < amps; i += stride) {
+        const float re = env.policy.template LoadAt<float>(cpu, state, static_cast<uint64_t>(i) * 8);
+        const float im = env.policy.template LoadAt<float>(cpu, state, static_cast<uint64_t>(i) * 8 + 4);
+        env.policy.template StoreAt<float>(cpu, state, static_cast<uint64_t>(i) * 8, 0.70710678f * (re - im));
+        env.policy.template StoreAt<float>(cpu, state, static_cast<uint64_t>(i) * 8 + 4,
+                                   0.70710678f * (re + im));
+        cpu.Fp(6);
+      }
+    }
+    env.policy.Free(cpu, state);
+  }
+};
+
+// --- mcf -----------------------------------------------------------------------
+struct McfBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    // Arc record: 64 B holding a tail-node pointer slot. Nodes: 64 B.
+    const uint32_t arcs = 1000 * 1000 * SizeMultiplier(cfg.size);
+    const uint32_t nodes = arcs / 8;
+    Cpu& cpu = env.cpu;
+    Rng rng(cfg.seed);
+    auto node_arr = env.policy.Calloc(cpu, nodes, 64);
+    auto arc_arr = env.policy.Calloc(cpu, arcs, 64);
+    // Build: every arc points at a random tail node (bndstx storm for MPX).
+    for (uint32_t a = 0; a < arcs; ++a) {
+      const uint32_t tail = static_cast<uint32_t>(rng.NextBounded(nodes));
+      Ptr arc = env.policy.Offset(cpu, arc_arr, static_cast<uint64_t>(a) * 64);
+      Ptr node = env.policy.Offset(cpu, node_arr, static_cast<uint64_t>(tail) * 64);
+      env.policy.StorePtr(cpu, arc, node);
+      env.policy.template StoreField<int32_t>(cpu, arc, 8,
+                                              static_cast<int32_t>(rng.NextBounded(1000)));
+    }
+    // Pricing pass: sequential arcs, random node dereferences (mcf's
+    // cache-hostile signature).
+    int64_t reduced = 0;
+    const uint32_t sweep = std::min(arcs, 4u * 1000 * 1000);
+    for (uint32_t a = 0; a < sweep; ++a) {
+      Ptr arc = env.policy.Offset(cpu, arc_arr, static_cast<uint64_t>(a) * 64);
+      Ptr tail = env.policy.LoadPtr(cpu, arc);
+      const int32_t cost = env.policy.template LoadField<int32_t>(cpu, arc, 8);
+      const int32_t potential = env.policy.template LoadField<int32_t>(cpu, tail, 8);
+      reduced += cost - potential;
+      cpu.Alu(3);
+      cpu.Branch();
+    }
+    Consume(static_cast<uint64_t>(reduced));
+  }
+};
+
+// --- milc ----------------------------------------------------------------------
+struct MilcBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    // SU(3) link field: 18 doubles per matrix (144 B), 4 links per site.
+    const uint32_t sites = 24 * 1024 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kSite = 4 * 144;
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto links = AllocSparseFilled(env, cpu, sites * kSite, rng);
+    double plaquette = 0;
+    for (uint32_t s = 0; s + 1 < sites; s += 2) {
+      // Multiply the first rows of two neighbouring link matrices.
+      double acc = 0;
+      for (uint32_t k = 0; k < 6; ++k) {
+        const double a = env.policy.template LoadAt<double>(cpu, links, static_cast<uint64_t>(s) * kSite + k * 8);
+        const double b = env.policy.template LoadAt<double>(cpu, links, static_cast<uint64_t>(s + 1) * kSite + 144 + k * 8);
+        acc += a * b;
+        cpu.Fp(4);
+      }
+      plaquette += acc;
+    }
+    ConsumeDouble(plaquette);
+    env.policy.Free(cpu, links);
+  }
+};
+
+// --- namd ----------------------------------------------------------------------
+struct NamdBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t particles = 24 * 1024 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kRec = 32;  // x,y,z,fx,fy,fz,charge,pad
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto parts = AllocSparseFilled(env, cpu, particles * kRec, rng);
+    for (uint32_t i = 0; i < particles; ++i) {
+      const float xi = env.policy.template LoadAt<float>(cpu, parts, static_cast<uint64_t>(i) * kRec);
+      float fx = 0;
+      for (uint32_t nb = 1; nb <= 8; ++nb) {
+        const uint32_t j = (i + nb * 17) % particles;
+        const float xj = env.policy.template LoadAt<float>(cpu, parts, static_cast<uint64_t>(j) * kRec);
+        const float dx = xi - xj;
+        fx += dx / (0.1f + dx * dx);
+        cpu.Fp(6);
+      }
+      env.policy.template StoreAt<float>(cpu, parts, static_cast<uint64_t>(i) * kRec + 12, fx);
+    }
+    env.policy.Free(cpu, parts);
+  }
+};
+
+// --- sjeng ---------------------------------------------------------------------
+struct SjengBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    constexpr uint32_t kBoard = 128;
+    const uint32_t visits = 300 * 1000 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto board = AllocDenseFilled(env, cpu, kBoard, rng);
+    auto history = env.policy.Calloc(cpu, 4096, 4);
+    int32_t alpha = -30000;
+    for (uint32_t v = 0; v < visits; ++v) {
+      const uint32_t from = static_cast<uint32_t>(rng.NextBounded(kBoard));
+      const uint32_t to = static_cast<uint32_t>(rng.NextBounded(kBoard));
+      // make-move
+      const uint8_t piece = env.policy.template LoadAt<uint8_t>(cpu, board, from);
+      const uint8_t captured = env.policy.template LoadAt<uint8_t>(cpu, board, to);
+      env.policy.template StoreAt<uint8_t>(cpu, board, to, piece);
+      env.policy.template StoreAt<uint8_t>(cpu, board, from, 0);
+      // eval + history update
+      const int32_t score = static_cast<int32_t>(piece) - static_cast<int32_t>(captured);
+      const uint32_t h = (from * 131 + to) & 4095;
+      const uint32_t hv = env.policy.template LoadAt<uint32_t>(cpu, history, h * 4);
+      env.policy.template StoreAt<uint32_t>(cpu, history, h * 4, hv + 1);
+      cpu.Alu(10);
+      cpu.Branch(3);
+      if (score > alpha) {
+        alpha = score;
+      }
+      // unmake-move
+      env.policy.template StoreAt<uint8_t>(cpu, board, from, piece);
+      env.policy.template StoreAt<uint8_t>(cpu, board, to, captured);
+    }
+    Consume(static_cast<uint64_t>(alpha));
+  }
+};
+
+// --- sphinx3 -------------------------------------------------------------------
+struct Sphinx3Body {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    const uint32_t senones = 1024;
+    const uint32_t dims = 16;
+    const uint32_t frames = 400 * SizeMultiplier(cfg.size);
+    Rng rng(cfg.seed);
+    Cpu& cpu = env.cpu;
+    auto means = AllocDenseFilled(env, cpu, senones * dims * 4, rng);
+    auto vars = AllocDenseFilled(env, cpu, senones * dims * 4, rng);
+    for (uint32_t f = 0; f < frames; ++f) {
+      float feat[dims];
+      for (uint32_t d = 0; d < dims; ++d) {
+        feat[d] = static_cast<float>(rng.NextDouble());
+      }
+      float best = -1e30f;
+      for (uint32_t s = 0; s < senones; s += 4) {  // sampled senones
+        float score = 0;
+        for (uint32_t d = 0; d < dims; d += 4) {
+          const float m = env.policy.template LoadAt<float>(cpu, means, (s * dims + d) * 4);
+          const float var = env.policy.template LoadAt<float>(cpu, vars, (s * dims + d) * 4);
+          const float diff = feat[d] - m;
+          score -= diff * diff * (1.0f + var);
+          cpu.Fp(4);
+        }
+        best = std::max(best, score);
+        cpu.Branch();
+      }
+      ConsumeDouble(best);
+    }
+  }
+};
+
+// --- xalanc --------------------------------------------------------------------
+struct XalancBody {
+  template <typename P>
+  void operator()(Env<P>& env, const WorkloadConfig& cfg) const {
+    using Ptr = typename P::Ptr;
+    // DOM node: 144 B = {first_child Ptr, next_sibling Ptr, tag u32, ...}.
+    const uint32_t node_count = 500 * 1000 * SizeMultiplier(cfg.size);
+    constexpr uint32_t kNode = 144;
+    Cpu& cpu = env.cpu;
+    auto pool = env.policy.Calloc(cpu, node_count, kNode);
+    // Build a wide tree: node i's first child is 4i+1, sibling is i+1 within
+    // the same parent block.
+    const uint32_t linked = node_count;
+    for (uint32_t i = 0; i < linked; ++i) {
+      Ptr node = env.policy.Offset(cpu, pool, static_cast<uint64_t>(i) * kNode);
+      const uint32_t child = 4 * i + 1;
+      if (child < node_count) {
+        env.policy.StorePtr(cpu, node,
+                            env.policy.Offset(cpu, pool, static_cast<uint64_t>(child) * kNode));
+      }
+      if ((i & 3) != 0 && i + 1 < node_count) {
+        env.policy.StorePtr(
+            cpu, env.policy.Offset(cpu, node, 8),
+            env.policy.Offset(cpu, pool, static_cast<uint64_t>(i + 1) * kNode));
+      }
+      env.policy.template StoreField<uint32_t>(cpu, node, 16, i % 61);
+    }
+    // Transform pass: DFS matching tag patterns (the XSLT template walk).
+    uint64_t matches = 0;
+    Ptr stack_nodes[64];
+    uint32_t sp = 0;
+    stack_nodes[sp++] = env.policy.Offset(cpu, pool, 0);
+    uint32_t visited = 0;
+    const uint32_t budget = std::min(node_count, 2u * 1000 * 1000);
+    while (sp > 0 && visited < budget) {
+      Ptr node = stack_nodes[--sp];
+      ++visited;
+      const uint32_t tag = env.policy.template LoadField<uint32_t>(cpu, node, 16);
+      if (tag % 7 == 0) {
+        ++matches;
+        env.policy.template StoreField<uint32_t>(cpu, node, 20, tag);
+      }
+      cpu.Alu(3);
+      cpu.Branch(2);
+      Ptr child = env.policy.LoadPtr(cpu, node);
+      Ptr sibling = env.policy.LoadPtr(cpu, env.policy.Offset(cpu, node, 8));
+      if (env.policy.AddrOf(sibling) != 0 && sp < 63) {
+        stack_nodes[sp++] = sibling;
+      }
+      if (env.policy.AddrOf(child) != 0 && sp < 63) {
+        stack_nodes[sp++] = child;
+      }
+    }
+    Consume(matches);
+  }
+};
+
+}  // namespace
+
+void RegisterSpecWorkloads(WorkloadRegistry& registry) {
+  REGISTER_WORKLOAD(registry, "spec", "astar", false, AstarBody);
+  REGISTER_WORKLOAD(registry, "spec", "bzip2", false, Bzip2Body);
+  REGISTER_WORKLOAD(registry, "spec", "gobmk", false, GobmkBody);
+  REGISTER_WORKLOAD(registry, "spec", "h264ref", false, H264refBody);
+  REGISTER_WORKLOAD(registry, "spec", "hmmer", false, HmmerBody);
+  REGISTER_WORKLOAD(registry, "spec", "lbm", false, LbmBody);
+  REGISTER_WORKLOAD(registry, "spec", "libquantum", false, LibquantumBody);
+  REGISTER_WORKLOAD(registry, "spec", "mcf", false, McfBody);
+  REGISTER_WORKLOAD(registry, "spec", "milc", false, MilcBody);
+  REGISTER_WORKLOAD(registry, "spec", "namd", false, NamdBody);
+  REGISTER_WORKLOAD(registry, "spec", "sjeng", false, SjengBody);
+  REGISTER_WORKLOAD(registry, "spec", "sphinx3", false, Sphinx3Body);
+  REGISTER_WORKLOAD(registry, "spec", "xalanc", false, XalancBody);
+}
+
+}  // namespace sgxb

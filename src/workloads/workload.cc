@@ -1,0 +1,77 @@
+#include "src/workloads/workload.h"
+
+namespace sgxb {
+
+const char* SizeClassName(SizeClass size) {
+  switch (size) {
+    case SizeClass::kXS:
+      return "XS";
+    case SizeClass::kS:
+      return "S";
+    case SizeClass::kM:
+      return "M";
+    case SizeClass::kL:
+      return "L";
+    case SizeClass::kXL:
+      return "XL";
+  }
+  return "?";
+}
+
+uint32_t SizeMultiplier(SizeClass size) {
+  switch (size) {
+    case SizeClass::kXS:
+      return 1;
+    case SizeClass::kS:
+      return 2;
+    case SizeClass::kM:
+      return 4;
+    case SizeClass::kL:
+      return 8;
+    case SizeClass::kXL:
+      return 16;
+  }
+  return 1;
+}
+
+WorkloadRegistry& WorkloadRegistry::Instance() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    RegisterPhoenixWorkloads(*r);
+    RegisterParsecWorkloads(*r);
+    RegisterSpecWorkloads(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void WorkloadRegistry::Add(WorkloadInfo info) { workloads_.push_back(std::move(info)); }
+
+const WorkloadInfo* WorkloadRegistry::Find(const std::string& name) const {
+  for (const auto& w : workloads_) {
+    if (w.name == name) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const WorkloadInfo*> WorkloadRegistry::BySuite(const std::string& suite) const {
+  std::vector<const WorkloadInfo*> out;
+  for (const auto& w : workloads_) {
+    if (w.suite == suite) {
+      out.push_back(&w);
+    }
+  }
+  return out;
+}
+
+std::vector<const WorkloadInfo*> WorkloadRegistry::All() const {
+  std::vector<const WorkloadInfo*> out;
+  for (const auto& w : workloads_) {
+    out.push_back(&w);
+  }
+  return out;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,89 @@
+// Workload registry: the benchmark programs of the paper's evaluation.
+//
+// Every workload is a policy-templated kernel (see src/policy/policy.h). The
+// registry stores type-erased runners so benchmark binaries can iterate
+// "for each workload x for each policy" the way the paper's Fig. 7/11 do.
+//
+// Input sizing follows SS6.3: five size classes XS..XL per workload, scaled
+// so the interesting classes straddle the 94 MiB EPC. Since the simulator
+// charges per access, kernels are written to touch their full working set
+// with a bounded operation count (documented per kernel); the paper's
+// relative overheads depend on access *patterns* and *working-set size*, not
+// on wall-clock length.
+
+#ifndef SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_H_
+#define SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/policy/run.h"
+
+namespace sgxb {
+
+enum class SizeClass : uint8_t { kXS, kS, kM, kL, kXL };
+
+const char* SizeClassName(SizeClass size);
+
+struct WorkloadConfig {
+  SizeClass size = SizeClass::kL;
+  uint32_t threads = 1;
+  uint64_t seed = 42;
+};
+
+using WorkloadRunner =
+    std::function<RunResult(PolicyKind, const MachineSpec&, const PolicyOptions&,
+                            const WorkloadConfig&)>;
+
+struct WorkloadInfo {
+  std::string name;
+  std::string suite;  // "phoenix", "parsec", or "spec"
+  bool multithreaded = true;
+  WorkloadRunner run;
+};
+
+// Global registry (populated at static-init time by REGISTER_WORKLOAD).
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& Instance();
+
+  void Add(WorkloadInfo info);
+  const WorkloadInfo* Find(const std::string& name) const;
+  std::vector<const WorkloadInfo*> BySuite(const std::string& suite) const;
+  std::vector<const WorkloadInfo*> All() const;
+
+ private:
+  std::vector<WorkloadInfo> workloads_;
+};
+
+// Wraps a policy-templated body (a struct with a templated operator()) into
+// a type-erased runner.
+template <typename Body>
+WorkloadRunner MakeRunner(Body body) {
+  return [body](PolicyKind kind, const MachineSpec& spec, const PolicyOptions& options,
+                const WorkloadConfig& cfg) {
+    MachineSpec effective = spec;
+    effective.threads = cfg.threads;
+    effective.seed = cfg.seed;
+    return RunPolicyKind(kind, effective, options,
+                         [&body, &cfg](auto& env) { body(env, cfg); });
+  };
+}
+
+// Suite registration hooks (called once by WorkloadRegistry::Instance();
+// explicit functions rather than static initializers so a static-library
+// link cannot drop them).
+void RegisterPhoenixWorkloads(WorkloadRegistry& registry);
+void RegisterParsecWorkloads(WorkloadRegistry& registry);
+void RegisterSpecWorkloads(WorkloadRegistry& registry);
+
+#define REGISTER_WORKLOAD(registry, suite, name, multithreaded, BodyType) \
+  (registry).Add(::sgxb::WorkloadInfo{name, suite, multithreaded, ::sgxb::MakeRunner(BodyType{})})
+
+// Common scaling helper: returns a size-class multiplier 1, 2, 4, 8, 16.
+uint32_t SizeMultiplier(SizeClass size);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_H_

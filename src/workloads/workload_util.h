@@ -1,0 +1,66 @@
+// Shared helpers for workload kernels: array setup with bounded simulated
+// traffic, slice partitioning for the thread pool.
+
+#ifndef SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_UTIL_H_
+#define SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_UTIL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/policy/run.h"
+
+namespace sgxb {
+
+// Allocates `bytes` and initializes them with one charged 8-byte store per
+// cache line plus a bulk zero of the remainder. This touches every line of
+// the working set (correct cold-cache/EPC behaviour) while keeping the
+// simulated instruction count proportional to lines, not bytes - kernels
+// document this as their "input generation" phase.
+template <typename P>
+typename P::Ptr AllocSparseFilled(Env<P>& env, Cpu& cpu, uint32_t bytes, Rng& rng) {
+  auto p = env.policy.Malloc(cpu, bytes);
+  env.policy.Memset(cpu, p, 0, bytes);
+  auto span = env.policy.OpenSpan(cpu, p, bytes);
+  for (uint64_t off = 0; off + 8 <= bytes; off += kCacheLineSize) {
+    span.template Store<uint64_t>(cpu, off, rng.Next());
+  }
+  return p;
+}
+
+// Dense random fill (one charged store per 8 bytes); for small arrays.
+template <typename P>
+typename P::Ptr AllocDenseFilled(Env<P>& env, Cpu& cpu, uint32_t bytes, Rng& rng) {
+  auto p = env.policy.Malloc(cpu, bytes);
+  auto span = env.policy.OpenSpan(cpu, p, bytes);
+  for (uint64_t off = 0; off + 8 <= bytes; off += 8) {
+    span.template Store<uint64_t>(cpu, off, rng.Next());
+  }
+  return p;
+}
+
+// [begin, end) slice of `total` for worker `tid` of `n`.
+struct Slice {
+  uint64_t begin;
+  uint64_t end;
+};
+
+inline Slice SliceFor(uint64_t total, uint32_t tid, uint32_t nthreads) {
+  const uint64_t per = total / nthreads;
+  const uint64_t begin = static_cast<uint64_t>(tid) * per;
+  const uint64_t end = tid + 1 == nthreads ? total : begin + per;
+  return Slice{begin, end};
+}
+
+// Prevents the compiler from eliding host-side computation.
+inline void Consume(uint64_t value) {
+  volatile uint64_t sink = value;
+  (void)sink;
+}
+inline void ConsumeDouble(double value) {
+  volatile double sink = value;
+  (void)sink;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_WORKLOADS_WORKLOAD_UTIL_H_

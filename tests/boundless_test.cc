@@ -1,0 +1,122 @@
+// Tests for boundless memory (SS4.2): redirected stores/loads, zero-fill
+// semantics, LRU eviction, capacity bound, integration with the runtime's
+// kBoundless policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sgxbounds/bounds_runtime.h"
+
+namespace sgxb {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  Fixture() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 64 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 16 * kMiB);
+    rt = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get(), OobPolicy::kBoundless);
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SgxBoundsRuntime> rt;
+};
+
+TEST_F(Fixture, OobLoadWithNoChunkReturnsZero) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  // Dirty the adjacent memory so a missed redirect would read nonzero.
+  const TaggedPtr q = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, q, 0xdeadbeefu);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, TaggedAdd(p, 64)), 0u);
+  EXPECT_EQ(rt->boundless().stats().zero_fills, 1u);
+}
+
+TEST_F(Fixture, OobStoreDoesNotCorruptNeighbour) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 64);
+  const TaggedPtr b = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, b, 1111);
+  // Overflow `a` far enough to land inside `b` if not redirected.
+  const int64_t delta = static_cast<int64_t>(ExtractPtr(b)) - ExtractPtr(a);
+  rt->Store<uint32_t>(cpu, TaggedAdd(a, delta), 2222);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, b), 1111u);  // neighbour intact
+}
+
+TEST_F(Fixture, OobStoreThenLoadSeesValueThroughOverlay) {
+  // The "illusion of boundless memory": OOB store then OOB load from the
+  // same address observes the stored value.
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, TaggedAdd(p, 100), 777);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, TaggedAdd(p, 100)), 777u);
+  EXPECT_EQ(rt->boundless().stats().redirected_stores, 1u);
+  EXPECT_EQ(rt->boundless().stats().redirected_loads, 1u);
+}
+
+TEST_F(Fixture, InBoundsAccessesUnaffected) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, p, 5);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, p), 5u);
+  EXPECT_EQ(rt->boundless().stats().redirected_loads, 0u);
+  EXPECT_EQ(rt->boundless().stats().redirected_stores, 0u);
+}
+
+TEST_F(Fixture, ChunksAreReusedWithinSameKilobyte) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, TaggedAdd(p, 100), 1);
+  rt->Store<uint32_t>(cpu, TaggedAdd(p, 104), 2);
+  rt->Store<uint32_t>(cpu, TaggedAdd(p, 200), 3);
+  EXPECT_EQ(rt->boundless().stats().chunk_allocs, 1u);  // same 1 KiB chunk
+}
+
+TEST_F(Fixture, LruCapacityBoundsOverlayMemory) {
+  // A "negative size" style bug touching many distinct KBs cannot allocate
+  // more than the 1 MiB cap (1024 chunks).
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  BoundlessMemory& bl = rt->boundless();
+  for (uint32_t k = 0; k < 3000; ++k) {
+    rt->Store<uint32_t>(cpu, TaggedAdd(p, 1024 + k * BoundlessMemory::kChunkBytes), k);
+  }
+  EXPECT_LE(bl.chunk_count(), BoundlessMemory::kDefaultCapacity / BoundlessMemory::kChunkBytes);
+  EXPECT_GT(bl.stats().chunk_evictions, 0u);
+}
+
+TEST_F(Fixture, EvictedChunkReadsAsZeroAgain) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get(), /*capacity_bytes=*/2 * BoundlessMemory::kChunkBytes);
+  // Two chunks fit; writing a third evicts the first.
+  const uint32_t a1 = bl.RedirectStore(cpu, 0x100000);
+  enclave->Store<uint32_t>(cpu, a1, 11);
+  bl.RedirectStore(cpu, 0x200000);
+  bl.RedirectStore(cpu, 0x300000);
+  uint32_t out = 0;
+  EXPECT_FALSE(bl.RedirectLoad(cpu, 0x100000, &out));  // evicted -> zeros
+}
+
+TEST_F(Fixture, RedirectIsChargedAsSlowPath) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  const uint64_t before = cpu.cycles();
+  rt->Load<uint32_t>(cpu, p);
+  const uint64_t fast = cpu.cycles() - before;
+  const uint64_t before2 = cpu.cycles();
+  rt->Load<uint32_t>(cpu, TaggedAdd(p, 5000));
+  const uint64_t slow = cpu.cycles() - before2;
+  EXPECT_GT(slow, fast * 3);
+}
+
+TEST_F(Fixture, FailFastModeStillTraps) {
+  rt->set_policy(OobPolicy::kFailFast);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  EXPECT_THROW(rt->Load<uint32_t>(cpu, TaggedAdd(p, 64)), SimTrap);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,236 @@
+// Tests for the SGXBounds runtime: malloc/footer layout, check semantics,
+// fail-fast traps, pointer arithmetic instrumentation, range checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sgxbounds/bounds_runtime.h"
+
+namespace sgxb {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  Fixture() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 64 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 16 * kMiB);
+    rt = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get());
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SgxBoundsRuntime> rt;
+};
+
+TEST_F(Fixture, MallocTagsPointerWithBounds) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 100);
+  EXPECT_NE(ExtractPtr(p), 0u);
+  EXPECT_EQ(ExtractUb(p), ExtractPtr(p) + 100);
+}
+
+TEST_F(Fixture, FooterHoldsLowerBound) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  const uint32_t ub = ExtractUb(p);
+  EXPECT_EQ(enclave->Peek<uint32_t>(ub), ExtractPtr(p));
+}
+
+TEST_F(Fixture, MallocAddsOnlyFourBytes) {
+  // SS3.1: metadata is 4 bytes per object (paper's 0.1% memory overhead).
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 100);
+  EXPECT_EQ(heap->BlockSize(ExtractPtr(p)), 104u);
+  EXPECT_EQ(rt->FooterBytes(), 4u);
+}
+
+TEST_F(Fixture, InBoundsAccessSucceeds) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  rt->Store<uint32_t>(cpu, p, 42);
+  rt->Store<uint32_t>(cpu, TaggedAdd(p, 60), 7);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, p), 42u);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, TaggedAdd(p, 60)), 7u);
+}
+
+TEST_F(Fixture, OutOfBoundsTrapsInFailFast) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  EXPECT_THROW(rt->Load<uint32_t>(cpu, TaggedAdd(p, 64)), SimTrap);
+  EXPECT_THROW(rt->Load<uint32_t>(cpu, TaggedAdd(p, 61)), SimTrap);  // size-aware
+  EXPECT_THROW(rt->Store<uint32_t>(cpu, TaggedAdd(p, -4), 0), SimTrap);
+  try {
+    rt->Load<uint32_t>(cpu, TaggedAdd(p, 1000));
+    FAIL();
+  } catch (const SimTrap& t) {
+    EXPECT_EQ(t.kind(), TrapKind::kSgxBoundsViolation);
+  }
+  EXPECT_EQ(rt->stats().violations, 4u);
+}
+
+TEST_F(Fixture, OffByOneWriteIsCaught) {
+  // The canonical off-by-one from the paper's Fig. 4 example.
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t n = 16;
+  const TaggedPtr arr = rt->Malloc(cpu, n * 4);
+  for (uint32_t i = 0; i < n; ++i) {
+    rt->Store<uint32_t>(cpu, TaggedAdd(arr, i * 4), i);
+  }
+  EXPECT_THROW(rt->Store<uint32_t>(cpu, TaggedAdd(arr, n * 4), 0), SimTrap);
+}
+
+TEST_F(Fixture, OverflowCannotCorruptFooterOfNeighbour) {
+  // Writing up to UB-1 is allowed; the footer at UB belongs to the object
+  // and an in-bounds store can never touch it.
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 32);
+  const uint32_t lb_before = enclave->Peek<uint32_t>(ExtractUb(a));
+  rt->Store<uint32_t>(cpu, TaggedAdd(a, 28), 0xffffffffu);  // last valid word
+  EXPECT_EQ(enclave->Peek<uint32_t>(ExtractUb(a)), lb_before);
+}
+
+TEST_F(Fixture, UntaggedPointersPassUnchecked) {
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t raw = heap->Alloc(cpu, 64);
+  const TaggedPtr untagged = MakeTagged(raw, 0);
+  rt->Store<uint32_t>(cpu, untagged, 5);
+  EXPECT_EQ(rt->Load<uint32_t>(cpu, untagged), 5u);
+  EXPECT_EQ(rt->stats().checks, 0u);
+}
+
+TEST_F(Fixture, FreeReleasesBlockViaLb) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 128);
+  const uint32_t base = ExtractPtr(p);
+  // Free through an interior pointer: LB from the footer finds the base.
+  rt->Free(cpu, TaggedAdd(p, 64));
+  EXPECT_FALSE(heap->IsLive(base));
+}
+
+TEST_F(Fixture, CallocZeroes) {
+  Cpu& cpu = enclave->main_cpu();
+  // Dirty a block, free it, calloc the same size: must read zeros.
+  const TaggedPtr d = rt->Malloc(cpu, 64);
+  rt->Store<uint64_t>(cpu, d, 0xffffffffffffffffULL);
+  rt->Free(cpu, d);
+  const TaggedPtr p = rt->Calloc(cpu, 16, 4);
+  EXPECT_EQ(rt->Load<uint64_t>(cpu, p), 0u);
+}
+
+TEST_F(Fixture, PtrAddChargesAluAndPreservesUb) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  const uint64_t alu_before = cpu.counters().alu_ops;
+  const TaggedPtr q = rt->PtrAdd(cpu, p, 8);
+  EXPECT_EQ(cpu.counters().alu_ops, alu_before + 2);
+  EXPECT_EQ(ExtractUb(q), ExtractUb(p));
+}
+
+TEST_F(Fixture, CheckRangeAcceptsExactExtent) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 256);
+  rt->CheckRange(cpu, p, 256);  // must not throw
+  EXPECT_THROW(rt->CheckRange(cpu, p, 257), SimTrap);
+}
+
+TEST_F(Fixture, UpperOnlyCheckSkipsLbLoad) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  const uint64_t meta_before = cpu.counters().metadata_loads;
+  rt->CheckAccessUpperOnly(cpu, p, 4, AccessType::kRead);
+  EXPECT_EQ(cpu.counters().metadata_loads, meta_before);  // no LB load
+  rt->CheckAccess(cpu, p, 4, AccessType::kRead);
+  EXPECT_EQ(cpu.counters().metadata_loads, meta_before + 1);
+}
+
+TEST_F(Fixture, SpecifyBoundsOnCallerStorage) {
+  // Globals/stack path: caller owns storage incl. footer space.
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t base = heap->Alloc(cpu, 100 + 4);
+  const TaggedPtr p = rt->SpecifyBounds(cpu, base, base + 100, ObjKind::kGlobal);
+  EXPECT_EQ(ExtractPtr(p), base);
+  EXPECT_EQ(ExtractUb(p), base + 100);
+  rt->Store<uint8_t>(cpu, TaggedAdd(p, 99), 1);
+  EXPECT_THROW(rt->Store<uint8_t>(cpu, TaggedAdd(p, 100), 1), SimTrap);
+}
+
+TEST_F(Fixture, ChecksAreCounted) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  rt->Load<uint32_t>(cpu, p);
+  rt->Load<uint32_t>(cpu, p);
+  EXPECT_EQ(rt->stats().checks, 2u);
+  EXPECT_EQ(cpu.counters().bounds_checks, 2u);
+}
+
+TEST_F(Fixture, NarrowBoundsRestrictsField) {
+  // SS8 extension: struct { char buf[16]; u64 fptr; } - narrowing &s.buf
+  // stops the in-struct overflow that whole-object bounds allow.
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr obj = rt->Malloc(cpu, 24);
+  const TaggedPtr field = rt->NarrowBounds(cpu, obj, 0, 16);
+  EXPECT_TRUE(rt->IsNarrowed(field));
+  EXPECT_FALSE(rt->IsNarrowed(obj));
+  // Whole-object pointer reaches offset 16 (the sibling member): allowed.
+  rt->Store<uint8_t>(cpu, TaggedAdd(obj, 16), 1);
+  // Narrowed pointer cannot.
+  const ResolvedAccess ok =
+      rt->CheckAccessAuto(cpu, TaggedAdd(field, 15), 1, AccessType::kWrite);
+  EXPECT_EQ(ok.addr, ExtractPtr(field) + 15);
+  EXPECT_THROW(rt->CheckAccessAuto(cpu, TaggedAdd(field, 16), 1, AccessType::kWrite),
+               SimTrap);
+}
+
+TEST_F(Fixture, NarrowBoundsRejectsEscapingField) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr obj = rt->Malloc(cpu, 24);
+  EXPECT_THROW(rt->NarrowBounds(cpu, obj, 16, 16), SimTrap);  // past the object
+}
+
+TEST_F(Fixture, NarrowedCheckSkipsLbFooterLoad) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr obj = rt->Malloc(cpu, 32);
+  const TaggedPtr field = rt->NarrowBounds(cpu, obj, 0, 16);
+  const uint64_t meta = cpu.counters().metadata_loads;
+  rt->CheckAccessAuto(cpu, field, 4, AccessType::kRead);
+  EXPECT_EQ(cpu.counters().metadata_loads, meta);  // UB-only path
+}
+
+// Parameterized sweep: every offset in a small object behaves correctly for
+// every access size (property: violated iff off + size > object size).
+class AccessSweep : public Fixture,
+                    public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(AccessSweep, ViolationIffPastEnd) {
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t obj_size = 32;
+  const TaggedPtr p = rt->Malloc(cpu, obj_size);
+  const int off = std::get<0>(GetParam());
+  const int size = std::get<1>(GetParam());
+  const bool should_violate = off + size > static_cast<int>(obj_size);
+  bool violated = false;
+  try {
+    switch (size) {
+      case 1:
+        rt->Load<uint8_t>(cpu, TaggedAdd(p, off));
+        break;
+      case 4:
+        rt->Load<uint32_t>(cpu, TaggedAdd(p, off));
+        break;
+      case 8:
+        rt->Load<uint64_t>(cpu, TaggedAdd(p, off));
+        break;
+    }
+  } catch (const SimTrap&) {
+    violated = true;
+  }
+  EXPECT_EQ(violated, should_violate) << "off=" << off << " size=" << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetsAndSizes, AccessSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 24, 28, 29, 31, 32),
+                                            ::testing::Values(1, 4, 8)));
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,85 @@
+// Tests for the set-associative cache model.
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/sim/cache.h"
+
+namespace sgxb {
+namespace {
+
+TEST(CacheTest, GeometryDerivedFromSizeAndWays) {
+  Cache c(32 * kKiB, 8);
+  EXPECT_EQ(c.sets(), 32u * 1024 / 64 / 8);
+  EXPECT_EQ(c.ways(), 8u);
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(32 * kKiB, 8);
+  EXPECT_FALSE(c.Access(100));
+  EXPECT_TRUE(c.Access(100));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  Cache c(32 * kKiB, 8);  // 64 sets
+  const uint32_t sets = c.sets();
+  // Fill one set with 8 distinct lines, then a 9th evicts the LRU (first).
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(c.Access(i * sets));
+  }
+  // Touch line 0 to make line 1*sets the LRU.
+  EXPECT_TRUE(c.Access(0));
+  EXPECT_FALSE(c.Access(8 * sets));   // evicts 1*sets
+  EXPECT_TRUE(c.Access(0));           // still resident
+  EXPECT_FALSE(c.Access(1 * sets));   // was evicted
+}
+
+TEST(CacheTest, ContainsDoesNotAllocate) {
+  Cache c(32 * kKiB, 8);
+  EXPECT_FALSE(c.Contains(5));
+  EXPECT_EQ(c.misses(), 0u);
+  c.Access(5);
+  EXPECT_TRUE(c.Contains(5));
+}
+
+TEST(CacheTest, FlushEmptiesCache) {
+  Cache c(32 * kKiB, 8);
+  c.Access(1);
+  c.Access(2);
+  c.Flush();
+  EXPECT_FALSE(c.Contains(1));
+  EXPECT_FALSE(c.Contains(2));
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  Cache c(32 * kKiB, 8);
+  const uint32_t lines = static_cast<uint32_t>(32 * kKiB / kCacheLineSize);
+  // Two sequential sweeps over 4x the capacity: second sweep still misses.
+  uint64_t misses_after_first;
+  for (uint32_t i = 0; i < 4 * lines; ++i) {
+    c.Access(i);
+  }
+  misses_after_first = c.misses();
+  for (uint32_t i = 0; i < 4 * lines; ++i) {
+    c.Access(i);
+  }
+  EXPECT_EQ(c.misses(), 2 * misses_after_first);
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCacheHitsOnReuse) {
+  Cache c(32 * kKiB, 8);
+  const uint32_t lines = static_cast<uint32_t>(32 * kKiB / kCacheLineSize) / 2;
+  for (uint32_t i = 0; i < lines; ++i) {
+    c.Access(i);
+  }
+  const uint64_t misses = c.misses();
+  for (uint32_t i = 0; i < lines; ++i) {
+    c.Access(i);
+  }
+  EXPECT_EQ(c.misses(), misses);  // all hits on the second sweep
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,192 @@
+// Tests for src/common: PRNG determinism and distributions, statistics,
+// table rendering, flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace sgxb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(17);
+  uint64_t low_ranks = 0;
+  const uint64_t n = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = rng.NextZipf(n, 0.9);
+    EXPECT_LT(r, n);
+    if (r < n / 10) {
+      ++low_ranks;
+    }
+  }
+  // Zipf(0.9): the top decile should receive well over half the draws.
+  EXPECT_GT(low_ranks, 5000u);
+}
+
+TEST(RngTest, NextKeyHasRequestedLength) {
+  Rng rng(23);
+  const std::string key = rng.NextKey(16);
+  EXPECT_EQ(key.size(), 16u);
+  for (char c : key) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-12);
+}
+
+TEST(StatsTest, GeoMean) {
+  EXPECT_DOUBLE_EQ(GeoMean({1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_NEAR(GeoMean({1.17, 1.17, 1.17}), 1.17, 1e-12);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(StatsTest, Formatters) {
+  EXPECT_EQ(FormatRatio(1.175), "1.18x");
+  EXPECT_EQ(FormatOverheadPercent(1.17), "+17.0%");
+  EXPECT_EQ(FormatBytes(71 * kMiB), "71.0 MB");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  Table t({"bench", "SGX", "SGXBounds"});
+  t.AddRow({"kmeans", "1.00x", "1.17x"});
+  t.AddSeparator();
+  t.AddRow({"gmean", "1.00x", "1.17x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("kmeans"), std::string::npos);
+  EXPECT_NE(out.find("1.17x"), std::string::npos);
+  // Header separator plus separator row -> at least 4 horizontal rules.
+  size_t rules = 0;
+  for (size_t pos = out.find('+'); pos != std::string::npos; pos = out.find('+', pos + 1)) {
+    if (pos == 0 || out[pos - 1] == '\n') {
+      ++rules;
+    }
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  FlagParser parser;
+  int64_t threads = 1;
+  uint64_t epc = 0;
+  double theta = 0.0;
+  bool verbose = false;
+  std::string name;
+  parser.AddInt("threads", &threads, "");
+  parser.AddUint("epc", &epc, "");
+  parser.AddDouble("theta", &theta, "");
+  parser.AddBool("verbose", &verbose, "");
+  parser.AddString("name", &name, "");
+
+  const char* argv[] = {"prog",      "--threads=8", "--epc", "94", "--theta=0.99",
+                        "--verbose", "--name=fig7", "pos"};
+  auto positional = parser.Parse(8, const_cast<char**>(argv));
+  EXPECT_EQ(threads, 8);
+  EXPECT_EQ(epc, 94u);
+  EXPECT_DOUBLE_EQ(theta, 0.99);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "fig7");
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "pos");
+}
+
+TEST(UnitsTest, AlignAndPageHelpers) {
+  EXPECT_EQ(AlignUp(1u, 16u), 16u);
+  EXPECT_EQ(AlignUp(16u, 16u), 16u);
+  EXPECT_EQ(PagesFor(1), 1u);
+  EXPECT_EQ(PagesFor(kPageSize), 1u);
+  EXPECT_EQ(PagesFor(kPageSize + 1), 2u);
+  EXPECT_EQ(PageOf(kPageSize), 1u);
+  EXPECT_EQ(LineOf(64), 1u);
+}
+
+}  // namespace
+}  // namespace sgxb

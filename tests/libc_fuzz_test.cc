@@ -1,0 +1,143 @@
+// Differential fuzzing of the fortified libc against the host's semantics:
+// for random strings and buffers, every wrapper must (a) agree with the
+// host's <cstring> result when the operation is in bounds, and (b) return
+// EINVAL without touching memory when it is not.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/sgxbounds/libc.h"
+
+namespace sgxb {
+namespace {
+
+struct Rig {
+  Rig() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 64 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 16 * kMiB);
+    rt = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get());
+    libc = std::make_unique<FortifiedLibc>(rt.get());
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SgxBoundsRuntime> rt;
+  std::unique_ptr<FortifiedLibc> libc;
+};
+
+class LibcFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibcFuzz, MemcpyMemcmpAgreeWithHost) {
+  Rig rig;
+  Cpu& cpu = rig.enclave->main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 1);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t size_a = 1 + static_cast<uint32_t>(rng.NextBounded(256));
+    const uint32_t size_b = 1 + static_cast<uint32_t>(rng.NextBounded(256));
+    const TaggedPtr a = rig.rt->Malloc(cpu, size_a);
+    const TaggedPtr b = rig.rt->Malloc(cpu, size_b);
+    std::string host_a(size_a, 0);
+    for (auto& c : host_a) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    // Fill enclave buffer a to match host_a.
+    for (uint32_t i = 0; i < size_a; ++i) {
+      rig.rt->Store<uint8_t>(cpu, TaggedAdd(a, i), static_cast<uint8_t>(host_a[i]));
+    }
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextBounded(300));
+    const bool fits = n <= size_a && n <= size_b;
+    const LibcError err = rig.libc->Memcpy(cpu, b, a, n);
+    if (!fits) {
+      EXPECT_EQ(err, LibcError::kEinval);
+    } else {
+      ASSERT_EQ(err, LibcError::kOk);
+      int cmp = 1;
+      ASSERT_EQ(rig.libc->Memcmp(cpu, a, b, n, &cmp), LibcError::kOk);
+      EXPECT_EQ(cmp, 0);
+      // Spot-check against host bytes.
+      const uint32_t probe = static_cast<uint32_t>(rng.NextBounded(n));
+      EXPECT_EQ(rig.rt->Load<uint8_t>(cpu, TaggedAdd(b, probe)),
+                static_cast<uint8_t>(host_a[probe]));
+    }
+    rig.rt->Free(cpu, a);
+    rig.rt->Free(cpu, b);
+  }
+}
+
+TEST_P(LibcFuzz, StringFunctionsAgreeWithHost) {
+  Rig rig;
+  Cpu& cpu = rig.enclave->main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863 + 2);
+  for (int round = 0; round < 200; ++round) {
+    // Random printable strings (may contain no NUL until we add it).
+    const uint32_t len = static_cast<uint32_t>(rng.NextBounded(120));
+    std::string host = rng.NextKey(len);
+    const uint32_t buf_size = len + 1 + static_cast<uint32_t>(rng.NextBounded(32));
+    const TaggedPtr s = rig.rt->Malloc(cpu, buf_size);
+    ASSERT_EQ(rig.libc->CopyInString(cpu, s, host), LibcError::kOk);
+
+    uint32_t measured = 0;
+    ASSERT_EQ(rig.libc->Strlen(cpu, s, &measured), LibcError::kOk);
+    EXPECT_EQ(measured, host.size());
+
+    // strchr agrees with host.
+    const char needle = static_cast<char>('a' + rng.NextBounded(26));
+    TaggedPtr hit = 0;
+    ASSERT_EQ(rig.libc->Strchr(cpu, s, needle, &hit), LibcError::kOk);
+    const char* host_hit = std::strchr(host.c_str(), needle);
+    if (host_hit == nullptr) {
+      EXPECT_EQ(hit, 0u);
+    } else {
+      ASSERT_NE(hit, 0u);
+      EXPECT_EQ(ExtractPtr(hit) - ExtractPtr(s),
+                static_cast<uint32_t>(host_hit - host.c_str()));
+    }
+
+    // strcmp against a mutated copy agrees in sign with the host.
+    std::string other = host;
+    if (!other.empty() && rng.NextBounded(2) == 0) {
+      other[rng.NextBounded(other.size())] = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    const TaggedPtr t = rig.rt->Malloc(cpu, static_cast<uint32_t>(other.size()) + 1);
+    ASSERT_EQ(rig.libc->CopyInString(cpu, t, other), LibcError::kOk);
+    int cmp = 0;
+    ASSERT_EQ(rig.libc->Strcmp(cpu, s, t, &cmp), LibcError::kOk);
+    const int host_cmp = std::strcmp(host.c_str(), other.c_str());
+    EXPECT_EQ(cmp < 0, host_cmp < 0);
+    EXPECT_EQ(cmp == 0, host_cmp == 0);
+    EXPECT_EQ(cmp > 0, host_cmp > 0);
+
+    rig.rt->Free(cpu, s);
+    rig.rt->Free(cpu, t);
+  }
+}
+
+TEST_P(LibcFuzz, OverflowingCopiesNeverCorruptNeighbours) {
+  Rig rig;
+  Cpu& cpu = rig.enclave->main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 32452843 + 3);
+  for (int round = 0; round < 100; ++round) {
+    const uint32_t size = 8 + static_cast<uint32_t>(rng.NextBounded(64));
+    const TaggedPtr dst = rig.rt->Malloc(cpu, size);
+    const TaggedPtr sentinel = rig.rt->Malloc(cpu, 16);
+    rig.rt->Store<uint64_t>(cpu, sentinel, 0x5e17a9e15e17a9e1ULL);
+    const TaggedPtr src = rig.rt->Malloc(cpu, 4096);
+    // Attacker-length copy, always past dst's end.
+    const uint32_t n = size + 1 + static_cast<uint32_t>(rng.NextBounded(512));
+    EXPECT_EQ(rig.libc->Memcpy(cpu, dst, src, n), LibcError::kEinval);
+    EXPECT_EQ(rig.rt->Load<uint64_t>(cpu, sentinel), 0x5e17a9e15e17a9e1ULL);
+    rig.rt->Free(cpu, src);
+    rig.rt->Free(cpu, sentinel);
+    rig.rt->Free(cpu, dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LibcFuzz, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sgxb

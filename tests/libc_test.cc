@@ -1,0 +1,135 @@
+// Tests for the fortified libc wrappers: correct data movement, EINVAL on
+// bounds violations (never boundless fallback - SS5.1), string semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sgxbounds/libc.h"
+
+namespace sgxb {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  Fixture() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 64 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 16 * kMiB);
+    rt = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get());
+    libc = std::make_unique<FortifiedLibc>(rt.get());
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<SgxBoundsRuntime> rt;
+  std::unique_ptr<FortifiedLibc> libc;
+};
+
+TEST_F(Fixture, MemcpyMovesBytes) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr src = rt->Malloc(cpu, 64);
+  const TaggedPtr dst = rt->Malloc(cpu, 64);
+  ASSERT_EQ(libc->CopyInString(cpu, src, "hello world"), LibcError::kOk);
+  EXPECT_EQ(libc->Memcpy(cpu, dst, src, 12), LibcError::kOk);
+  std::string out;
+  ASSERT_EQ(libc->ReadString(cpu, dst, &out), LibcError::kOk);
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST_F(Fixture, MemcpyOverflowReturnsEinval) {
+  // The Heartbleed pattern: copy length exceeds the source object.
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr src = rt->Malloc(cpu, 16);
+  const TaggedPtr dst = rt->Malloc(cpu, 64 * 1024);
+  EXPECT_EQ(libc->Memcpy(cpu, dst, src, 64 * 1024), LibcError::kEinval);
+  EXPECT_EQ(libc->violations(), 1u);
+}
+
+TEST_F(Fixture, MemcpyDstOverflowReturnsEinval) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr src = rt->Malloc(cpu, 128);
+  const TaggedPtr dst = rt->Malloc(cpu, 16);
+  EXPECT_EQ(libc->Memcpy(cpu, dst, src, 128), LibcError::kEinval);
+}
+
+TEST_F(Fixture, MemsetFillsAndChecks) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 32);
+  EXPECT_EQ(libc->Memset(cpu, p, 0xab, 32), LibcError::kOk);
+  EXPECT_EQ(rt->Load<uint8_t>(cpu, TaggedAdd(p, 31)), 0xabu);
+  EXPECT_EQ(libc->Memset(cpu, p, 0, 33), LibcError::kEinval);
+}
+
+TEST_F(Fixture, MemcmpComparesAndChecks) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 16);
+  const TaggedPtr b = rt->Malloc(cpu, 16);
+  libc->CopyInString(cpu, a, "abc");
+  libc->CopyInString(cpu, b, "abd");
+  int result = 0;
+  EXPECT_EQ(libc->Memcmp(cpu, a, b, 4, &result), LibcError::kOk);
+  EXPECT_LT(result, 0);
+  EXPECT_EQ(libc->Memcmp(cpu, a, b, 17, &result), LibcError::kEinval);
+}
+
+TEST_F(Fixture, StrlenStopsAtBoundIfUnterminated) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 8);
+  // Fill with non-zero bytes; no terminator inside bounds.
+  libc->Memset(cpu, p, 'x', 8);
+  uint32_t len = 0;
+  EXPECT_EQ(libc->Strlen(cpu, p, &len), LibcError::kEinval);
+}
+
+TEST_F(Fixture, StrcpyAndStrcmp) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 32);
+  const TaggedPtr b = rt->Malloc(cpu, 32);
+  libc->CopyInString(cpu, a, "sgxbounds");
+  EXPECT_EQ(libc->Strcpy(cpu, b, a), LibcError::kOk);
+  int cmp = 1;
+  EXPECT_EQ(libc->Strcmp(cpu, a, b, &cmp), LibcError::kOk);
+  EXPECT_EQ(cmp, 0);
+}
+
+TEST_F(Fixture, StrcpyIntoTooSmallBufferFails) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 32);
+  const TaggedPtr b = rt->Malloc(cpu, 4);
+  libc->CopyInString(cpu, a, "longer-than-four");
+  EXPECT_EQ(libc->Strcpy(cpu, b, a), LibcError::kEinval);
+}
+
+TEST_F(Fixture, StrncpyTruncates) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr a = rt->Malloc(cpu, 32);
+  const TaggedPtr b = rt->Malloc(cpu, 8);
+  libc->CopyInString(cpu, a, "abcdefghij");
+  EXPECT_EQ(libc->Strncpy(cpu, b, a, 8), LibcError::kOk);
+  EXPECT_EQ(rt->Load<uint8_t>(cpu, TaggedAdd(b, 7)), static_cast<uint8_t>('h'));
+}
+
+TEST_F(Fixture, StrchrFindsCharacterWithBound) {
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr s = rt->Malloc(cpu, 16);
+  libc->CopyInString(cpu, s, "find=me");
+  TaggedPtr hit = 0;
+  EXPECT_EQ(libc->Strchr(cpu, s, '=', &hit), LibcError::kOk);
+  EXPECT_EQ(ExtractPtr(hit), ExtractPtr(s) + 4);
+  EXPECT_EQ(ExtractUb(hit), ExtractUb(s));  // bound inherited
+  EXPECT_EQ(libc->Strchr(cpu, s, 'z', &hit), LibcError::kOk);
+  EXPECT_EQ(hit, 0u);
+}
+
+TEST_F(Fixture, WrappersNeverUseBoundlessOverlay) {
+  // SS5.1: wrappers return errno instead of redirecting.
+  rt->set_policy(OobPolicy::kBoundless);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr src = rt->Malloc(cpu, 16);
+  const TaggedPtr dst = rt->Malloc(cpu, 8);
+  EXPECT_EQ(libc->Memcpy(cpu, dst, src, 16), LibcError::kEinval);
+  EXPECT_EQ(rt->boundless().stats().redirected_stores, 0u);
+}
+
+}  // namespace
+}  // namespace sgxb

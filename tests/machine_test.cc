@@ -1,0 +1,135 @@
+// Tests for Cpu/MemorySystem cycle charging: hierarchy latencies, MEE and
+// EPC-fault charging in enclave mode, and counter bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+
+namespace sgxb {
+namespace {
+
+SimConfig SmallConfig(bool enclave) {
+  SimConfig cfg;
+  cfg.enclave_mode = enclave;
+  cfg.epc_bytes = 16 * kPageSize;
+  return cfg;
+}
+
+TEST(MachineTest, AluBranchFpCharges) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.Alu(3);
+  cpu.Branch();
+  cpu.Fp(2);
+  const auto& costs = mem.costs();
+  EXPECT_EQ(cpu.cycles(), 3 * costs.alu + costs.branch + 2 * costs.fp);
+  EXPECT_EQ(cpu.counters().alu_ops, 3u);
+  EXPECT_EQ(cpu.counters().branches, 1u);
+  EXPECT_EQ(cpu.counters().fp_ops, 2u);
+}
+
+TEST(MachineTest, ColdAccessMissesAllLevels) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x1000, 4, AccessClass::kAppLoad);
+  EXPECT_EQ(cpu.counters().l1_misses, 1u);
+  EXPECT_EQ(cpu.counters().l2_misses, 1u);
+  EXPECT_EQ(cpu.counters().llc_misses, 1u);
+  EXPECT_EQ(cpu.cycles(), static_cast<uint64_t>(mem.costs().dram));
+}
+
+TEST(MachineTest, WarmAccessHitsL1) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x1000, 4, AccessClass::kAppLoad);
+  const uint64_t cold = cpu.cycles();
+  cpu.MemAccess(0x1000, 4, AccessClass::kAppLoad);
+  EXPECT_EQ(cpu.cycles() - cold, static_cast<uint64_t>(mem.costs().l1_hit));
+  EXPECT_EQ(cpu.counters().l1_accesses, 2u);
+  EXPECT_EQ(cpu.counters().l1_misses, 1u);
+}
+
+TEST(MachineTest, EnclaveModeChargesMeeAndFault) {
+  MemorySystem mem(SmallConfig(true));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x1000, 4, AccessClass::kAppLoad);
+  const auto& costs = mem.costs();
+  EXPECT_EQ(cpu.cycles(), static_cast<uint64_t>(costs.dram) + costs.mee_line + costs.epc_fault);
+  EXPECT_EQ(cpu.counters().epc_faults, 1u);
+  // Same page, different line: resident page, no fault, still MEE.
+  cpu.MemAccess(0x1040, 4, AccessClass::kAppLoad);
+  EXPECT_EQ(cpu.counters().epc_faults, 1u);
+}
+
+TEST(MachineTest, NonEnclaveModeNeverFaultsEpc) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  for (uint32_t p = 0; p < 64; ++p) {
+    cpu.MemAccess(p * kPageSize, 4, AccessClass::kAppLoad);
+  }
+  EXPECT_EQ(cpu.counters().epc_faults, 0u);
+}
+
+TEST(MachineTest, MultiLineAccessTouchesEachLine) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x1000, 256, AccessClass::kAppStore);  // 4 lines
+  EXPECT_EQ(cpu.counters().l1_accesses, 4u);
+  EXPECT_EQ(cpu.counters().stores, 1u);
+}
+
+TEST(MachineTest, StraddlingAccessTouchesTwoLines) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x103e, 4, AccessClass::kAppLoad);  // crosses a 64B boundary
+  EXPECT_EQ(cpu.counters().l1_accesses, 2u);
+}
+
+TEST(MachineTest, MetadataClassCountsSeparately) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu cpu(&mem);
+  cpu.MemAccess(0x1000, 4, AccessClass::kMetadataLoad);
+  cpu.MemAccess(0x2000, 4, AccessClass::kMetadataStore);
+  EXPECT_EQ(cpu.counters().metadata_loads, 1u);
+  EXPECT_EQ(cpu.counters().metadata_stores, 1u);
+  EXPECT_EQ(cpu.counters().loads, 0u);
+  EXPECT_EQ(cpu.counters().stores, 0u);
+}
+
+TEST(MachineTest, SyscallCostDependsOnMode) {
+  MemorySystem enclave_mem(SmallConfig(true));
+  MemorySystem native_mem(SmallConfig(false));
+  Cpu a(&enclave_mem);
+  Cpu b(&native_mem);
+  a.Syscall();
+  b.Syscall();
+  EXPECT_GT(a.cycles(), b.cycles());
+}
+
+TEST(MachineTest, CountersAggregate) {
+  PerfCounters a;
+  PerfCounters b;
+  a.cycles = 10;
+  a.loads = 2;
+  b.cycles = 5;
+  b.loads = 1;
+  b.epc_faults = 3;
+  a += b;
+  EXPECT_EQ(a.cycles, 15u);
+  EXPECT_EQ(a.loads, 3u);
+  EXPECT_EQ(a.page_faults(), 3u);
+}
+
+TEST(MachineTest, SharedLlcAcrossCpus) {
+  MemorySystem mem(SmallConfig(false));
+  Cpu a(&mem);
+  Cpu b(&mem);
+  a.MemAccess(0x5000, 4, AccessClass::kAppLoad);  // fills LLC
+  b.MemAccess(0x5000, 4, AccessClass::kAppLoad);  // misses private L1/L2, hits LLC
+  EXPECT_EQ(b.counters().llc_misses, 0u);
+  EXPECT_EQ(b.counters().l1_misses, 1u);
+  EXPECT_EQ(b.cycles(), static_cast<uint64_t>(mem.costs().l3_hit));
+}
+
+}  // namespace
+}  // namespace sgxb

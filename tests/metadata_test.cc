@@ -1,0 +1,151 @@
+// Tests for the metadata management API (SS4.3, Table 2): hook firing,
+// extra metadata slots, and the paper's double-free-detection example.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sgxbounds/bounds_runtime.h"
+
+namespace sgxb {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  Fixture() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 64 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 16 * kMiB);
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+};
+
+TEST_F(Fixture, OnCreateFiresForMalloc) {
+  MetadataRegistry registry;
+  std::vector<std::pair<uint32_t, uint32_t>> created;
+  MetadataHooks hooks;
+  hooks.on_create = [&](Cpu&, uint32_t base, uint32_t size, ObjKind kind) {
+    EXPECT_EQ(kind, ObjKind::kHeap);
+    created.emplace_back(base, size);
+  };
+  registry.Register(std::move(hooks));
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt.Malloc(cpu, 48);
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_EQ(created[0].first, ExtractPtr(p));
+  EXPECT_EQ(created[0].second, 48u);
+}
+
+TEST_F(Fixture, OnAccessFiresWithFooterAddress) {
+  MetadataRegistry registry;
+  uint32_t seen_metadata = 0;
+  AccessType seen_type = AccessType::kRead;
+  MetadataHooks hooks;
+  hooks.on_access = [&](Cpu&, uint32_t, uint32_t, uint32_t metadata, AccessType type) {
+    seen_metadata = metadata;
+    seen_type = type;
+  };
+  registry.Register(std::move(hooks));
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt.Malloc(cpu, 48);
+  rt.Store<uint32_t>(cpu, p, 1);
+  EXPECT_EQ(seen_metadata, ExtractUb(p));
+  EXPECT_EQ(seen_type, AccessType::kWrite);
+}
+
+TEST_F(Fixture, OnDeleteFiresBeforeFree) {
+  MetadataRegistry registry;
+  bool deleted = false;
+  MetadataHooks hooks;
+  hooks.on_delete = [&](Cpu&, uint32_t) { deleted = true; };
+  registry.Register(std::move(hooks));
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt.Malloc(cpu, 48);
+  rt.Free(cpu, p);
+  EXPECT_TRUE(deleted);
+}
+
+TEST_F(Fixture, ExtraSlotsExtendFooter) {
+  MetadataRegistry registry(/*extra_slots=*/2);
+  EXPECT_EQ(registry.FooterBytes(), 12u);
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt.Malloc(cpu, 40);
+  EXPECT_EQ(heap->BlockSize(ExtractPtr(p)), 52u);
+  // Slots start zeroed and are individually addressable.
+  const uint32_t ub = ExtractUb(p);
+  EXPECT_EQ(enclave->Peek<uint32_t>(registry.SlotAddr(ub, 0)), 0u);
+  enclave->Poke<uint32_t>(registry.SlotAddr(ub, 1), 0x5a5a5a5au);
+  EXPECT_EQ(enclave->Peek<uint32_t>(registry.SlotAddr(ub, 1)), 0x5a5a5a5au);
+}
+
+TEST_F(Fixture, DoubleFreeDetectionViaMagicSlot) {
+  // The paper's SS4.3 example: a magic-number slot catches double frees
+  // probabilistically.
+  constexpr uint32_t kMagicLive = 0xa110c8ed;
+  constexpr uint32_t kMagicFreed = 0xdeadf7ee;
+  MetadataRegistry registry(/*extra_slots=*/1);
+  int double_frees = 0;
+  MetadataHooks hooks;
+  Enclave* e = enclave.get();
+  hooks.on_create = [&, e](Cpu& cpu, uint32_t base, uint32_t size, ObjKind) {
+    e->Store<uint32_t>(cpu, registry.SlotAddr(base + size, 0), kMagicLive,
+                       AccessClass::kMetadataStore);
+  };
+  hooks.on_delete = [&, e](Cpu& cpu, uint32_t metadata) {
+    const uint32_t magic =
+        e->Load<uint32_t>(cpu, registry.SlotAddr(metadata, 0), AccessClass::kMetadataLoad);
+    if (magic == kMagicFreed) {
+      ++double_frees;
+    }
+    e->Store<uint32_t>(cpu, registry.SlotAddr(metadata, 0), kMagicFreed,
+                       AccessClass::kMetadataStore);
+  };
+  registry.Register(std::move(hooks));
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+
+  const TaggedPtr p = rt.Malloc(cpu, 64);
+  const uint32_t base = ExtractPtr(p);
+  rt.Free(cpu, p);
+  EXPECT_EQ(double_frees, 0);
+  // Simulate the double free on the stale pointer (heap reuse not yet
+  // re-tagging the footer): fire the delete hook again as Free would.
+  registry.FireDelete(cpu, ExtractUb(p));
+  EXPECT_EQ(double_frees, 1);
+  (void)base;
+}
+
+TEST_F(Fixture, MultipleHookSetsAllFire) {
+  MetadataRegistry registry;
+  int count = 0;
+  for (int i = 0; i < 3; ++i) {
+    MetadataHooks hooks;
+    hooks.on_create = [&](Cpu&, uint32_t, uint32_t, ObjKind) { ++count; };
+    registry.Register(std::move(hooks));
+  }
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  Cpu& cpu = enclave->main_cpu();
+  rt.Malloc(cpu, 16);
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(Fixture, NoHooksMeansNoAccessOverhead) {
+  MetadataRegistry registry;
+  SgxBoundsRuntime rt(enclave.get(), heap.get(), OobPolicy::kFailFast, &registry);
+  EXPECT_FALSE(registry.has_hooks());
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt.Malloc(cpu, 16);
+  const uint64_t cycles_before = cpu.cycles();
+  rt.Load<uint32_t>(cpu, p);
+  // A check is ~7 cycles of ALU/branch + 2 cache hits; no hook dispatch.
+  EXPECT_LT(cpu.cycles() - cycles_before, 40u);
+}
+
+}  // namespace
+}  // namespace sgxb

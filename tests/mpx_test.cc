@@ -1,0 +1,160 @@
+// Tests for the Intel MPX emulation: checks, table walks, on-demand BT
+// allocation, the stored-pointer-value escape hatch, register file.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mpx/mpx_runtime.h"
+#include "src/runtime/heap.h"
+
+namespace sgxb {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  Fixture() {
+    EnclaveConfig cfg;
+    cfg.space_bytes = 256 * kMiB;
+    enclave = std::make_unique<Enclave>(cfg);
+    heap = std::make_unique<Heap>(enclave.get(), 64 * kMiB);
+    mpx = std::make_unique<MpxRuntime>(enclave.get());
+  }
+  std::unique_ptr<Enclave> enclave;
+  std::unique_ptr<Heap> heap;
+  std::unique_ptr<MpxRuntime> mpx;
+};
+
+TEST_F(Fixture, BdReservedAtStartup) {
+  EXPECT_EQ(enclave->pages().ReservedForTag("mpx-bd"), 32u * kKiB);
+}
+
+TEST_F(Fixture, BndCheckPassesInBounds) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 0x100);
+  EXPECT_TRUE(mpx->BndCheck(cpu, b, 0x1000, 4));
+  EXPECT_TRUE(mpx->BndCheck(cpu, b, 0x10fc, 4));
+}
+
+TEST_F(Fixture, BndCheckTrapsOutOfBounds) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 0x100);
+  EXPECT_THROW(mpx->BndCheck(cpu, b, 0x10fd, 4), SimTrap);
+  EXPECT_THROW(mpx->BndCheck(cpu, b, 0xfff, 1), SimTrap);
+  try {
+    mpx->BndCheck(cpu, b, 0x2000, 1);
+    FAIL();
+  } catch (const SimTrap& t) {
+    EXPECT_EQ(t.kind(), TrapKind::kMpxBoundRange);
+  }
+}
+
+TEST_F(Fixture, InitBoundsNeverTrap) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds init;
+  EXPECT_TRUE(init.IsInit());
+  EXPECT_TRUE(mpx->BndCheck(cpu, init, 0xdeadbeef, 8));
+}
+
+TEST_F(Fixture, StxLdxRoundTrip) {
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t slot = heap->Alloc(cpu, 8);
+  const MpxBounds b = mpx->BndMk(cpu, 0x4000, 0x40);
+  mpx->BndStx(cpu, slot, 0x4000, b);
+  // Invalidate the register so the load must walk the tables.
+  mpx->RegInvalidate(slot);
+  const MpxBounds loaded = mpx->BndLdx(cpu, slot, 0x4000);
+  EXPECT_EQ(loaded.lb, 0x4000u);
+  EXPECT_EQ(loaded.ub, 0x4040u);
+}
+
+TEST_F(Fixture, ValueMismatchReturnsInitBounds) {
+  // The pointer at `slot` was overwritten without bndstx (uninstrumented
+  // libc or a data race): MPX silently drops protection.
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t slot = heap->Alloc(cpu, 8);
+  const MpxBounds b = mpx->BndMk(cpu, 0x4000, 0x40);
+  mpx->BndStx(cpu, slot, 0x4000, b);
+  mpx->RegInvalidate(slot);
+  const MpxBounds loaded = mpx->BndLdx(cpu, slot, /*ptr_value=*/0x9999);
+  EXPECT_TRUE(loaded.IsInit());
+  EXPECT_EQ(mpx->stats().value_mismatches, 1u);
+}
+
+TEST_F(Fixture, LdxWithoutTableReturnsInit) {
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t slot = heap->Alloc(cpu, 8);
+  EXPECT_TRUE(mpx->BndLdx(cpu, slot, 0x1234).IsInit());
+  EXPECT_EQ(mpx->bt_count(), 0u);  // loads never allocate tables
+}
+
+TEST_F(Fixture, BtAllocatedOnDemandPerMegabyteRegion) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 16);
+  // Slots within the same 1 MiB region share one BT.
+  const uint32_t r1a = heap->Alloc(cpu, 8);
+  const uint32_t r1b = heap->Alloc(cpu, 8);
+  mpx->BndStx(cpu, r1a, 0x1000, b);
+  mpx->BndStx(cpu, r1b, 0x1000, b);
+  EXPECT_EQ(mpx->bt_count(), 1u);
+  // A slot 2 MiB away needs a new table.
+  const uint32_t far = heap->Alloc(cpu, 4 * kMiB);  // jump the heap forward
+  mpx->BndStx(cpu, far + 2 * kMiB, 0x1000, b);
+  EXPECT_EQ(mpx->bt_count(), 2u);
+  EXPECT_EQ(enclave->pages().ReservedForTag("mpx-bt"), 2u * 4 * kMiB);
+}
+
+TEST_F(Fixture, BtReservationCountsFullyInVm) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 16);
+  const uint64_t vm_before = enclave->pages().vm_bytes();
+  const uint32_t slot = heap->Alloc(cpu, 8);
+  mpx->BndStx(cpu, slot, 0x1000, b);
+  EXPECT_GE(enclave->pages().vm_bytes() - vm_before, 4 * kMiB);
+}
+
+TEST_F(Fixture, TableWalkGeneratesMetadataTraffic) {
+  Cpu& cpu = enclave->main_cpu();
+  const uint32_t slot = heap->Alloc(cpu, 8);
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 16);
+  mpx->BndStx(cpu, slot, 0x1000, b);
+  mpx->RegInvalidate(slot);
+  const uint64_t loads_before = cpu.counters().metadata_loads;
+  mpx->BndLdx(cpu, slot, 0x1000);
+  // BD entry + BT entry: two dependent metadata loads.
+  EXPECT_EQ(cpu.counters().metadata_loads, loads_before + 2);
+}
+
+TEST_F(Fixture, RegisterFileHoldsFourEntries) {
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 16);
+  MpxBounds out;
+  for (uint32_t i = 0; i < 4; ++i) {
+    mpx->BndStx(cpu, 0x100000 + i * 8, 0x1000, b);  // inserts into regs
+  }
+  EXPECT_TRUE(mpx->RegLookup(0x100000, &out));
+  EXPECT_TRUE(mpx->RegLookup(0x100018, &out));
+  // A fifth insert evicts the LRU (0x100008 - 0x100000 was refreshed above).
+  mpx->BndStx(cpu, 0x100020, 0x1000, b);
+  EXPECT_FALSE(mpx->RegLookup(0x100008, &out));
+  EXPECT_TRUE(mpx->RegLookup(0x100000, &out));
+}
+
+TEST_F(Fixture, ManyBtsExhaustAddressSpace) {
+  // MPX's failure mode on dedup/SQLite: bounds tables exhaust the enclave.
+  Cpu& cpu = enclave->main_cpu();
+  const MpxBounds b = mpx->BndMk(cpu, 0x1000, 16);
+  bool oom = false;
+  try {
+    for (uint32_t mb = 0; mb < 300; ++mb) {
+      // Fake pointer slots spread across the address space: each new 1 MiB
+      // region forces a 4 MiB BT in a 256 MiB enclave.
+      mpx->BndStx(cpu, 0x100000 + mb * kMiB, 0x1000, b);
+    }
+  } catch (const SimTrap& t) {
+    oom = t.kind() == TrapKind::kOutOfMemory;
+  }
+  EXPECT_TRUE(oom);
+}
+
+}  // namespace
+}  // namespace sgxb

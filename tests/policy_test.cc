@@ -1,0 +1,223 @@
+// Cross-policy tests: the same kernel must produce identical *data* under
+// all four policies while exhibiting the paper's cost ordering; hardened
+// policies must catch the same overflow the native run misses.
+
+#include <gtest/gtest.h>
+
+#include "src/policy/run.h"
+
+namespace sgxb {
+namespace {
+
+MachineSpec SmallSpec() {
+  MachineSpec spec;
+  spec.space_bytes = 512 * kMiB;
+  spec.heap_reserve = 128 * kMiB;
+  spec.epc_bytes = 16 * kMiB;
+  return spec;
+}
+
+// A little array-copy kernel (the paper's Fig. 4 example) returning a
+// checksum computed inside the policy world.
+template <typename P>
+uint64_t CopyKernel(Env<P>& env, uint32_t n) {
+  auto& cpu = env.cpu;
+  auto s = env.policy.Malloc(cpu, n * 8);
+  auto d = env.policy.Malloc(cpu, n * 8);
+  for (uint32_t i = 0; i < n; ++i) {
+    env.policy.template Store<uint64_t>(cpu, env.policy.Offset(cpu, s, i * 8), i * 31 + 7);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t v =
+        env.policy.template Load<uint64_t>(cpu, env.policy.Offset(cpu, s, i * 8));
+    env.policy.template Store<uint64_t>(cpu, env.policy.Offset(cpu, d, i * 8), v);
+  }
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    sum += env.policy.template Load<uint64_t>(cpu, env.policy.Offset(cpu, d, i * 8));
+  }
+  return sum;
+}
+
+TEST(PolicyTest, AllPoliciesComputeSameResult) {
+  uint64_t sums[4];
+  int i = 0;
+  for (PolicyKind kind : kAllPolicies) {
+    uint64_t out = 0;
+    const RunResult r = RunPolicyKind(kind, SmallSpec(), PolicyOptions{},
+                                      [&](auto& env) { out = CopyKernel(env, 1000); });
+    EXPECT_FALSE(r.crashed) << PolicyName(kind) << ": " << r.trap_message;
+    sums[i++] = out;
+  }
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[1], sums[2]);
+  EXPECT_EQ(sums[2], sums[3]);
+}
+
+TEST(PolicyTest, CostOrderingMatchesPaper) {
+  // native <= sgxbounds < asan for a simple scalar kernel.
+  uint64_t cycles[4] = {0, 0, 0, 0};
+  int i = 0;
+  for (PolicyKind kind : kAllPolicies) {  // native, mpx, asan, sgxbounds
+    const RunResult r = RunPolicyKind(kind, SmallSpec(), PolicyOptions{},
+                                      [&](auto& env) { CopyKernel(env, 4000); });
+    cycles[i++] = r.cycles;
+  }
+  const uint64_t native = cycles[0];
+  const uint64_t sgxbounds = cycles[3];
+  const uint64_t asan = cycles[2];
+  EXPECT_LT(native, sgxbounds);
+  EXPECT_LT(sgxbounds, asan);
+}
+
+TEST(PolicyTest, HardenedPoliciesCatchOverflow) {
+  for (PolicyKind kind : {PolicyKind::kAsan, PolicyKind::kMpx, PolicyKind::kSgxBounds}) {
+    const RunResult r =
+        RunPolicyKind(kind, SmallSpec(), PolicyOptions{}, [&](auto& env) {
+          auto& cpu = env.cpu;
+          auto a = env.policy.Malloc(cpu, 64);
+          // Off-by-one write past the object.
+          env.policy.template Store<uint8_t>(cpu, env.policy.Offset(cpu, a, 64), 1);
+        });
+    EXPECT_TRUE(r.crashed) << PolicyName(kind);
+  }
+}
+
+TEST(PolicyTest, NativeMissesSmallOverflowIntoNeighbour) {
+  // The point of the paper: native SGX silently corrupts.
+  const RunResult r =
+      RunPolicyKind(PolicyKind::kNative, SmallSpec(), PolicyOptions{}, [&](auto& env) {
+        auto& cpu = env.cpu;
+        auto a = env.policy.Malloc(cpu, 64);
+        env.policy.template Store<uint8_t>(cpu, env.policy.Offset(cpu, a, 64), 1);
+      });
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(PolicyTest, SgxBoundsMemoryOverheadIsTiny) {
+  const uint32_t n = 512;  // 512 x 4 KiB objects
+  auto body = [&](auto& env) {
+    for (uint32_t i = 0; i < n; ++i) {
+      env.policy.Malloc(env.cpu, 4096 - 16);
+    }
+  };
+  const RunResult native =
+      RunPolicyKind(PolicyKind::kNative, SmallSpec(), PolicyOptions{}, body);
+  const RunResult sgxb =
+      RunPolicyKind(PolicyKind::kSgxBounds, SmallSpec(), PolicyOptions{}, body);
+  const RunResult asan = RunPolicyKind(PolicyKind::kAsan, SmallSpec(), PolicyOptions{}, body);
+  EXPECT_LT(sgxb.VmRatioOver(native), 1.05);
+  EXPECT_GT(asan.VmRatioOver(native), 2.0);  // shadow reservation dominates
+}
+
+TEST(PolicyTest, MpxPointerChasingAllocatesTables) {
+  const RunResult r =
+      RunPolicyKind(PolicyKind::kMpx, SmallSpec(), PolicyOptions{}, [&](auto& env) {
+        auto& cpu = env.cpu;
+        using Ptr = typename std::decay_t<decltype(env.policy)>::Ptr;
+        // An array of pointers to small objects (the pca pattern).
+        auto arr = env.policy.Malloc(cpu, 1000 * kPtrSlotBytes);
+        for (uint32_t i = 0; i < 1000; ++i) {
+          Ptr obj = env.policy.Malloc(cpu, 64);
+          env.policy.StorePtr(cpu, env.policy.Offset(cpu, arr, i * kPtrSlotBytes), obj);
+        }
+      });
+  EXPECT_FALSE(r.crashed);
+  EXPECT_GE(r.mpx_bt_count, 1u);
+}
+
+TEST(PolicyTest, SgxBoundsPointerInMemoryKeepsBounds) {
+  const RunResult r = RunPolicyKind(
+      PolicyKind::kSgxBounds, SmallSpec(), PolicyOptions{}, [&](auto& env) {
+        auto& cpu = env.cpu;
+        auto slot_arr = env.policy.Malloc(cpu, kPtrSlotBytes);
+        auto obj = env.policy.Malloc(cpu, 32);
+        env.policy.StorePtr(cpu, slot_arr, obj);
+        auto loaded = env.policy.LoadPtr(cpu, slot_arr);
+        // Bounds survived the round trip: OOB through the loaded pointer traps.
+        env.policy.template Store<uint8_t>(cpu, env.policy.Offset(cpu, loaded, 32), 1);
+      });
+  EXPECT_TRUE(r.crashed);
+  EXPECT_EQ(r.trap, TrapKind::kSgxBoundsViolation);
+}
+
+TEST(PolicyTest, MpxLosesBoundsThroughForeignStore) {
+  // A pointer stored without bndstx (e.g. by uninstrumented code) loads back
+  // with INIT bounds -> the attack is missed. SGXBounds does not have this
+  // hole (previous test).
+  const RunResult r = RunPolicyKind(
+      PolicyKind::kMpx, SmallSpec(), PolicyOptions{}, [&](auto& env) {
+        auto& cpu = env.cpu;
+        auto slot = env.policy.Malloc(cpu, kPtrSlotBytes);
+        auto obj = env.policy.Malloc(cpu, 32);
+        // Raw store bypassing bndstx: what memcpy-ing a struct of pointers
+        // through uninstrumented libc does.
+        env.policy.enclave()->template Store<uint64_t>(cpu, env.policy.AddrOf(slot),
+                                                       env.policy.AddrOf(obj));
+        auto loaded = env.policy.LoadPtr(cpu, slot);
+        env.policy.template Store<uint8_t>(cpu, env.policy.Offset(cpu, loaded, 32), 1);
+      });
+  EXPECT_FALSE(r.crashed);  // silently unprotected
+}
+
+TEST(PolicyTest, SpanHoistingReducesSgxBoundsCost) {
+  auto body = [&](auto& env) {
+    auto& cpu = env.cpu;
+    const uint32_t n = 20000;
+    auto a = env.policy.Malloc(cpu, n * 4);
+    auto span = env.policy.OpenSpan(cpu, a, n * 4);
+    for (uint32_t i = 0; i < n; ++i) {
+      span.template Store<uint32_t>(cpu, i * 4, i);
+    }
+  };
+  PolicyOptions with_opt;
+  PolicyOptions no_opt;
+  no_opt.opt_hoist_checks = false;
+  const RunResult fast =
+      RunPolicyKind(PolicyKind::kSgxBounds, SmallSpec(), with_opt, body);
+  const RunResult slow = RunPolicyKind(PolicyKind::kSgxBounds, SmallSpec(), no_opt, body);
+  EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST(PolicyTest, SafeElisionReducesFieldAccessCost) {
+  auto body = [&](auto& env) {
+    auto& cpu = env.cpu;
+    auto obj = env.policy.Malloc(cpu, 64);
+    for (int i = 0; i < 5000; ++i) {
+      env.policy.template StoreField<uint32_t>(cpu, obj, 16, i);
+    }
+  };
+  PolicyOptions with_opt;
+  PolicyOptions no_opt;
+  no_opt.opt_safe_elision = false;
+  const RunResult fast =
+      RunPolicyKind(PolicyKind::kSgxBounds, SmallSpec(), with_opt, body);
+  const RunResult slow = RunPolicyKind(PolicyKind::kSgxBounds, SmallSpec(), no_opt, body);
+  EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST(PolicyTest, OutsideEnclaveIsFasterThanInside) {
+  MachineSpec inside = SmallSpec();
+  MachineSpec outside = SmallSpec();
+  outside.enclave_mode = false;
+  auto body = [&](auto& env) { CopyKernel(env, 20000); };
+  const RunResult in_r = RunPolicyKind(PolicyKind::kNative, inside, PolicyOptions{}, body);
+  const RunResult out_r = RunPolicyKind(PolicyKind::kNative, outside, PolicyOptions{}, body);
+  EXPECT_GT(in_r.cycles, out_r.cycles);
+  EXPECT_GT(in_r.counters.epc_faults, 0u);
+  EXPECT_EQ(out_r.counters.epc_faults, 0u);
+}
+
+TEST(PolicyTest, RunResultRatios) {
+  RunResult base;
+  base.cycles = 100;
+  base.peak_vm_bytes = 1000;
+  RunResult other;
+  other.cycles = 117;
+  other.peak_vm_bytes = 1001;
+  EXPECT_NEAR(other.CyclesRatioOver(base), 1.17, 1e-9);
+  EXPECT_NEAR(other.VmRatioOver(base), 1.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,122 @@
+// Tests for the RIPE reproduction: the Table 4 detection matrix must hold
+// exactly, and each scenario class must behave per its mechanism.
+
+#include <gtest/gtest.h>
+
+#include "src/ripe/ripe.h"
+
+namespace sgxb {
+namespace {
+
+TEST(RipeTest, SixteenScenarios) {
+  const auto& scenarios = RipeScenarios();
+  EXPECT_EQ(scenarios.size(), 16u);
+  int intra = 0;
+  for (const auto& s : scenarios) {
+    intra += s.intra_object ? 1 : 0;
+  }
+  EXPECT_EQ(intra, 8);
+}
+
+TEST(RipeTest, NativePreventsNothing) {
+  const RipeSummary summary = RunRipeSuite(Defense::kNone);
+  EXPECT_EQ(summary.prevented, 0);
+  EXPECT_EQ(summary.succeeded, 16);
+}
+
+TEST(RipeTest, Table4MpxPreventsTwo) {
+  const RipeSummary summary = RunRipeSuite(Defense::kMpx);
+  EXPECT_EQ(summary.prevented, 2);
+}
+
+TEST(RipeTest, Table4AsanPreventsEight) {
+  const RipeSummary summary = RunRipeSuite(Defense::kAsan);
+  EXPECT_EQ(summary.prevented, 8);
+}
+
+TEST(RipeTest, Table4SgxBoundsPreventsEight) {
+  const RipeSummary summary = RunRipeSuite(Defense::kSgxBounds);
+  EXPECT_EQ(summary.prevented, 8);
+}
+
+TEST(RipeTest, PreventedAttacksNeverSucceed) {
+  for (const Defense d :
+       {Defense::kNone, Defense::kMpx, Defense::kAsan, Defense::kSgxBounds}) {
+    std::vector<AttackOutcome> outcomes;
+    RunRipeSuite(d, &outcomes);
+    for (const auto& outcome : outcomes) {
+      EXPECT_FALSE(outcome.prevented && outcome.succeeded);
+    }
+  }
+}
+
+TEST(RipeTest, IntraObjectEscapesEveryDefense) {
+  // SS6.6: in-struct overflows escape object-granularity bounds checking.
+  for (const Defense d : {Defense::kMpx, Defense::kAsan, Defense::kSgxBounds}) {
+    for (const auto& scenario : RipeScenarios()) {
+      if (!scenario.intra_object) {
+        continue;
+      }
+      const AttackOutcome outcome = RunAttack(scenario, d);
+      EXPECT_FALSE(outcome.prevented) << DefenseName(d) << " / " << scenario.name;
+      EXPECT_TRUE(outcome.succeeded) << DefenseName(d) << " / " << scenario.name;
+    }
+  }
+}
+
+TEST(RipeTest, InterObjectCaughtByAsanAndSgxBounds) {
+  for (const Defense d : {Defense::kAsan, Defense::kSgxBounds}) {
+    for (const auto& scenario : RipeScenarios()) {
+      if (scenario.intra_object) {
+        continue;
+      }
+      const AttackOutcome outcome = RunAttack(scenario, d);
+      EXPECT_TRUE(outcome.prevented) << DefenseName(d) << " / " << scenario.name;
+    }
+  }
+}
+
+TEST(RipeTest, MpxCatchesOnlyDirectStackSmashes) {
+  for (const auto& scenario : RipeScenarios()) {
+    const AttackOutcome outcome = RunAttack(scenario, Defense::kMpx);
+    const bool expect_prevented = !scenario.intra_object &&
+                                  scenario.technique == AttackTechnique::kDirectLoop &&
+                                  scenario.location == AttackLocation::kStack;
+    EXPECT_EQ(outcome.prevented, expect_prevented) << scenario.name;
+  }
+}
+
+TEST(RipeTest, LibcMediatedAttacksBypassMpx) {
+  // The BNDPRESERVE escape hatch: bounds die at the uninstrumented libc
+  // boundary, so the copy lands.
+  for (const auto& scenario : RipeScenarios()) {
+    if (scenario.technique == AttackTechnique::kDirectLoop) {
+      continue;
+    }
+    const AttackOutcome outcome = RunAttack(scenario, Defense::kMpx);
+    EXPECT_TRUE(outcome.succeeded) << scenario.name;
+  }
+}
+
+TEST(RipeTest, DefenseNames) {
+  EXPECT_STREQ(DefenseName(Defense::kSgxBounds), "SGXBounds");
+  EXPECT_STREQ(DefenseName(Defense::kNone), "native");
+}
+
+TEST(RipeTest, NarrowingExtensionCatchesIntraObject) {
+  // SS8 "catching intra-object overflows": with bounds narrowing, SGXBounds
+  // prevents all 16 attacks (the forward in-struct overflows now trip the
+  // narrowed upper bound).
+  const RipeSummary summary =
+      RunRipeSuite(Defense::kSgxBounds, nullptr, /*narrow_bounds=*/true);
+  EXPECT_EQ(summary.prevented, 16);
+  EXPECT_EQ(summary.succeeded, 0);
+}
+
+TEST(RipeTest, NarrowingDoesNotAffectOtherDefenses) {
+  EXPECT_EQ(RunRipeSuite(Defense::kMpx, nullptr, true).prevented, 2);
+  EXPECT_EQ(RunRipeSuite(Defense::kAsan, nullptr, true).prevented, 8);
+}
+
+}  // namespace
+}  // namespace sgxb

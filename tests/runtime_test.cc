@@ -1,0 +1,152 @@
+// Tests for stack allocator, syscall shim, and the deterministic thread pool.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/stack.h"
+#include "src/runtime/syscall_shim.h"
+#include "src/runtime/thread_pool.h"
+
+namespace sgxb {
+namespace {
+
+EnclaveConfig SmallConfig() {
+  EnclaveConfig cfg;
+  cfg.space_bytes = 64 * kMiB;
+  return cfg;
+}
+
+TEST(StackTest, FramePushPopRestoresTop) {
+  Enclave e(SmallConfig());
+  StackAllocator stack(&e, 64 * kKiB);
+  Cpu& cpu = e.main_cpu();
+  const uint32_t f1 = stack.PushFrame();
+  const uint32_t a = stack.Alloca(cpu, 100);
+  EXPECT_GE(a, stack.base());
+  const uint32_t top_after_a = stack.top();
+  const uint32_t f2 = stack.PushFrame();
+  stack.Alloca(cpu, 200);
+  stack.PopFrame(f2);
+  EXPECT_EQ(stack.top(), top_after_a);
+  stack.PopFrame(f1);
+  EXPECT_EQ(stack.top(), stack.base());
+}
+
+TEST(StackTest, AllocaMemoryIsUsable) {
+  Enclave e(SmallConfig());
+  StackAllocator stack(&e, 64 * kKiB);
+  Cpu& cpu = e.main_cpu();
+  stack.PushFrame();
+  const uint32_t a = stack.Alloca(cpu, 64);
+  e.Store<uint64_t>(cpu, a, 99);
+  EXPECT_EQ(e.Load<uint64_t>(cpu, a), 99u);
+}
+
+TEST(StackTest, OverflowHitsGuardPage) {
+  Enclave e(SmallConfig());
+  StackAllocator stack(&e, 16 * kKiB);
+  Cpu& cpu = e.main_cpu();
+  stack.PushFrame();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) {
+          stack.Alloca(cpu, 1024);
+        }
+      },
+      SimTrap);
+}
+
+TEST(ShimTest, RecvCopiesIntoEnclave) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  SyscallShim shim(&e);
+  const uint32_t buf = e.pages().ReserveLow(kPageSize, "buf");
+  e.pages().Commit(&cpu, buf, kPageSize);
+  const std::vector<uint8_t> wire{'h', 'e', 'l', 'l', 'o'};
+  const uint32_t n = shim.Recv(cpu, buf, wire, 0, 100);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(e.Load<uint8_t>(cpu, buf + 1), 'e');
+  EXPECT_EQ(shim.stats().bytes_in, 5u);
+  EXPECT_EQ(shim.stats().syscalls, 1u);
+}
+
+TEST(ShimTest, RecvRespectsOffsetAndLength) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  SyscallShim shim(&e);
+  const uint32_t buf = e.pages().ReserveLow(kPageSize, "buf");
+  e.pages().Commit(&cpu, buf, kPageSize);
+  const std::vector<uint8_t> wire{1, 2, 3, 4, 5};
+  EXPECT_EQ(shim.Recv(cpu, buf, wire, 3, 10), 2u);
+  EXPECT_EQ(e.Load<uint8_t>(cpu, buf), 4);
+  EXPECT_EQ(shim.Recv(cpu, buf, wire, 5, 10), 0u);
+  EXPECT_EQ(shim.Recv(cpu, buf, wire, 9, 10), 0u);
+}
+
+TEST(ShimTest, SendCopiesOutOfEnclave) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  SyscallShim shim(&e);
+  const uint32_t buf = e.pages().ReserveLow(kPageSize, "buf");
+  e.pages().Commit(&cpu, buf, kPageSize);
+  e.Store<uint8_t>(cpu, buf, 'x');
+  e.Store<uint8_t>(cpu, buf + 1, 'y');
+  const auto out = shim.Send(cpu, buf, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 'x');
+  EXPECT_EQ(out[1], 'y');
+}
+
+TEST(ShimTest, SyscallsChargeCycles) {
+  Enclave e(SmallConfig());
+  Cpu& cpu = e.main_cpu();
+  SyscallShim shim(&e);
+  const uint64_t before = cpu.cycles();
+  shim.Plain(cpu);
+  EXPECT_GT(cpu.cycles(), before);
+}
+
+TEST(ThreadPoolTest, MakespanIsMaxOverWorkers) {
+  Enclave e(SmallConfig());
+  Cpu& main = e.main_cpu();
+  const ParallelResult r = RunParallel(e, main, 4, [](ThreadCtx& ctx) {
+    ctx.cpu->Alu((ctx.tid + 1) * 100);  // worker 3 does the most work
+  });
+  const uint64_t slowest = 400;  // 400 ALU ops at 1 cycle
+  EXPECT_EQ(r.makespan_cycles, slowest);
+  EXPECT_EQ(r.combined.alu_ops, 100u + 200 + 300 + 400);
+  EXPECT_GE(main.cycles(), slowest);  // makespan + spawn cost charged
+}
+
+TEST(ThreadPoolTest, WorkersShareLlc) {
+  Enclave e(SmallConfig());
+  Cpu& main = e.main_cpu();
+  const uint32_t buf = e.pages().ReserveLow(kPageSize, "buf");
+  e.pages().Commit(nullptr, buf, kPageSize);
+  uint64_t llc_misses[2] = {0, 0};
+  RunParallel(e, main, 2, [&](ThreadCtx& ctx) {
+    ctx.cpu->MemAccess(buf, 4, AccessClass::kAppLoad);
+    llc_misses[ctx.tid] = ctx.cpu->counters().llc_misses;
+  });
+  EXPECT_EQ(llc_misses[0], 1u);  // cold
+  EXPECT_EQ(llc_misses[1], 0u);  // warmed by worker 0 via shared LLC
+}
+
+TEST(ThreadPoolTest, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Enclave e(SmallConfig());
+    Cpu& main = e.main_cpu();
+    const uint32_t buf = e.pages().ReserveLow(64 * kKiB, "buf");
+    e.pages().Commit(nullptr, buf, 64 * kKiB);
+    RunParallel(e, main, 4, [&](ThreadCtx& ctx) {
+      for (uint32_t i = 0; i < 1000; ++i) {
+        ctx.cpu->MemAccess(buf + (i * 67 + ctx.tid * 13) % (64 * 1024), 4,
+                           AccessClass::kAppLoad);
+      }
+    });
+    return main.cycles();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sgxb

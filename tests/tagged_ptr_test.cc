@@ -1,0 +1,78 @@
+// Tests for the tagged-pointer codec, including the paper's corner cases:
+// integer-overflow-resistant arithmetic and cast round-trips.
+
+#include <gtest/gtest.h>
+
+#include "src/sgxbounds/tagged_ptr.h"
+
+namespace sgxb {
+namespace {
+
+TEST(TaggedPtrTest, PackUnpackRoundTrip) {
+  const TaggedPtr t = MakeTagged(0x1000, 0x2000);
+  EXPECT_EQ(ExtractPtr(t), 0x1000u);
+  EXPECT_EQ(ExtractUb(t), 0x2000u);
+}
+
+TEST(TaggedPtrTest, UntaggedDetection) {
+  EXPECT_FALSE(IsTagged(MakeTagged(0x1000, 0)));
+  EXPECT_TRUE(IsTagged(MakeTagged(0x1000, 1)));
+  EXPECT_FALSE(IsTagged(0));
+}
+
+TEST(TaggedPtrTest, AddAffectsOnlyLowBits) {
+  const TaggedPtr t = MakeTagged(0x1000, 0x2000);
+  const TaggedPtr t2 = TaggedAdd(t, 0x10);
+  EXPECT_EQ(ExtractPtr(t2), 0x1010u);
+  EXPECT_EQ(ExtractUb(t2), 0x2000u);
+}
+
+TEST(TaggedPtrTest, NegativeDeltaWrapsWithinLowBits) {
+  const TaggedPtr t = MakeTagged(0x1000, 0x2000);
+  const TaggedPtr t2 = TaggedAdd(t, -0x800);
+  EXPECT_EQ(ExtractPtr(t2), 0x800u);
+  EXPECT_EQ(ExtractUb(t2), 0x2000u);
+}
+
+TEST(TaggedPtrTest, OverflowingDeltaCannotCorruptUpperBound) {
+  // SS3.2: a malicious 64-bit index must not change UB.
+  const TaggedPtr t = MakeTagged(0x1000, 0x2000);
+  const TaggedPtr t2 = TaggedAdd(t, 0x7fffffffffffffffLL);
+  EXPECT_EQ(ExtractUb(t2), 0x2000u);
+  const TaggedPtr t3 = TaggedAdd(t, 0x100000000LL);  // exactly 2^32
+  EXPECT_EQ(ExtractPtr(t3), 0x1000u);
+  EXPECT_EQ(ExtractUb(t3), 0x2000u);
+}
+
+TEST(TaggedPtrTest, IntCastRoundTripPreservesBound) {
+  // SS3.2 "Type casts": pointer -> integer -> pointer keeps the tag.
+  const TaggedPtr t = MakeTagged(0xabcd, 0xffff);
+  const uint64_t as_int = static_cast<uint64_t>(t);
+  const TaggedPtr back = static_cast<TaggedPtr>(as_int);
+  EXPECT_EQ(ExtractPtr(back), 0xabcdu);
+  EXPECT_EQ(ExtractUb(back), 0xffffu);
+}
+
+TEST(TaggedPtrTest, WithPtrReplacesLowHalf) {
+  const TaggedPtr t = MakeTagged(0x1000, 0x2000);
+  EXPECT_EQ(ExtractPtr(WithPtr(t, 0x1500)), 0x1500u);
+  EXPECT_EQ(ExtractUb(WithPtr(t, 0x1500)), 0x2000u);
+}
+
+TEST(TaggedPtrTest, BoundsViolatedPredicate) {
+  // Object [0x100, 0x200), accesses of 4 bytes.
+  EXPECT_FALSE(BoundsViolated(0x100, 0x100, 0x200, 4));
+  EXPECT_FALSE(BoundsViolated(0x1fc, 0x100, 0x200, 4));
+  EXPECT_TRUE(BoundsViolated(0x1fd, 0x100, 0x200, 4));   // last byte past UB
+  EXPECT_TRUE(BoundsViolated(0x200, 0x100, 0x200, 1));   // at UB
+  EXPECT_TRUE(BoundsViolated(0xff, 0x100, 0x200, 1));    // below LB
+  EXPECT_FALSE(BoundsViolated(0x180, 0x100, 0x200, 0));  // zero-size never past UB
+}
+
+TEST(TaggedPtrTest, BoundsViolatedNoWraparoundFalseNegative) {
+  // p + size overflowing 32 bits must still be caught (64-bit compare).
+  EXPECT_TRUE(BoundsViolated(0xfffffff0u, 0x100, 0x200, 0x20));
+}
+
+}  // namespace
+}  // namespace sgxb

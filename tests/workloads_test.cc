@@ -1,0 +1,177 @@
+// Tests for the workload registry and kernels: every registered workload
+// must run to completion under native + SGXBounds at size XS, the registry
+// must contain the paper's benchmark counts, and the characteristic
+// behaviours the evaluation relies on must hold (parameterized over suites).
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workload.h"
+
+namespace sgxb {
+namespace {
+
+MachineSpec TinySpec() {
+  MachineSpec spec;
+  spec.space_bytes = 2 * kGiB;
+  spec.heap_reserve = 1 * kGiB;
+  spec.epc_bytes = 94 * kMiB;
+  return spec;
+}
+
+WorkloadConfig TinyConfig() {
+  WorkloadConfig cfg;
+  cfg.size = SizeClass::kXS;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(WorkloadRegistryTest, PaperBenchmarkCounts) {
+  auto& reg = WorkloadRegistry::Instance();
+  EXPECT_EQ(reg.BySuite("phoenix").size(), 7u);  // all 7 Phoenix apps (SS6.1)
+  EXPECT_EQ(reg.BySuite("parsec").size(), 9u);   // 9 of 13 PARSEC apps
+  EXPECT_EQ(reg.BySuite("spec").size(), 13u);    // 13 of 19 SPEC programs
+}
+
+TEST(WorkloadRegistryTest, FindByName) {
+  auto& reg = WorkloadRegistry::Instance();
+  EXPECT_NE(reg.Find("kmeans"), nullptr);
+  EXPECT_NE(reg.Find("dedup"), nullptr);
+  EXPECT_NE(reg.Find("mcf"), nullptr);
+  EXPECT_EQ(reg.Find("raytrace"), nullptr);  // excluded by the paper
+}
+
+TEST(WorkloadRegistryTest, SizeClassNames) {
+  EXPECT_STREQ(SizeClassName(SizeClass::kXS), "XS");
+  EXPECT_STREQ(SizeClassName(SizeClass::kXL), "XL");
+  EXPECT_EQ(SizeMultiplier(SizeClass::kXS), 1u);
+  EXPECT_EQ(SizeMultiplier(SizeClass::kXL), 16u);
+}
+
+// Every workload must complete under the native and SGXBounds policies and
+// produce nonzero cycle counts. (MPX is exercised separately because some
+// workloads are *designed* to OOM it, per the paper.)
+class AllWorkloads : public ::testing::TestWithParam<const WorkloadInfo*> {};
+
+TEST_P(AllWorkloads, RunsUnderNative) {
+  const WorkloadInfo* w = GetParam();
+  const RunResult r = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_FALSE(r.crashed) << w->name << ": " << r.trap_message;
+  EXPECT_GT(r.cycles, 0u) << w->name;
+  EXPECT_GT(r.peak_vm_bytes, 0u) << w->name;
+}
+
+TEST_P(AllWorkloads, RunsUnderSgxBounds) {
+  const WorkloadInfo* w = GetParam();
+  const RunResult r =
+      w->run(PolicyKind::kSgxBounds, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_FALSE(r.crashed) << w->name << ": " << r.trap_message;
+  EXPECT_GT(r.counters.bounds_checks, 0u) << w->name;
+  EXPECT_EQ(r.counters.bounds_violations, 0u) << w->name;
+}
+
+TEST_P(AllWorkloads, SgxBoundsMemoryNearNative) {
+  // The paper's headline: +0.1% memory. Allow a few percent at XS where the
+  // footer/page rounding is visible.
+  const WorkloadInfo* w = GetParam();
+  const RunResult native =
+      w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult sgxb =
+      w->run(PolicyKind::kSgxBounds, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_LT(sgxb.VmRatioOver(native), 1.10) << w->name;
+}
+
+TEST_P(AllWorkloads, DeterministicCycles) {
+  const WorkloadInfo* w = GetParam();
+  const RunResult a = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult b = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_EQ(a.cycles, b.cycles) << w->name;
+  EXPECT_EQ(a.peak_vm_bytes, b.peak_vm_bytes) << w->name;
+}
+
+std::string WorkloadTestName(const ::testing::TestParamInfo<const WorkloadInfo*>& info) {
+  return info.param->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllWorkloads,
+                         ::testing::ValuesIn(WorkloadRegistry::Instance().All()),
+                         WorkloadTestName);
+
+TEST(WorkloadBehaviourTest, AsanIsSlowerThanSgxBoundsOnPointerFreeKernels) {
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("histogram");
+  ASSERT_NE(w, nullptr);
+  const RunResult sgxb =
+      w->run(PolicyKind::kSgxBounds, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult asan = w->run(PolicyKind::kAsan, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_GT(asan.cycles, sgxb.cycles);
+}
+
+TEST(WorkloadBehaviourTest, MpxChokesOnPointerIntensivePca) {
+  // Paper SS6.2: pca under MPX suffers a many-fold instruction blowup.
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("pca");
+  ASSERT_NE(w, nullptr);
+  const RunResult native =
+      w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult mpx = w->run(PolicyKind::kMpx, TinySpec(), PolicyOptions{}, TinyConfig());
+  ASSERT_FALSE(mpx.crashed) << mpx.trap_message;
+  EXPECT_GT(mpx.CyclesRatioOver(native), 1.5);
+  EXPECT_GT(mpx.mpx_bt_count, 0u);
+}
+
+TEST(WorkloadBehaviourTest, MpxRunsCleanOnMatrixmul) {
+  // Paper Table 3: matrixmul needs one bounds table and runs at ~native
+  // speed under MPX (bounds stay in registers).
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("matrixmul");
+  ASSERT_NE(w, nullptr);
+  const RunResult native =
+      w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult mpx = w->run(PolicyKind::kMpx, TinySpec(), PolicyOptions{}, TinyConfig());
+  ASSERT_FALSE(mpx.crashed);
+  EXPECT_LT(mpx.CyclesRatioOver(native), 1.25);
+  EXPECT_LE(mpx.mpx_bt_count, 2u);
+}
+
+TEST(WorkloadBehaviourTest, SwaptionsBloatsAsanMemory) {
+  // Paper SS6.2: alloc/free churn + quarantine -> ASan footprint explosion.
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("swaptions");
+  ASSERT_NE(w, nullptr);
+  const RunResult native =
+      w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult asan = w->run(PolicyKind::kAsan, TinySpec(), PolicyOptions{}, TinyConfig());
+  const RunResult sgxb =
+      w->run(PolicyKind::kSgxBounds, TinySpec(), PolicyOptions{}, TinyConfig());
+  EXPECT_GT(asan.VmRatioOver(native), 5.0);
+  EXPECT_LT(sgxb.VmRatioOver(native), 1.1);
+}
+
+TEST(WorkloadBehaviourTest, MoreThreadsReduceMakespan) {
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("histogram");
+  ASSERT_NE(w, nullptr);
+  WorkloadConfig one = TinyConfig();
+  one.threads = 1;
+  WorkloadConfig four = TinyConfig();
+  four.threads = 4;
+  const RunResult r1 = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, one);
+  const RunResult r4 = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, four);
+  EXPECT_LT(r4.cycles, r1.cycles);
+}
+
+TEST(WorkloadBehaviourTest, LargerSizeClassesCostMore) {
+  auto& reg = WorkloadRegistry::Instance();
+  const WorkloadInfo* w = reg.Find("linear_regression");
+  ASSERT_NE(w, nullptr);
+  WorkloadConfig xs = TinyConfig();
+  WorkloadConfig s = TinyConfig();
+  s.size = SizeClass::kS;
+  const RunResult rxs = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, xs);
+  const RunResult rs = w->run(PolicyKind::kNative, TinySpec(), PolicyOptions{}, s);
+  EXPECT_GT(rs.cycles, rxs.cycles);
+  EXPECT_GT(rs.peak_vm_bytes, rxs.peak_vm_bytes);
+}
+
+}  // namespace
+}  // namespace sgxb
