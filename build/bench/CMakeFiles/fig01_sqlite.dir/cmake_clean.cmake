@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sqlite.dir/fig01_sqlite.cc.o"
+  "CMakeFiles/fig01_sqlite.dir/fig01_sqlite.cc.o.d"
+  "fig01_sqlite"
+  "fig01_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

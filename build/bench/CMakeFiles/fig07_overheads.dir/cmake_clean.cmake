@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_overheads.dir/fig07_overheads.cc.o"
+  "CMakeFiles/fig07_overheads.dir/fig07_overheads.cc.o.d"
+  "fig07_overheads"
+  "fig07_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

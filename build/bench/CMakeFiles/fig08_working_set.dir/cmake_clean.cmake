@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_working_set.dir/fig08_working_set.cc.o"
+  "CMakeFiles/fig08_working_set.dir/fig08_working_set.cc.o.d"
+  "fig08_working_set"
+  "fig08_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

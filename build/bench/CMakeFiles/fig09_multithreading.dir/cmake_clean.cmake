@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multithreading.dir/fig09_multithreading.cc.o"
+  "CMakeFiles/fig09_multithreading.dir/fig09_multithreading.cc.o.d"
+  "fig09_multithreading"
+  "fig09_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_optimizations.dir/fig10_optimizations.cc.o"
+  "CMakeFiles/fig10_optimizations.dir/fig10_optimizations.cc.o.d"
+  "fig10_optimizations"
+  "fig10_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_spec_sgx.dir/fig11_spec_sgx.cc.o"
+  "CMakeFiles/fig11_spec_sgx.dir/fig11_spec_sgx.cc.o.d"
+  "fig11_spec_sgx"
+  "fig11_spec_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_spec_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_spec_native.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_case_attacks.dir/sec7_case_attacks.cc.o"
+  "CMakeFiles/sec7_case_attacks.dir/sec7_case_attacks.cc.o.d"
+  "sec7_case_attacks"
+  "sec7_case_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_case_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

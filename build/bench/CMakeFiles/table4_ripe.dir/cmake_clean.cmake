@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ripe.dir/table4_ripe.cc.o"
+  "CMakeFiles/table4_ripe.dir/table4_ripe.cc.o.d"
+  "table4_ripe"
+  "table4_ripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundless_server.dir/boundless_server.cpp.o"
+  "CMakeFiles/boundless_server.dir/boundless_server.cpp.o.d"
+  "boundless_server"
+  "boundless_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundless_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for heartbleed_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_hooks.dir/metadata_hooks.cpp.o"
+  "CMakeFiles/metadata_hooks.dir/metadata_hooks.cpp.o.d"
+  "metadata_hooks"
+  "metadata_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

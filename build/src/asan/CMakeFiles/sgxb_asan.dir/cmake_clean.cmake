@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_asan.dir/asan_runtime.cc.o"
+  "CMakeFiles/sgxb_asan.dir/asan_runtime.cc.o.d"
+  "libsgxb_asan.a"
+  "libsgxb_asan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_asan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_common.dir/check.cc.o"
+  "CMakeFiles/sgxb_common.dir/check.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/flags.cc.o"
+  "CMakeFiles/sgxb_common.dir/flags.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/log.cc.o"
+  "CMakeFiles/sgxb_common.dir/log.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/rng.cc.o"
+  "CMakeFiles/sgxb_common.dir/rng.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/stats.cc.o"
+  "CMakeFiles/sgxb_common.dir/stats.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/table.cc.o"
+  "CMakeFiles/sgxb_common.dir/table.cc.o.d"
+  "libsgxb_common.a"
+  "libsgxb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enclave/address_space.cc" "src/enclave/CMakeFiles/sgxb_enclave.dir/address_space.cc.o" "gcc" "src/enclave/CMakeFiles/sgxb_enclave.dir/address_space.cc.o.d"
+  "/root/repo/src/enclave/enclave.cc" "src/enclave/CMakeFiles/sgxb_enclave.dir/enclave.cc.o" "gcc" "src/enclave/CMakeFiles/sgxb_enclave.dir/enclave.cc.o.d"
+  "/root/repo/src/enclave/page_manager.cc" "src/enclave/CMakeFiles/sgxb_enclave.dir/page_manager.cc.o" "gcc" "src/enclave/CMakeFiles/sgxb_enclave.dir/page_manager.cc.o.d"
+  "/root/repo/src/enclave/trap.cc" "src/enclave/CMakeFiles/sgxb_enclave.dir/trap.cc.o" "gcc" "src/enclave/CMakeFiles/sgxb_enclave.dir/trap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sgxb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

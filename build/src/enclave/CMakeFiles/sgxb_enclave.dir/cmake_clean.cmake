@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_enclave.dir/address_space.cc.o"
+  "CMakeFiles/sgxb_enclave.dir/address_space.cc.o.d"
+  "CMakeFiles/sgxb_enclave.dir/enclave.cc.o"
+  "CMakeFiles/sgxb_enclave.dir/enclave.cc.o.d"
+  "CMakeFiles/sgxb_enclave.dir/page_manager.cc.o"
+  "CMakeFiles/sgxb_enclave.dir/page_manager.cc.o.d"
+  "CMakeFiles/sgxb_enclave.dir/trap.cc.o"
+  "CMakeFiles/sgxb_enclave.dir/trap.cc.o.d"
+  "libsgxb_enclave.a"
+  "libsgxb_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_ir.dir/builder.cc.o"
+  "CMakeFiles/sgxb_ir.dir/builder.cc.o.d"
+  "CMakeFiles/sgxb_ir.dir/interp.cc.o"
+  "CMakeFiles/sgxb_ir.dir/interp.cc.o.d"
+  "CMakeFiles/sgxb_ir.dir/ir.cc.o"
+  "CMakeFiles/sgxb_ir.dir/ir.cc.o.d"
+  "CMakeFiles/sgxb_ir.dir/passes.cc.o"
+  "CMakeFiles/sgxb_ir.dir/passes.cc.o.d"
+  "libsgxb_ir.a"
+  "libsgxb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_mpx.dir/mpx_runtime.cc.o"
+  "CMakeFiles/sgxb_mpx.dir/mpx_runtime.cc.o.d"
+  "libsgxb_mpx.a"
+  "libsgxb_mpx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_mpx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

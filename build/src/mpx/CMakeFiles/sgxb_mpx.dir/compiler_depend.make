@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sgxb_mpx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sgxb_mpx.
+# This may be replaced when dependencies are built.

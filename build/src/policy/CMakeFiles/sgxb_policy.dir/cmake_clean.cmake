@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_policy.dir/policy.cc.o"
+  "CMakeFiles/sgxb_policy.dir/policy.cc.o.d"
+  "libsgxb_policy.a"
+  "libsgxb_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_ripe.dir/ripe.cc.o"
+  "CMakeFiles/sgxb_ripe.dir/ripe.cc.o.d"
+  "libsgxb_ripe.a"
+  "libsgxb_ripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_ripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

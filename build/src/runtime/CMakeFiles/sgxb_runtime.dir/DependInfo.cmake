@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/sgxb_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/sgxb_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/stack.cc" "src/runtime/CMakeFiles/sgxb_runtime.dir/stack.cc.o" "gcc" "src/runtime/CMakeFiles/sgxb_runtime.dir/stack.cc.o.d"
+  "/root/repo/src/runtime/syscall_shim.cc" "src/runtime/CMakeFiles/sgxb_runtime.dir/syscall_shim.cc.o" "gcc" "src/runtime/CMakeFiles/sgxb_runtime.dir/syscall_shim.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "src/runtime/CMakeFiles/sgxb_runtime.dir/thread_pool.cc.o" "gcc" "src/runtime/CMakeFiles/sgxb_runtime.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enclave/CMakeFiles/sgxb_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sgxb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

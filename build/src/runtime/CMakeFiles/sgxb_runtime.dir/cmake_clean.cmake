@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_runtime.dir/heap.cc.o"
+  "CMakeFiles/sgxb_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/sgxb_runtime.dir/stack.cc.o"
+  "CMakeFiles/sgxb_runtime.dir/stack.cc.o.d"
+  "CMakeFiles/sgxb_runtime.dir/syscall_shim.cc.o"
+  "CMakeFiles/sgxb_runtime.dir/syscall_shim.cc.o.d"
+  "CMakeFiles/sgxb_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/sgxb_runtime.dir/thread_pool.cc.o.d"
+  "libsgxb_runtime.a"
+  "libsgxb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgxb_runtime.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_core.dir/boundless.cc.o"
+  "CMakeFiles/sgxb_core.dir/boundless.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/bounds_runtime.cc.o"
+  "CMakeFiles/sgxb_core.dir/bounds_runtime.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/libc.cc.o"
+  "CMakeFiles/sgxb_core.dir/libc.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/metadata.cc.o"
+  "CMakeFiles/sgxb_core.dir/metadata.cc.o.d"
+  "libsgxb_core.a"
+  "libsgxb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_sim.dir/cache.cc.o"
+  "CMakeFiles/sgxb_sim.dir/cache.cc.o.d"
+  "CMakeFiles/sgxb_sim.dir/epc.cc.o"
+  "CMakeFiles/sgxb_sim.dir/epc.cc.o.d"
+  "CMakeFiles/sgxb_sim.dir/machine.cc.o"
+  "CMakeFiles/sgxb_sim.dir/machine.cc.o.d"
+  "libsgxb_sim.a"
+  "libsgxb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

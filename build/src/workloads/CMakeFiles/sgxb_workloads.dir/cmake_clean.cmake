@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_workloads.dir/parsec.cc.o"
+  "CMakeFiles/sgxb_workloads.dir/parsec.cc.o.d"
+  "CMakeFiles/sgxb_workloads.dir/phoenix.cc.o"
+  "CMakeFiles/sgxb_workloads.dir/phoenix.cc.o.d"
+  "CMakeFiles/sgxb_workloads.dir/spec.cc.o"
+  "CMakeFiles/sgxb_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/sgxb_workloads.dir/workload.cc.o"
+  "CMakeFiles/sgxb_workloads.dir/workload.cc.o.d"
+  "libsgxb_workloads.a"
+  "libsgxb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asan_test.dir/asan_test.cc.o"
+  "CMakeFiles/asan_test.dir/asan_test.cc.o.d"
+  "asan_test"
+  "asan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundless_test.dir/boundless_test.cc.o"
+  "CMakeFiles/boundless_test.dir/boundless_test.cc.o.d"
+  "boundless_test"
+  "boundless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

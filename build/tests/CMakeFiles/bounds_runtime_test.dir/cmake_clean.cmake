@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_runtime_test.dir/bounds_runtime_test.cc.o"
+  "CMakeFiles/bounds_runtime_test.dir/bounds_runtime_test.cc.o.d"
+  "bounds_runtime_test"
+  "bounds_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

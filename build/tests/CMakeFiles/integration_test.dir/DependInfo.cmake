@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sgxb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sgxb_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxbounds/CMakeFiles/sgxb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asan/CMakeFiles/sgxb_asan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpx/CMakeFiles/sgxb_mpx.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sgxb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/sgxb_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sgxb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_fuzz_test.dir/ir_fuzz_test.cc.o"
+  "CMakeFiles/ir_fuzz_test.dir/ir_fuzz_test.cc.o.d"
+  "ir_fuzz_test"
+  "ir_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libc_fuzz_test.dir/libc_fuzz_test.cc.o"
+  "CMakeFiles/libc_fuzz_test.dir/libc_fuzz_test.cc.o.d"
+  "libc_fuzz_test"
+  "libc_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpx_test.dir/mpx_test.cc.o"
+  "CMakeFiles/mpx_test.dir/mpx_test.cc.o.d"
+  "mpx_test"
+  "mpx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

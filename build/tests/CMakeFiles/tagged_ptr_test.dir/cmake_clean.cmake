@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagged_ptr_test.dir/tagged_ptr_test.cc.o"
+  "CMakeFiles/tagged_ptr_test.dir/tagged_ptr_test.cc.o.d"
+  "tagged_ptr_test"
+  "tagged_ptr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagged_ptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
