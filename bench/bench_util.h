@@ -8,16 +8,87 @@
 #ifndef SGXBOUNDS_BENCH_BENCH_UTIL_H_
 #define SGXBOUNDS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/host_parallel.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/workloads/workload.h"
 
 namespace sgxb {
+
+// --- host-parallel driver ---------------------------------------------------------
+//
+// Each (workload, policy) simulation is deterministic and owns its Enclave,
+// so independent runs are dispatched across host threads (--bench_threads)
+// and collected into slots indexed by job order: stdout is byte-identical
+// for any thread count.
+
+inline int64_t& BenchThreadsFlag() {
+  static int64_t v = 0;  // 0 = hardware concurrency
+  return v;
+}
+
+inline bool& SelftimeFlag() {
+  static bool v = false;
+  return v;
+}
+
+// Registers the shared driver flags; call before FlagParser::Parse.
+inline void AddBenchDriverFlags(FlagParser& parser) {
+  parser.AddInt("bench_threads", &BenchThreadsFlag(),
+                "host threads for dispatching independent simulations "
+                "(0 = hardware concurrency)");
+  parser.AddBool("selftime", &SelftimeFlag(),
+                 "print host wall-clock per simulation to stderr");
+}
+
+inline uint32_t ResolveBenchThreads() {
+  const int64_t v = BenchThreadsFlag();
+  return v <= 0 ? HostHardwareThreads() : static_cast<uint32_t>(v);
+}
+
+// One schedulable simulation; `label` feeds progress/--selftime lines.
+struct BenchJob {
+  std::string label;
+  std::function<RunResult()> run;
+};
+
+// Runs all jobs (possibly concurrently) and returns results in job order.
+inline std::vector<RunResult> RunBenchJobs(const std::vector<BenchJob>& jobs,
+                                           const char* tag) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<RunResult> out(jobs.size());
+  const uint32_t threads = ResolveBenchThreads();
+  if (jobs.size() > 1) {
+    std::fprintf(stderr, "[%s] dispatching %zu runs over %u host thread(s)\n", tag,
+                 jobs.size(), threads);
+  }
+  const auto suite_start = Clock::now();
+  ParallelFor(jobs.size(), threads, [&](size_t i) {
+    std::fprintf(stderr, "[%s] running %s...\n", tag, jobs[i].label.c_str());
+    const auto start = Clock::now();
+    out[i] = jobs[i].run();
+    if (SelftimeFlag()) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+      std::fprintf(stderr, "[selftime] %s: %.1f ms\n", jobs[i].label.c_str(), ms);
+    }
+  });
+  if (SelftimeFlag()) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - suite_start).count();
+    std::fprintf(stderr, "[selftime] %s total: %.1f ms (%u host threads)\n", tag,
+                 jobs.size() > 0 ? ms : 0.0, threads);
+  }
+  return out;
+}
 
 struct SuiteRow {
   std::string name;
@@ -93,16 +164,44 @@ inline void PrintOverheadTables(const std::string& title, const std::vector<Suit
   mem.Print();
 }
 
-// Runs one workload under the four schemes.
+// Assembles one SuiteRow from four policy results ordered as kAllPolicies.
+inline SuiteRow MakeSuiteRow(const std::string& name, const RunResult* results) {
+  SuiteRow row;
+  row.name = name;
+  row.native = results[0];
+  row.mpx = results[1];
+  row.asan = results[2];
+  row.sgxb = results[3];
+  return row;
+}
+
+// Runs every (workload, policy) pair of the suite, fanned out across host
+// threads, and returns rows in workload order.
+inline std::vector<SuiteRow> RunSuiteRows(const std::vector<const WorkloadInfo*>& workloads,
+                                          const MachineSpec& spec, const WorkloadConfig& cfg,
+                                          const char* tag) {
+  std::vector<BenchJob> jobs;
+  jobs.reserve(workloads.size() * 4);
+  for (const WorkloadInfo* w : workloads) {
+    for (PolicyKind kind : kAllPolicies) {
+      jobs.push_back({w->name + "/" + PolicyName(kind),
+                      [w, kind, spec, cfg] { return w->run(kind, spec, PolicyOptions{}, cfg); }});
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, tag);
+  std::vector<SuiteRow> rows;
+  rows.reserve(workloads.size());
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    rows.push_back(MakeSuiteRow(workloads[i]->name, &results[i * 4]));
+  }
+  return rows;
+}
+
+// Runs one workload under the four schemes (concurrently when
+// --bench_threads allows).
 inline SuiteRow RunAllPolicies(const WorkloadInfo& w, const MachineSpec& spec,
                                const WorkloadConfig& cfg) {
-  SuiteRow row;
-  row.name = w.name;
-  row.native = w.run(PolicyKind::kNative, spec, PolicyOptions{}, cfg);
-  row.mpx = w.run(PolicyKind::kMpx, spec, PolicyOptions{}, cfg);
-  row.asan = w.run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg);
-  row.sgxb = w.run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg);
-  return row;
+  return RunSuiteRows({&w}, spec, cfg, "bench")[0];
 }
 
 inline SizeClass ParseSizeClass(const std::string& s) {

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   uint64_t max_items = 400 * 1000;
   parser.AddUint("max_items", &max_items, "largest working-set size in rows");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 1: SQLite-analogue speedtest vs working-set size (in-enclave)\n");
@@ -26,23 +27,31 @@ int main(int argc, char** argv) {
   Table table({"rows", "native MB", "MPX perf", "ASan perf", "SGXBnd perf", "MPX mem",
                "ASan mem", "SGXBnd mem"});
 
+  std::vector<uint64_t> sizes;
   for (uint64_t items = 25000; items <= max_items; items *= 2) {
-    SpeedtestConfig cfg;
-    cfg.items = items;
-    MachineSpec spec;
-    // SQLite under SCONE was built with a fixed-size enclave heap; the
-    // address space left over is what MPX's 4 MiB bounds tables compete for.
-    spec.heap_reserve = 3328ULL * kMiB;  // leaves room for ASan shadow + MPX tables
-    auto run = [&](PolicyKind kind) {
-      return RunPolicyKind(kind, spec, PolicyOptions{},
-                           [&](auto& env) { RunSpeedtest(env, cfg); });
-    };
-    std::fprintf(stderr, "[fig01] items=%llu...\n", static_cast<unsigned long long>(items));
-    const RunResult native = run(PolicyKind::kNative);
-    const RunResult mpx = run(PolicyKind::kMpx);
-    const RunResult asan = run(PolicyKind::kAsan);
-    const RunResult sgxb = run(PolicyKind::kSgxBounds);
-    table.AddRow({std::to_string(items), FormatBytes(native.peak_vm_bytes),
+    sizes.push_back(items);
+  }
+  std::vector<BenchJob> jobs;
+  for (uint64_t items : sizes) {
+    for (PolicyKind kind : kAllPolicies) {
+      jobs.push_back({std::to_string(items) + "/" + PolicyName(kind), [items, kind] {
+                        SpeedtestConfig cfg;
+                        cfg.items = items;
+                        MachineSpec spec;
+                        // SQLite under SCONE was built with a fixed-size enclave
+                        // heap; the address space left over is what MPX's 4 MiB
+                        // bounds tables compete for.
+                        spec.heap_reserve = 3328ULL * kMiB;  // ASan shadow + MPX tables
+                        return RunPolicyKind(kind, spec, PolicyOptions{},
+                                             [&](auto& env) { RunSpeedtest(env, cfg); });
+                      }});
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, "fig01");
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    const RunResult* r = &results[si * 4];
+    const RunResult &native = r[0], &mpx = r[1], &asan = r[2], &sgxb = r[3];
+    table.AddRow({std::to_string(sizes[si]), FormatBytes(native.peak_vm_bytes),
                   PerfCell(mpx, native), PerfCell(asan, native), PerfCell(sgxb, native),
                   MemCell(mpx, native), MemCell(asan, native), MemCell(sgxb, native)});
   }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   std::string size = "L";
   parser.AddInt("threads", &threads, "worker threads (paper: 8)");
   parser.AddString("size", &size, "input size class XS/S/M/L/XL");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 7: Phoenix + PARSEC overheads over native SGX (%lld threads)\n",
@@ -28,13 +29,13 @@ int main(int argc, char** argv) {
   cfg.threads = static_cast<uint32_t>(threads);
   cfg.size = ParseSizeClass(size);
 
-  std::vector<SuiteRow> rows;
+  std::vector<const WorkloadInfo*> workloads;
   for (const std::string suite : {"phoenix", "parsec"}) {
     for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite(suite)) {
-      std::fprintf(stderr, "[fig07] running %s...\n", w->name.c_str());
-      rows.push_back(RunAllPolicies(*w, spec, cfg));
+      workloads.push_back(w);
     }
   }
+  const std::vector<SuiteRow> rows = RunSuiteRows(workloads, spec, cfg, "fig07");
   PrintOverheadTables("Fig.7 Phoenix+PARSEC (" + size + ", " + std::to_string(threads) +
                           " threads)",
                       rows);

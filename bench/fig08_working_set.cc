@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   int64_t threads = 8;
   parser.AddInt("threads", &threads, "worker threads");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 8 + Table 3: increasing working sets (normalized to SGXBounds)\n");
@@ -26,22 +27,42 @@ int main(int argc, char** argv) {
   const SizeClass sizes[] = {SizeClass::kXS, SizeClass::kS, SizeClass::kM, SizeClass::kL,
                              SizeClass::kXL};
 
+  // Fan every (workload, size, policy) run out across host threads, then
+  // print the per-workload tables from the collected results in order.
+  std::vector<const WorkloadInfo*> workloads;
   for (const char* name : {"kmeans", "matrixmul", "wordcount", "linear_regression"}) {
     const WorkloadInfo* w = WorkloadRegistry::Instance().Find(name);
-    if (w == nullptr) {
-      continue;
+    if (w != nullptr) {
+      workloads.push_back(w);
     }
-    std::printf("\n== %s ==\n", name);
-    Table perf({"size", "ws(native)", "SGX/SGXBnd", "MPX/SGXBnd", "ASan/SGXBnd"});
-    Table counters({"size", "ASan LLC-miss%", "MPX LLC-miss%", "ASan faults(x)",
-                    "MPX faults(x)", "MPX #BTs"});
+  }
+  constexpr size_t kNumSizes = sizeof(sizes) / sizeof(sizes[0]);
+  std::vector<BenchJob> jobs;
+  for (const WorkloadInfo* w : workloads) {
     for (SizeClass size : sizes) {
       WorkloadConfig cfg;
       cfg.size = size;
       cfg.threads = static_cast<uint32_t>(threads);
-      MachineSpec spec;
-      std::fprintf(stderr, "[fig08] %s %s...\n", name, SizeClassName(size));
-      const SuiteRow row = RunAllPolicies(*w, spec, cfg);
+      for (PolicyKind kind : kAllPolicies) {
+        jobs.push_back({w->name + "/" + SizeClassName(size) + "/" + PolicyName(kind),
+                        [w, cfg, kind] {
+                          return w->run(kind, MachineSpec{}, PolicyOptions{}, cfg);
+                        }});
+      }
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, "fig08");
+
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const WorkloadInfo* w = workloads[wi];
+    std::printf("\n== %s ==\n", w->name.c_str());
+    Table perf({"size", "ws(native)", "SGX/SGXBnd", "MPX/SGXBnd", "ASan/SGXBnd"});
+    Table counters({"size", "ASan LLC-miss%", "MPX LLC-miss%", "ASan faults(x)",
+                    "MPX faults(x)", "MPX #BTs"});
+    for (size_t si = 0; si < kNumSizes; ++si) {
+      const SizeClass size = sizes[si];
+      const SuiteRow row =
+          MakeSuiteRow(w->name, &results[(wi * kNumSizes + si) * 4]);
       const RunResult& base = row.sgxb;
       auto ratio_cell = [&](const RunResult& r) {
         return r.crashed ? std::string("crash") : FormatRatio(r.CyclesRatioOver(base));

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "S";
   parser.AddString("size", &size, "input size class");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 9: overheads over native SGX at 1 and 4 threads\n");
@@ -24,28 +25,45 @@ int main(int argc, char** argv) {
   std::vector<double> sgxb1;
   std::vector<double> sgxb4;
 
+  std::vector<const WorkloadInfo*> workloads;
   for (const std::string suite : {"phoenix", "parsec"}) {
     for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite(suite)) {
-      MachineSpec spec;
-      WorkloadConfig cfg1;
-      cfg1.size = ParseSizeClass(size);
-      cfg1.threads = 1;
-      WorkloadConfig cfg4 = cfg1;
-      cfg4.threads = 4;
-      std::fprintf(stderr, "[fig09] %s...\n", w->name.c_str());
-      const RunResult n1 = w->run(PolicyKind::kNative, spec, PolicyOptions{}, cfg1);
-      const RunResult n4 = w->run(PolicyKind::kNative, spec, PolicyOptions{}, cfg4);
-      const RunResult a1 = w->run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg1);
-      const RunResult a4 = w->run(PolicyKind::kAsan, spec, PolicyOptions{}, cfg4);
-      const RunResult s1 = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg1);
-      const RunResult s4 = w->run(PolicyKind::kSgxBounds, spec, PolicyOptions{}, cfg4);
-      table.AddRow({w->name, PerfCell(a1, n1), PerfCell(a4, n4), PerfCell(s1, n1),
-                    PerfCell(s4, n4)});
-      asan1.push_back(a1.CyclesRatioOver(n1));
-      asan4.push_back(a4.CyclesRatioOver(n4));
-      sgxb1.push_back(s1.CyclesRatioOver(n1));
-      sgxb4.push_back(s4.CyclesRatioOver(n4));
+      workloads.push_back(w);
     }
+  }
+
+  // Six independent runs per workload (3 policies x {1,4} threads), fanned
+  // out across host threads; rows are assembled in workload order below.
+  WorkloadConfig cfg1;
+  cfg1.size = ParseSizeClass(size);
+  cfg1.threads = 1;
+  WorkloadConfig cfg4 = cfg1;
+  cfg4.threads = 4;
+  const PolicyKind kinds[] = {PolicyKind::kNative, PolicyKind::kAsan,
+                              PolicyKind::kSgxBounds};
+  std::vector<BenchJob> jobs;
+  for (const WorkloadInfo* w : workloads) {
+    for (PolicyKind kind : kinds) {
+      for (const WorkloadConfig* cfg : {&cfg1, &cfg4}) {
+        jobs.push_back({w->name + "/" + PolicyName(kind) + "/" +
+                            std::to_string(cfg->threads) + "T",
+                        [w, kind, cfg] {
+                          return w->run(kind, MachineSpec{}, PolicyOptions{}, *cfg);
+                        }});
+      }
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, "fig09");
+
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const RunResult* r = &results[wi * 6];
+    const RunResult &n1 = r[0], &n4 = r[1], &a1 = r[2], &a4 = r[3], &s1 = r[4], &s4 = r[5];
+    table.AddRow({workloads[wi]->name, PerfCell(a1, n1), PerfCell(a4, n4), PerfCell(s1, n1),
+                  PerfCell(s4, n4)});
+    asan1.push_back(a1.CyclesRatioOver(n1));
+    asan4.push_back(a4.CyclesRatioOver(n4));
+    sgxb1.push_back(s1.CyclesRatioOver(n1));
+    sgxb4.push_back(s4.CyclesRatioOver(n4));
   }
   table.AddSeparator();
   table.AddRow({"gmean", FormatRatio(GeoMean(asan1)), FormatRatio(GeoMean(asan4)),

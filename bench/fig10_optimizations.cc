@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   std::string size = "S";
   parser.AddInt("threads", &threads, "worker threads");
   parser.AddString("size", &size, "input size class");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 10: SGXBounds optimization ablation\n");
@@ -121,25 +122,47 @@ int main(int argc, char** argv) {
   std::vector<double> g_safe;
   std::vector<double> g_hoist;
   std::vector<double> g_all;
+  std::vector<const WorkloadInfo*> workloads;
   for (const std::string suite : {"phoenix", "parsec"}) {
     for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite(suite)) {
-      MachineSpec spec;
-      WorkloadConfig cfg;
-      cfg.size = ParseSizeClass(size);
-      cfg.threads = static_cast<uint32_t>(threads);
-      std::fprintf(stderr, "[fig10] %s...\n", w->name.c_str());
-      const RunResult native = w->run(PolicyKind::kNative, spec, PolicyOptions{}, cfg);
-      const RunResult none = w->run(PolicyKind::kSgxBounds, spec, OptNone(), cfg);
-      const RunResult safe = w->run(PolicyKind::kSgxBounds, spec, OptSafe(), cfg);
-      const RunResult hoist = w->run(PolicyKind::kSgxBounds, spec, OptHoist(), cfg);
-      const RunResult all = w->run(PolicyKind::kSgxBounds, spec, OptAll(), cfg);
-      table.AddRow({w->name, PerfCell(none, native), PerfCell(safe, native),
-                    PerfCell(hoist, native), PerfCell(all, native)});
-      g_none.push_back(none.CyclesRatioOver(native));
-      g_safe.push_back(safe.CyclesRatioOver(native));
-      g_hoist.push_back(hoist.CyclesRatioOver(native));
-      g_all.push_back(all.CyclesRatioOver(native));
+      workloads.push_back(w);
     }
+  }
+
+  // Five independent runs per workload (native + 4 optimization configs),
+  // dispatched across host threads.
+  WorkloadConfig cfg;
+  cfg.size = ParseSizeClass(size);
+  cfg.threads = static_cast<uint32_t>(threads);
+  struct Variant {
+    const char* name;
+    PolicyKind kind;
+    PolicyOptions options;
+  };
+  const Variant variants[] = {{"native", PolicyKind::kNative, PolicyOptions{}},
+                              {"none", PolicyKind::kSgxBounds, OptNone()},
+                              {"safe", PolicyKind::kSgxBounds, OptSafe()},
+                              {"hoist", PolicyKind::kSgxBounds, OptHoist()},
+                              {"all", PolicyKind::kSgxBounds, OptAll()}};
+  std::vector<BenchJob> jobs;
+  for (const WorkloadInfo* w : workloads) {
+    for (const Variant& v : variants) {
+      jobs.push_back({w->name + "/" + v.name, [w, &v, cfg] {
+                        return w->run(v.kind, MachineSpec{}, v.options, cfg);
+                      }});
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, "fig10");
+
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const RunResult* r = &results[wi * 5];
+    const RunResult &native = r[0], &none = r[1], &safe = r[2], &hoist = r[3], &all = r[4];
+    table.AddRow({workloads[wi]->name, PerfCell(none, native), PerfCell(safe, native),
+                  PerfCell(hoist, native), PerfCell(all, native)});
+    g_none.push_back(none.CyclesRatioOver(native));
+    g_safe.push_back(safe.CyclesRatioOver(native));
+    g_hoist.push_back(hoist.CyclesRatioOver(native));
+    g_all.push_back(all.CyclesRatioOver(native));
   }
   table.AddSeparator();
   table.AddRow({"gmean", FormatRatio(GeoMean(g_none)), FormatRatio(GeoMean(g_safe)),

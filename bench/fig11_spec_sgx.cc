@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "L";
   parser.AddString("size", &size, "input size class");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 11: SPEC CPU2006 inside the enclave\n");
@@ -24,11 +25,8 @@ int main(int argc, char** argv) {
   cfg.size = ParseSizeClass(size);
   cfg.threads = 1;  // SPEC is single-threaded
 
-  std::vector<SuiteRow> rows;
-  for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite("spec")) {
-    std::fprintf(stderr, "[fig11] running %s...\n", w->name.c_str());
-    rows.push_back(RunAllPolicies(*w, spec, cfg));
-  }
+  const std::vector<SuiteRow> rows =
+      RunSuiteRows(WorkloadRegistry::Instance().BySuite("spec"), spec, cfg, "fig11");
   PrintOverheadTables("Fig.11 SPEC in-enclave (" + size + ")", rows);
   return 0;
 }

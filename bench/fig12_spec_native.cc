@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "L";
   parser.AddString("size", &size, "input size class");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   std::printf("Figure 12: SPEC CPU2006 outside the enclave (no EPC, no MEE)\n");
@@ -26,11 +27,8 @@ int main(int argc, char** argv) {
   cfg.size = ParseSizeClass(size);
   cfg.threads = 1;
 
-  std::vector<SuiteRow> rows;
-  for (const WorkloadInfo* w : WorkloadRegistry::Instance().BySuite("spec")) {
-    std::fprintf(stderr, "[fig12] running %s...\n", w->name.c_str());
-    rows.push_back(RunAllPolicies(*w, spec, cfg));
-  }
+  const std::vector<SuiteRow> rows =
+      RunSuiteRows(WorkloadRegistry::Instance().BySuite("spec"), spec, cfg, "fig12");
   PrintOverheadTables("Fig.12 SPEC outside enclave (" + size + ")", rows);
   return 0;
 }

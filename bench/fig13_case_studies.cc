@@ -134,7 +134,9 @@ int main(int argc, char** argv) {
   parser.AddUint("mc_items", &mc_items, "memcached preloaded items");
   parser.AddUint("mc_requests", &mc_requests, "memcached measured requests");
   parser.AddUint("web_requests", &web_requests, "httpd/nginx measured requests");
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const uint32_t bench_threads = ResolveBenchThreads();
 
   std::printf("Figure 13: case studies (throughput @ latency per client count, and peak "
               "memory)\n\n");
@@ -147,12 +149,11 @@ int main(int argc, char** argv) {
     std::printf("== Memcached (memaslap-like: 90%% GET / 10%% SET, 1 KB values, zipf) ==\n");
     Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
     ServicePoint points[4];
-    int i = 0;
-    for (PolicyKind kind : kinds) {
-      std::fprintf(stderr, "[fig13] memcached %s...\n", PolicyName(kind));
-      points[i++] = MeasureMemcached(kind, 8, mc_items, 1024,
-                                     static_cast<uint32_t>(mc_requests));
-    }
+    ParallelFor(4, bench_threads, [&](size_t k) {
+      std::fprintf(stderr, "[fig13] memcached %s...\n", PolicyName(kinds[k]));
+      points[k] = MeasureMemcached(kinds[k], 8, mc_items, 1024,
+                                   static_cast<uint32_t>(mc_requests));
+    });
     for (uint32_t clients : {1u, 4u, 8u, 16u, 32u}) {
       t.AddRow({std::to_string(clients), Cell(points[0], clients, 4),
                 Cell(points[1], clients, 4), Cell(points[2], clients, 4),
@@ -174,12 +175,15 @@ int main(int argc, char** argv) {
     const uint32_t client_counts[] = {8, 32, 64, 128};
     std::vector<std::vector<ServicePoint>> per_kind(4);
     for (int k = 0; k < 4; ++k) {
-      for (uint32_t clients : client_counts) {
-        std::fprintf(stderr, "[fig13] httpd %s c=%u...\n", PolicyName(kinds[k]), clients);
-        per_kind[k].push_back(
-            MeasureHttpd(kinds[k], clients, static_cast<uint32_t>(web_requests)));
-      }
+      per_kind[k].resize(4);
     }
+    ParallelFor(16, bench_threads, [&](size_t job) {
+      const size_t k = job / 4;
+      const size_t ci = job % 4;
+      const uint32_t clients = client_counts[ci];
+      std::fprintf(stderr, "[fig13] httpd %s c=%u...\n", PolicyName(kinds[k]), clients);
+      per_kind[k][ci] = MeasureHttpd(kinds[k], clients, static_cast<uint32_t>(web_requests));
+    });
     for (size_t ci = 0; ci < 4; ++ci) {
       t.AddRow({std::to_string(client_counts[ci]),
                 Cell(per_kind[0][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
@@ -201,11 +205,10 @@ int main(int argc, char** argv) {
     std::printf("\n== Nginx (ab-like GETs of a 200 KB page; single worker) ==\n");
     Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
     ServicePoint points[4];
-    int i = 0;
-    for (PolicyKind kind : kinds) {
-      std::fprintf(stderr, "[fig13] nginx %s...\n", PolicyName(kind));
-      points[i++] = MeasureNginx(kind, static_cast<uint32_t>(web_requests));
-    }
+    ParallelFor(4, bench_threads, [&](size_t k) {
+      std::fprintf(stderr, "[fig13] nginx %s...\n", PolicyName(kinds[k]));
+      points[k] = MeasureNginx(kinds[k], static_cast<uint32_t>(web_requests));
+    });
     for (uint32_t clients : {1u, 2u, 4u, 8u}) {
       t.AddRow({std::to_string(clients), Cell(points[0], clients, 1),
                 Cell(points[1], clients, 1), Cell(points[2], clients, 1),

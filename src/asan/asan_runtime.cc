@@ -130,24 +130,15 @@ void AsanRuntime::RegisterObject(Cpu& cpu, uint32_t user_addr, uint32_t size,
   PoisonRegion(cpu, user_addr + AlignUp(size, 1u << config_.shadow_scale), rz, redzone_magic);
 }
 
-bool AsanRuntime::CheckAccess(Cpu& cpu, uint32_t addr, uint32_t size, bool is_write, bool fatal) {
-  (void)is_write;
-  ++stats_.shadow_checks;
-  ++cpu.counters().bounds_checks;
-  // The instrumentation sequence: shadow = *(base + (addr >> 3)); test the
-  // granule byte; branch to the slow path for partial granules; branch on
-  // the verdict (ASan emits two conditional branches per check).
-  cpu.Alu(3);
-  const uint32_t saddr = ShadowAddr(addr);
-  enclave_->pages().Commit(&cpu, saddr, (size >> config_.shadow_scale) + 1);
-  cpu.MemAccess(saddr, (size >> config_.shadow_scale) + 1, AccessClass::kMetadataLoad);
-  cpu.Branch(2);
-
+bool AsanRuntime::CheckAccessSlow(Cpu& cpu, uint32_t addr, uint32_t size, bool fatal,
+                                  const uint8_t* shadow_ptr) {
   const uint32_t granule = 1u << config_.shadow_scale;
   bool bad = false;
   // Check first and last granule precisely, interior granules for poison.
-  for (uint32_t a = addr & ~(granule - 1); a < addr + size; a += granule) {
-    const uint8_t shadow = *enclave_->space().HostPtr(ShadowAddr(a));
+  // Shadow bytes for consecutive granules are host-contiguous, so walk the
+  // host pointer directly instead of recomputing ShadowAddr per granule.
+  for (uint32_t a = addr & ~(granule - 1); a < addr + size; a += granule, ++shadow_ptr) {
+    const uint8_t shadow = *shadow_ptr;
     if (shadow == kShadowAddressable) {
       continue;
     }

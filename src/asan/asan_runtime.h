@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 
 #include "src/runtime/heap.h"
 
@@ -71,8 +72,28 @@ class AsanRuntime {
 
   // Shadow lookup before an access; throws SimTrap(kAsanReport) on poisoned
   // shadow. `fatal=false` turns the report into a return value (used by the
-  // RIPE harness to count detections without unwinding).
-  bool CheckAccess(Cpu& cpu, uint32_t addr, uint32_t size, bool is_write, bool fatal = true);
+  // RIPE harness to count detections without unwinding). Inline so the common
+  // shape — a word access inside one fully-addressable granule — resolves
+  // without a call; anything else drops to the granule-walk slow path.
+  bool CheckAccess(Cpu& cpu, uint32_t addr, uint32_t size, bool is_write, bool fatal = true) {
+    (void)is_write;
+    ++stats_.shadow_checks;
+    ++cpu.counters().bounds_checks;
+    // The instrumentation sequence: shadow = *(base + (addr >> 3)); test the
+    // granule byte; branch to the slow path for partial granules; branch on
+    // the verdict (ASan emits two conditional branches per check).
+    cpu.Alu(3);
+    const uint32_t saddr = ShadowAddr(addr);
+    enclave_->pages().Commit(&cpu, saddr, (size >> config_.shadow_scale) + 1);
+    cpu.MemAccess(saddr, (size >> config_.shadow_scale) + 1, AccessClass::kMetadataLoad);
+    cpu.Branch(2);
+    const uint32_t granule_mask = (1u << config_.shadow_scale) - 1;
+    const uint8_t* shadow_ptr = enclave_->space().HostPtr(saddr);
+    if (*shadow_ptr == kShadowAddressable && ((addr ^ (addr + size - 1)) & ~granule_mask) == 0) {
+      return true;
+    }
+    return CheckAccessSlow(cpu, addr, size, fatal, shadow_ptr);
+  }
 
   // --- shadow primitives (used by interceptors and tests) ---------------------
 
@@ -89,6 +110,10 @@ class AsanRuntime {
 
  private:
   uint32_t ShadowAddr(uint32_t addr) const { return shadow_base_ + (addr >> config_.shadow_scale); }
+  // Granule-by-granule poison walk for partial granules and poisoned shadow;
+  // `shadow_ptr` is the host byte for the access's first granule.
+  bool CheckAccessSlow(Cpu& cpu, uint32_t addr, uint32_t size, bool fatal,
+                       const uint8_t* shadow_ptr);
   void WriteShadow(Cpu& cpu, uint32_t addr, uint32_t size, uint8_t value);
   void MaybeEvictQuarantine(Cpu& cpu);
 
@@ -104,8 +129,9 @@ class AsanRuntime {
   uint32_t shadow_base_;
   AsanStats stats_;
   std::deque<QuarantinedBlock> quarantine_;
-  // user addr -> (block base, user size); host-side allocator metadata.
-  std::map<uint32_t, std::pair<uint32_t, uint32_t>> live_;
+  // user addr -> (block base, user size); host-side allocator metadata,
+  // exact-key lookups only.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> live_;
 };
 
 }  // namespace sgxb

@@ -11,6 +11,18 @@ Enclave::Enclave(const EnclaveConfig& config)
   pages_.AttachZeroHook(space_.HostPtr(0));
 }
 
+void Enclave::CheckAddressableSlow(uint32_t first_page, uint32_t last_page) {
+  for (uint32_t page = first_page;; ++page) {
+    if (!pages_.Addressable(page << kPageShift)) {
+      throw SimTrap(TrapKind::kSegFault, page << kPageShift,
+                    "access to unmapped or guard page");
+    }
+    if (page == last_page) {
+      break;
+    }
+  }
+}
+
 Cpu* Enclave::NewCpu() {
   extra_cpus_.push_back(std::make_unique<Cpu>(&memsys_));
   return extra_cpus_.back().get();

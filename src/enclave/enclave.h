@@ -99,19 +99,18 @@ class Enclave {
   PerfCounters TotalCounters() const;
 
  private:
+  // Fast path inline: almost every access is single-page and addressable.
+  // Multi-page spans and the SIGSEGV throw stay out of line so the check
+  // compiles to one load + compare at each Load/Store site.
   void CheckAddressable(uint32_t addr, uint32_t size) {
     const uint32_t first = PageOf(addr);
     const uint32_t last = size == 0 ? first : PageOf(addr + size - 1);
-    for (uint32_t page = first;; ++page) {
-      if (!pages_.Addressable(page << kPageShift)) {
-        throw SimTrap(TrapKind::kSegFault, page << kPageShift,
-                      "access to unmapped or guard page");
-      }
-      if (page == last) {
-        break;
-      }
+    if (first == last && pages_.Addressable(addr)) {
+      return;
     }
+    CheckAddressableSlow(first, last);
   }
+  void CheckAddressableSlow(uint32_t first_page, uint32_t last_page);
 
   EnclaveConfig config_;
   MemorySystem memsys_;

@@ -1,5 +1,6 @@
 #include "src/enclave/page_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/check.h"
@@ -14,6 +15,8 @@ PageManager::PageManager(uint64_t space_bytes, MemorySystem* memory)
   const uint64_t pages = space_bytes / kPageSize;
   committed_.assign(pages, 0);
   guard_.assign(pages, 0);
+  addressable_.assign(pages, 0);
+  accounting_.assign(pages, static_cast<uint8_t>(VmAccounting::kOnCommit));
   // Page 0 (NULL) and the top page (SS4.4 loop-hoisting precaution) are
   // permanent guards.
   guard_[0] = 1;
@@ -41,6 +44,10 @@ uint32_t PageManager::Carve(uint64_t bytes, const std::string& tag, VmAccounting
     base = static_cast<uint32_t>(high_cursor_);
   }
   regions_.push_back({base, rounded, tag, accounting});
+  const uint32_t first_page = PageOf(base);
+  std::fill(accounting_.begin() + first_page,
+            accounting_.begin() + first_page + rounded / kPageSize,
+            static_cast<uint8_t>(accounting));
   if (accounting == VmAccounting::kFull) {
     BumpVm(rounded);
   }
@@ -57,32 +64,24 @@ uint32_t PageManager::ReserveHigh(uint64_t bytes, const std::string& tag,
   return Carve(bytes, tag, accounting, /*low=*/false);
 }
 
-VmAccounting PageManager::AccountingFor(uint32_t page) const {
-  const uint64_t addr = static_cast<uint64_t>(page) * kPageSize;
-  for (const auto& region : regions_) {
-    if (addr >= region.base && addr < region.base + region.bytes) {
-      return region.accounting;
-    }
-  }
-  return VmAccounting::kOnCommit;
-}
-
-void PageManager::Commit(Cpu* cpu, uint32_t addr, uint64_t bytes) {
-  if (bytes == 0) {
-    return;
-  }
-  const uint32_t first = PageOf(addr);
-  const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
+void PageManager::CommitSlow(Cpu* cpu, uint32_t first, uint32_t last) {
+  // Jump between uncommitted pages with memchr: large ranges that are already
+  // (mostly) committed — heap blocks recycled every iteration, hot shadow
+  // regions — skip at memory-scan speed instead of testing page by page.
+  const uint8_t* bits = committed_.data();
   for (uint32_t page = first; page <= last; ++page) {
-    if (committed_[page]) {
-      continue;
+    const void* gap = std::memchr(bits + page, 0, last - page + 1);
+    if (gap == nullptr) {
+      break;
     }
+    page = static_cast<uint32_t>(static_cast<const uint8_t*>(gap) - bits);
     committed_[page] = 1;
+    addressable_[page] = guard_[page] == 0;
     committed_bytes_ += kPageSize;
     if (AccountingFor(page) == VmAccounting::kOnCommit) {
       BumpVm(kPageSize);
     }
-    if (arena_base_ != nullptr) {
+    if (zero_on_commit_ && arena_base_ != nullptr) {
       std::memset(arena_base_ + static_cast<uint64_t>(page) * kPageSize, 0, kPageSize);
     }
     if (cpu != nullptr) {
@@ -97,6 +96,10 @@ void PageManager::Decommit(uint32_t addr, uint64_t bytes) {
   if (bytes == 0) {
     return;
   }
+  // Once any page has been handed back it may carry stale data, so recommits
+  // must zero from here on. Until then the backing mmap is zero-filled and
+  // first-time commits can skip the memset.
+  zero_on_commit_ = true;
   const uint32_t first = PageOf(addr);
   const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
   for (uint32_t page = first; page <= last; ++page) {
@@ -104,6 +107,7 @@ void PageManager::Decommit(uint32_t addr, uint64_t bytes) {
       continue;
     }
     committed_[page] = 0;
+    addressable_[page] = 0;
     committed_bytes_ -= kPageSize;
     if (AccountingFor(page) == VmAccounting::kOnCommit) {
       vm_bytes_ -= kPageSize;
@@ -115,6 +119,7 @@ void PageManager::Decommit(uint32_t addr, uint64_t bytes) {
 void PageManager::SetGuardPage(uint32_t page) {
   CHECK_LT(page, guard_.size());
   guard_[page] = 1;
+  addressable_[page] = 0;
 }
 
 uint64_t PageManager::ReservedForTag(const std::string& tag) const {

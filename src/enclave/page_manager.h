@@ -49,8 +49,20 @@ class PageManager {
 
   // Commits pages covering [addr, addr+bytes). Newly committed pages are
   // zeroed and charged as minor faults on `cpu` (pass nullptr to skip cycle
-  // charging, e.g. during machine setup).
-  void Commit(Cpu* cpu, uint32_t addr, uint64_t bytes);
+  // charging, e.g. during machine setup). Already-committed single-page
+  // ranges (the overwhelmingly common case: metadata writes from hardening
+  // runtimes re-committing hot shadow pages) return without the page walk.
+  void Commit(Cpu* cpu, uint32_t addr, uint64_t bytes) {
+    if (bytes == 0) {
+      return;
+    }
+    const uint32_t first = PageOf(addr);
+    const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
+    if (first == last && committed_[first]) {
+      return;
+    }
+    CommitSlow(cpu, first, last);
+  }
   void Decommit(uint32_t addr, uint64_t bytes);
 
   bool Committed(uint32_t addr) const { return committed_[PageOf(addr)] != 0; }
@@ -58,10 +70,7 @@ class PageManager {
   // Addressability: guard pages trap as SIGSEGV even when inside a reserved
   // region.
   void SetGuardPage(uint32_t page);
-  bool Addressable(uint32_t addr) const {
-    const uint32_t page = PageOf(addr);
-    return committed_[page] != 0 && guard_[page] == 0;
-  }
+  bool Addressable(uint32_t addr) const { return addressable_[PageOf(addr)] != 0; }
 
   // The paper's "virtual memory" metric.
   uint64_t vm_bytes() const { return vm_bytes_; }
@@ -87,9 +96,12 @@ class PageManager {
   };
 
   uint32_t Carve(uint64_t bytes, const std::string& tag, VmAccounting accounting, bool low);
+  void CommitSlow(Cpu* cpu, uint32_t first_page, uint32_t last_page);
   // Accounting mode of the region containing `page` (kOnCommit when outside
   // any region, which only happens in tests that commit raw pages).
-  VmAccounting AccountingFor(uint32_t page) const;
+  VmAccounting AccountingFor(uint32_t page) const {
+    return static_cast<VmAccounting>(accounting_[page]);
+  }
   void BumpVm(uint64_t bytes) {
     vm_bytes_ += bytes;
     if (vm_bytes_ > peak_vm_bytes_) {
@@ -100,6 +112,10 @@ class PageManager {
   uint64_t space_bytes_;
   MemorySystem* memory_;
   uint8_t* arena_base_ = nullptr;
+  // False until the first Decommit: fresh commits rely on the anonymous mmap
+  // being zero-filled and skip the page memset; after any decommit, pages may
+  // be recycled dirty and committing must zero them.
+  bool zero_on_commit_ = false;
   uint64_t low_cursor_ = kPageSize;  // page 0 is the NULL guard
   uint64_t high_cursor_;             // grows downward
   uint64_t vm_bytes_ = 0;
@@ -109,6 +125,10 @@ class PageManager {
   std::vector<Region> regions_;
   std::vector<uint8_t> committed_;
   std::vector<uint8_t> guard_;
+  // committed_[p] && !guard_[p], merged so Addressable() is a single load.
+  std::vector<uint8_t> addressable_;
+  // Per-page VmAccounting, filled at Carve so commit-time lookup is O(1).
+  std::vector<uint8_t> accounting_;
 };
 
 }  // namespace sgxb

@@ -56,10 +56,12 @@ Interpreter::Interpreter(Enclave* enclave, Heap* heap, StackAllocator* stack)
 
 uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint64_t>& args,
                           uint64_t max_steps) {
-  std::vector<uint64_t> values(fn.num_values, 0);
-  // Per-run MPX bounds side table: SSA value id -> bounds (the "register"
-  // association a compiler tracks for each pointer temp).
-  std::unordered_map<ValueId, MpxBounds> mpx_bounds;
+  values_.assign(fn.num_values, 0);
+  auto& values = values_;
+  if (mpx_ != nullptr) {
+    mpx_bounds_.assign(fn.num_values, MpxBounds{});
+    mpx_valid_.assign(fn.num_values, 0);
+  }
 
   const uint32_t frame = stack_->PushFrame();
   uint32_t block = 0;
@@ -67,6 +69,21 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
   uint64_t ret = 0;
 
   auto addr_of = [](uint64_t v) { return static_cast<uint32_t>(v); };
+  auto set_bounds = [this](ValueId id, const MpxBounds& b) {
+    mpx_bounds_[id] = b;
+    mpx_valid_[id] = 1;
+  };
+  // Propagates bounds from src to dst iff src is tracked (untracked pointers
+  // stay untracked, matching the erased-map semantics).
+  auto copy_bounds = [this](ValueId dst, ValueId src) {
+    if (mpx_valid_[src]) {
+      mpx_bounds_[dst] = mpx_bounds_[src];
+      mpx_valid_[dst] = 1;
+    }
+  };
+  auto bounds_or_init = [this](ValueId id) {
+    return mpx_valid_[id] ? mpx_bounds_[id] : MpxBounds{};
+  };
 
   try {
     for (;;) {
@@ -81,18 +98,15 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
             break;
           }
         }
-        std::vector<std::pair<ValueId, uint64_t>> phi_values;
+        phi_scratch_.clear();
         for (; i < bb.instrs.size() && bb.instrs[i].op == IrOp::kPhi; ++i) {
           const IrInstr& phi = bb.instrs[i];
-          phi_values.emplace_back(phi.id, values[phi.args[pred_index]]);
+          phi_scratch_.emplace_back(phi.id, values[phi.args[pred_index]]);
           if (mpx_ != nullptr) {
-            auto it = mpx_bounds.find(phi.args[pred_index]);
-            if (it != mpx_bounds.end()) {
-              mpx_bounds[phi.id] = it->second;
-            }
+            copy_bounds(phi.id, phi.args[pred_index]);
           }
         }
-        for (const auto& [id, v] : phi_values) {
+        for (const auto& [id, v] : phi_scratch_) {
           values[id] = v;
         }
       } else {
@@ -113,7 +127,7 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
             values[in.id] = static_cast<uint64_t>(in.imm);
             break;
           case IrOp::kArg:
-            values[in.id] = in.imm < static_cast<int64_t>(args.size())
+            values[in.id] = in.imm >= 0 && in.imm < static_cast<int64_t>(args.size())
                                 ? args[static_cast<size_t>(in.imm)]
                                 : 0;
             break;
@@ -198,7 +212,7 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
             } else {
               values[in.id] = stack_->Alloca(cpu, size);
               if (mpx_ != nullptr) {
-                mpx_bounds[in.id] = mpx_->BndMk(cpu, addr_of(values[in.id]), size);
+                set_bounds(in.id, mpx_->BndMk(cpu, addr_of(values[in.id]), size));
               }
             }
             break;
@@ -212,7 +226,7 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
             } else {
               values[in.id] = heap_->Alloc(cpu, size);
               if (mpx_ != nullptr) {
-                mpx_bounds[in.id] = mpx_->BndMk(cpu, addr_of(values[in.id]), size);
+                set_bounds(in.id, mpx_->BndMk(cpu, addr_of(values[in.id]), size));
               }
             }
             break;
@@ -232,10 +246,7 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
                             values[in.args[1]] * static_cast<uint64_t>(in.imm) +
                             static_cast<uint64_t>(in.imm2);
             if (mpx_ != nullptr) {
-              auto it = mpx_bounds.find(in.args[0]);
-              if (it != mpx_bounds.end()) {
-                mpx_bounds[in.id] = it->second;
-              }
+              copy_bounds(in.id, in.args[0]);
             }
             break;
           }
@@ -288,28 +299,18 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
           }
           case IrOp::kMpxCheck: {
             ++stats_.checks;
-            MpxBounds bounds;  // INIT if untracked
-            auto it = mpx_bounds.find(in.args[0]);
-            if (it != mpx_bounds.end()) {
-              bounds = it->second;
-            }
-            mpx_->BndCheck(cpu, bounds, addr_of(values[in.args[0]]),
+            mpx_->BndCheck(cpu, bounds_or_init(in.args[0]), addr_of(values[in.args[0]]),
                            static_cast<uint32_t>(in.imm));
             break;
           }
           case IrOp::kMpxLdx: {
-            mpx_bounds[in.args[0]] = mpx_->BndLdx(cpu, addr_of(values[in.args[1]]),
-                                                  addr_of(values[in.args[0]]));
+            set_bounds(in.args[0], mpx_->BndLdx(cpu, addr_of(values[in.args[1]]),
+                                                addr_of(values[in.args[0]])));
             break;
           }
           case IrOp::kMpxStx: {
-            MpxBounds bounds;
-            auto it = mpx_bounds.find(in.args[0]);
-            if (it != mpx_bounds.end()) {
-              bounds = it->second;
-            }
             mpx_->BndStx(cpu, addr_of(values[in.args[1]]), addr_of(values[in.args[0]]),
-                         bounds);
+                         bounds_or_init(in.args[0]));
             break;
           }
           case IrOp::kCall: {

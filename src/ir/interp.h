@@ -13,7 +13,7 @@
 #ifndef SGXBOUNDS_SRC_IR_INTERP_H_
 #define SGXBOUNDS_SRC_IR_INTERP_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "src/asan/asan_runtime.h"
 #include "src/ir/ir.h"
@@ -55,6 +55,16 @@ class Interpreter {
   AsanRuntime* asan_ = nullptr;
   MpxRuntime* mpx_ = nullptr;
   InterpStats stats_;
+
+  // Scratch buffers reused across Run() calls (sized to fn.num_values each
+  // call; capacity persists so steady-state runs allocate nothing). The MPX
+  // side table is a flat array indexed by SSA id — the "register" association
+  // a compiler tracks for pointer temps — with a validity byte instead of a
+  // hash lookup. Only populated when an MPX runtime is attached.
+  std::vector<uint64_t> values_;
+  std::vector<MpxBounds> mpx_bounds_;
+  std::vector<uint8_t> mpx_valid_;
+  std::vector<std::pair<ValueId, uint64_t>> phi_scratch_;
 };
 
 }  // namespace sgxb

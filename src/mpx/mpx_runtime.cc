@@ -20,16 +20,7 @@ MpxBounds MpxRuntime::BndMk(Cpu& cpu, uint32_t base, uint32_t size) {
   return MpxBounds{base, base + size};
 }
 
-bool MpxRuntime::BndCheck(Cpu& cpu, const MpxBounds& bounds, uint32_t addr, uint32_t size,
-                          bool fatal) {
-  ++stats_.bndcl_bndcu;
-  ++cpu.counters().bounds_checks;
-  cpu.Alu(3);  // bndcl + bndcu + the duplicated address lea GCC emits
-  const bool ok =
-      addr >= bounds.lb && static_cast<uint64_t>(addr) + size <= static_cast<uint64_t>(bounds.ub);
-  if (ok) {
-    return true;
-  }
+bool MpxRuntime::BndCheckFail(Cpu& cpu, uint32_t addr, bool fatal) {
   ++stats_.violations;
   ++cpu.counters().bounds_violations;
   if (fatal) {

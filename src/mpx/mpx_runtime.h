@@ -60,8 +60,20 @@ class MpxRuntime {
 
   // bndcl + bndcu: check [addr, addr+size) against `bounds`. Throws
   // SimTrap(kMpxBoundRange) unless `fatal` is false (RIPE harness mode).
+  // Inline: runs before every MPX-checked access; violations are rare and
+  // handled out of line.
   bool BndCheck(Cpu& cpu, const MpxBounds& bounds, uint32_t addr, uint32_t size,
-                bool fatal = true);
+                bool fatal = true) {
+    ++stats_.bndcl_bndcu;
+    ++cpu.counters().bounds_checks;
+    cpu.Alu(3);  // bndcl + bndcu + the duplicated address lea GCC emits
+    const bool ok =
+        addr >= bounds.lb && static_cast<uint64_t>(addr) + size <= static_cast<uint64_t>(bounds.ub);
+    if (ok) {
+      return true;
+    }
+    return BndCheckFail(cpu, addr, fatal);
+  }
 
   // bndstx: associate `bounds` with the pointer stored at `ptr_loc`
   // (the pointer's own value is part of the entry).
@@ -89,6 +101,9 @@ class MpxRuntime {
   static constexpr uint32_t kBtIndexMask = (1u << 18) - 1;  // addr[19:2]
   static constexpr uint32_t kBtEntryBytes = 16;            // 2^18 * 16 = 4 MiB
   static constexpr uint64_t kBtBytes = 4 * kMiB;
+
+  // Violation tail of BndCheck: count it, then trap or report.
+  bool BndCheckFail(Cpu& cpu, uint32_t addr, bool fatal);
 
   // Returns the BT base covering ptr_loc, allocating the table on demand.
   uint32_t BtFor(Cpu& cpu, uint32_t ptr_loc, bool allocate);

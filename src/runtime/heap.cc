@@ -35,29 +35,40 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
   const uint32_t needed = AlignUp(size, 16);
   cpu.Charge(kMallocCycles);
 
-  // First fit over the free list.
-  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
-    const uint32_t addr = AlignUp(it->first, align);
-    const uint32_t slack = addr - it->first;
-    if (it->second < slack + needed) {
-      continue;
+  // First fit over the free list. Skip the scan when even the largest free
+  // block cannot satisfy the request (slack >= 0, so size < needed never
+  // fits) — the common case for fresh allocations — without changing which
+  // block a fitting request picks.
+  if (max_free_upper_ >= needed) {
+    uint32_t scan_max = 0;
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+      if (it->second > scan_max) {
+        scan_max = it->second;
+      }
+      const uint32_t addr = AlignUp(it->first, align);
+      const uint32_t slack = addr - it->first;
+      if (it->second < slack + needed) {
+        continue;
+      }
+      const uint32_t block_base = it->first;
+      const uint32_t block_size = it->second;
+      FreeListErase(it);
+      if (slack >= 16) {
+        FreeListInsert(block_base, slack);
+      }
+      const uint32_t tail = block_size - slack - needed;
+      if (tail >= 16) {
+        FreeListInsert(addr + needed, tail);
+      }
+      live_blocks_[addr] = size;
+      ++stats_.alloc_calls;
+      stats_.live_bytes += size;
+      stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+      cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);  // header write
+      return addr;
     }
-    const uint32_t block_base = it->first;
-    const uint32_t block_size = it->second;
-    free_blocks_.erase(it);
-    if (slack >= 16) {
-      free_blocks_[block_base] = slack;
-    }
-    const uint32_t tail = block_size - slack - needed;
-    if (tail >= 16) {
-      free_blocks_[addr + needed] = tail;
-    }
-    live_blocks_[addr] = size;
-    ++stats_.alloc_calls;
-    stats_.live_bytes += size;
-    stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
-    cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);  // header write
-    return addr;
+    // Full scan without a fit: tighten the watermark to the exact maximum.
+    max_free_upper_ = scan_max;
   }
 
   // Extend into the wilderness.
@@ -71,7 +82,7 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
     return 0;
   }
   if (addr - wilderness_ >= 16) {
-    free_blocks_[wilderness_] = addr - wilderness_;
+    FreeListInsert(wilderness_, addr - wilderness_);
   }
   wilderness_ = static_cast<uint32_t>(end);
   enclave_->pages().Commit(&cpu, addr, needed);
@@ -100,7 +111,7 @@ void Heap::Free(Cpu& cpu, uint32_t addr) {
   auto next = free_blocks_.lower_bound(addr);
   if (next != free_blocks_.end() && next->first == addr + block) {
     extent += next->second;
-    free_blocks_.erase(next);
+    FreeListErase(next);
   }
   auto prev = free_blocks_.lower_bound(addr);
   if (prev != free_blocks_.begin()) {
@@ -108,10 +119,10 @@ void Heap::Free(Cpu& cpu, uint32_t addr) {
     if (prev->first + prev->second == addr) {
       start = prev->first;
       extent += prev->second;
-      free_blocks_.erase(prev);
+      FreeListErase(prev);
     }
   }
-  free_blocks_[start] = extent;
+  FreeListInsert(start, extent);
 }
 
 uint32_t Heap::BlockSize(uint32_t addr) const {
@@ -121,12 +132,13 @@ uint32_t Heap::BlockSize(uint32_t addr) const {
 }
 
 bool Heap::IsLive(uint32_t addr) const {
-  auto it = live_blocks_.upper_bound(addr);
-  if (it == live_blocks_.begin()) {
-    return false;
+  // Diagnostic-only (tests): a linear scan keeps live_blocks_ hashable.
+  for (const auto& [base, size] : live_blocks_) {
+    if (addr >= base && addr < base + size) {
+      return true;
+    }
   }
-  --it;
-  return addr < it->first + it->second;
+  return false;
 }
 
 }  // namespace sgxb

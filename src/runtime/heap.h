@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 
 #include "src/enclave/enclave.h"
 
@@ -62,14 +63,31 @@ class Heap {
 
   uint32_t AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_throw);
 
+  // All free_blocks_ mutations go through these so max_free_upper_ stays an
+  // upper bound on the largest free-block size.
+  void FreeListInsert(uint32_t addr, uint32_t size) {
+    free_blocks_[addr] = size;
+    if (size > max_free_upper_) {
+      max_free_upper_ = size;
+    }
+  }
+  void FreeListErase(std::map<uint32_t, uint32_t>::iterator it) { free_blocks_.erase(it); }
+
   Enclave* enclave_;
   uint64_t reserve_bytes_;
   uint32_t base_;
   uint32_t wilderness_;  // start of the never-allocated tail
   HeapStats stats_;
-  // Address-ordered free blocks (coalescing) and live blocks with their size.
-  std::map<uint32_t, uint32_t> free_blocks_;  // addr -> size
-  std::map<uint32_t, uint32_t> live_blocks_;  // addr -> requested size
+  // Address-ordered free blocks (coalescing needs ordered neighbours); live
+  // blocks only ever see exact-key lookups, so they live in a hash map.
+  std::map<uint32_t, uint32_t> free_blocks_;            // addr -> size
+  std::unordered_map<uint32_t, uint32_t> live_blocks_;  // addr -> requested size
+  // Upper bound on the largest free-block size: lets the first-fit scan be
+  // skipped outright when no block can be large enough (the common case for
+  // fresh allocations), without changing which block a fitting request picks.
+  // Grows on insert; tightened to the exact maximum whenever a full scan
+  // completes without a fit.
+  uint32_t max_free_upper_ = 0;
 };
 
 }  // namespace sgxb

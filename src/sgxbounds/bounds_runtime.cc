@@ -83,47 +83,6 @@ ResolvedAccess SgxBoundsRuntime::HandleViolation(Cpu& cpu, uint32_t p, uint32_t 
   return r;
 }
 
-ResolvedAccess SgxBoundsRuntime::CheckAccess(Cpu& cpu, TaggedPtr tagged, uint32_t size,
-                                             AccessType type) {
-  const uint32_t p = ExtractPtr(tagged);
-  const uint32_t ub = ExtractUb(tagged);
-  if (ub == 0) {
-    // Untagged pointer: no bounds known (uninstrumented origin).
-    return ResolvedAccess{p, false, false};
-  }
-  cpu.Alu(2);  // extract p, UB
-  ++stats_.checks;
-  ++cpu.counters().bounds_checks;
-  const uint32_t lb = LoadLb(cpu, ub);
-  cpu.Alu(2);
-  cpu.Branch();
-  if (registry_->has_hooks()) {
-    registry_->FireAccess(cpu, p, size, ub, type);
-  }
-  if (BoundsViolated(p, lb, ub, size)) {
-    return HandleViolation(cpu, p, size, type);
-  }
-  return ResolvedAccess{p, false, false};
-}
-
-ResolvedAccess SgxBoundsRuntime::CheckAccessUpperOnly(Cpu& cpu, TaggedPtr tagged, uint32_t size,
-                                                      AccessType type) {
-  const uint32_t p = ExtractPtr(tagged);
-  const uint32_t ub = ExtractUb(tagged);
-  if (ub == 0) {
-    return ResolvedAccess{p, false, false};
-  }
-  cpu.Alu(2);
-  ++stats_.checks;
-  ++cpu.counters().bounds_checks;
-  cpu.Alu(1);
-  cpu.Branch();
-  if (static_cast<uint64_t>(p) + size > ub) {
-    return HandleViolation(cpu, p, size, type);
-  }
-  return ResolvedAccess{p, false, false};
-}
-
 TaggedPtr SgxBoundsRuntime::NarrowBounds(Cpu& cpu, TaggedPtr tagged, uint32_t field_off,
                                          uint32_t field_size) {
   const uint32_t p = ExtractPtr(tagged);

@@ -80,12 +80,49 @@ class SgxBoundsRuntime {
 
   // Full bounds check for an access of `size` bytes. Untagged pointers
   // (UB == 0) pass unchecked, mirroring uninstrumented/NULL pointers.
-  ResolvedAccess CheckAccess(Cpu& cpu, TaggedPtr tagged, uint32_t size, AccessType type);
+  // Inline: this runs before every checked access, and the in-bounds path is
+  // a handful of charges around the LB footer load.
+  ResolvedAccess CheckAccess(Cpu& cpu, TaggedPtr tagged, uint32_t size, AccessType type) {
+    const uint32_t p = ExtractPtr(tagged);
+    const uint32_t ub = ExtractUb(tagged);
+    if (ub == 0) {
+      // Untagged pointer: no bounds known (uninstrumented origin).
+      return ResolvedAccess{p, false, false};
+    }
+    cpu.Alu(2);  // extract p, UB
+    ++stats_.checks;
+    ++cpu.counters().bounds_checks;
+    const uint32_t lb = LoadLb(cpu, ub);
+    cpu.Alu(2);
+    cpu.Branch();
+    if (registry_->has_hooks()) {
+      registry_->FireAccess(cpu, p, size, ub, type);
+    }
+    if (BoundsViolated(p, lb, ub, size)) {
+      return HandleViolation(cpu, p, size, type);
+    }
+    return ResolvedAccess{p, false, false};
+  }
 
   // Upper-bound-only check used after loop-hoisting has proven the lower
   // bound (SS4.4): no LB footer load, saving the metadata access.
   ResolvedAccess CheckAccessUpperOnly(Cpu& cpu, TaggedPtr tagged, uint32_t size,
-                                      AccessType type);
+                                      AccessType type) {
+    const uint32_t p = ExtractPtr(tagged);
+    const uint32_t ub = ExtractUb(tagged);
+    if (ub == 0) {
+      return ResolvedAccess{p, false, false};
+    }
+    cpu.Alu(2);
+    ++stats_.checks;
+    ++cpu.counters().bounds_checks;
+    cpu.Alu(1);
+    cpu.Branch();
+    if (static_cast<uint64_t>(p) + size > ub) {
+      return HandleViolation(cpu, p, size, type);
+    }
+    return ResolvedAccess{p, false, false};
+  }
 
   // Hoisted range check (SS4.4): verifies [p, p + extent) once; the loop body
   // may then access the range unchecked.

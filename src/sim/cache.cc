@@ -1,5 +1,8 @@
 #include "src/sim/cache.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/common/check.h"
 #include "src/common/units.h"
 
@@ -19,37 +22,37 @@ Cache::Cache(uint64_t size_bytes, uint32_t ways) : size_bytes_(size_bytes), ways
   CHECK(IsPowerOfTwo(static_cast<uint32_t>(sets)));
   sets_ = static_cast<uint32_t>(sets);
   set_mask_ = sets_ - 1;
-  slots_.resize(static_cast<size_t>(sets_) * ways_);
+  // One sentinel slot of padding so the inline way-1 probe in Access() may
+  // read base[1] even for a direct-mapped cache's last set. For ways == 1 the
+  // probe can never false-positive: a stored line id from another set differs
+  // in its set bits, and the sentinel is not a representable line id.
+  num_slots_ = static_cast<size_t>(sets_) * ways_ + 1;
+  slots_.reset(new (std::align_val_t{64}) uint32_t[num_slots_]);
+  Flush();
 }
 
-bool Cache::Access(uint32_t line) {
-  const uint32_t set = line & set_mask_;
-  Way* base = &slots_[static_cast<size_t>(set) * ways_];
-  ++tick_;
-  uint32_t victim = 0;
-  uint64_t victim_stamp = UINT64_MAX;
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].line == line) {
-      base[w].stamp = tick_;
+bool Cache::AccessSlow(uint32_t line, uint32_t* base) {
+  // Ways 0 and 1 were probed inline by Access().
+  for (uint32_t w = 2; w < ways_; ++w) {
+    if (base[w] == line) {
+      // Promote to MRU: slide [0, w) down one way.
+      std::memmove(base + 1, base, w * sizeof(uint32_t));
+      base[0] = line;
       ++hits_;
       return true;
     }
-    if (base[w].stamp < victim_stamp) {
-      victim_stamp = base[w].stamp;
-      victim = w;
-    }
   }
-  base[victim].line = line;
-  base[victim].stamp = tick_;
+  // Miss: the last way is the LRU victim by construction.
+  std::memmove(base + 1, base, (ways_ - 1) * sizeof(uint32_t));
+  base[0] = line;
   ++misses_;
   return false;
 }
 
 bool Cache::Contains(uint32_t line) const {
-  const uint32_t set = line & set_mask_;
-  const Way* base = &slots_[static_cast<size_t>(set) * ways_];
+  const uint32_t* base = &slots_[static_cast<size_t>(line & set_mask_) * ways_];
   for (uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].line == line) {
+    if (base[w] == line) {
       return true;
     }
   }
@@ -57,11 +60,7 @@ bool Cache::Contains(uint32_t line) const {
 }
 
 void Cache::Flush() {
-  for (auto& slot : slots_) {
-    slot.line = kInvalidLine;
-    slot.stamp = 0;
-  }
-  tick_ = 0;
+  std::fill_n(slots_.get(), num_slots_, kInvalidLine);
 }
 
 }  // namespace sgxb

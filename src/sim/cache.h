@@ -4,12 +4,19 @@
 // independent Cache; the Cpu/MemorySystem wiring in machine.h composes them
 // into an inclusive-enough hierarchy (a miss at level N is looked up at level
 // N+1; fills propagate back).
+//
+// Ways within a set are stored in recency order (way 0 = MRU, way ways-1 =
+// LRU), so the hot-line common case resolves on the first probe and eviction
+// needs no stamp scan. This is behaviourally identical to stamp-based
+// true-LRU: hit/miss outcomes and victim choices match access-for-access.
 
 #ifndef SGXBOUNDS_SRC_SIM_CACHE_H_
 #define SGXBOUNDS_SRC_SIM_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <memory>
+#include <new>
 
 namespace sgxb {
 
@@ -20,7 +27,26 @@ class Cache {
   Cache(uint64_t size_bytes, uint32_t ways);
 
   // Looks up a line; on miss, inserts it (evicting LRU). Returns true on hit.
-  bool Access(uint32_t line);
+  bool Access(uint32_t line) {
+    uint32_t* base = &slots_[static_cast<size_t>(line & set_mask_) * ways_];
+    if (base[0] == line) {  // MRU fast path: repeated hot-line access
+      ++hits_;
+      return true;
+    }
+    if (base[1] == line) {  // way-1 fast path: two lines alternating
+      base[1] = base[0];    // (data+metadata interleavings make this common)
+      base[0] = line;
+      ++hits_;
+      return true;
+    }
+    return AccessSlow(line, base);
+  }
+
+  // Books a hit without probing. Only valid when the caller knows `line` is
+  // this cache's MRU line for its set (e.g. the Cpu's last-line fast path):
+  // re-accessing the MRU line changes no replacement state, so counting the
+  // hit is all Access() would have done.
+  void CountMruHit() { ++hits_; }
 
   // Lookup without allocation (used by tests and the EPC prefetch logic).
   bool Contains(uint32_t line) const;
@@ -36,21 +62,26 @@ class Cache {
   uint64_t misses() const { return misses_; }
 
  private:
-  struct Way {
-    uint32_t line = kInvalidLine;
-    uint64_t stamp = 0;
-  };
-
   static constexpr uint32_t kInvalidLine = 0xffffffffu;
+
+  // Scan beyond ways 0-1 (probed inline); promote on hit, evict the LRU way
+  // on miss.
+  bool AccessSlow(uint32_t line, uint32_t* base);
 
   uint64_t size_bytes_;
   uint32_t ways_;
   uint32_t sets_;
   uint32_t set_mask_;
-  uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::vector<Way> slots_;  // sets_ * ways_, row-major by set
+  size_t num_slots_ = 0;  // sets_ * ways_ + 1 sentinel
+  struct AlignedDelete {
+    void operator()(uint32_t* p) const { ::operator delete[](p, std::align_val_t{64}); }
+  };
+  // sets_ * ways_ line ids, row-major by set, MRU first. 64-byte aligned so a
+  // set's ways never straddle host cache lines (a 16-way set is exactly one
+  // line); a plain vector's 16-byte alignment would split most probes in two.
+  std::unique_ptr<uint32_t[], AlignedDelete> slots_;
 };
 
 }  // namespace sgxb

@@ -6,87 +6,48 @@
 namespace sgxb {
 
 EpcSim::EpcSim(uint64_t capacity_bytes)
-    : capacity_pages_(capacity_bytes / kPageSize),
-      prev_(kMaxPages, kNil),
-      next_(kMaxPages, kNil),
-      resident_(kMaxPages, 0) {
+    : capacity_pages_(capacity_bytes / kPageSize), nodes_(kMaxPages, Node{kNotResident, kNil}) {
   CHECK_GT(capacity_pages_, 0u);
 }
 
-void EpcSim::Unlink(uint32_t page) {
-  const uint32_t p = prev_[page];
-  const uint32_t n = next_[page];
-  if (p != kNil) {
-    next_[p] = n;
-  } else {
-    head_ = n;
-  }
-  if (n != kNil) {
-    prev_[n] = p;
-  } else {
-    tail_ = p;
-  }
-  prev_[page] = kNil;
-  next_[page] = kNil;
-}
-
-void EpcSim::PushFront(uint32_t page) {
-  prev_[page] = kNil;
-  next_[page] = head_;
-  if (head_ != kNil) {
-    prev_[head_] = page;
-  }
-  head_ = page;
-  if (tail_ == kNil) {
-    tail_ = page;
-  }
-}
-
-bool EpcSim::Touch(uint32_t page) {
-  CHECK_LT(page, kMaxPages);
-  if (resident_[page]) {
-    if (head_ != page) {
-      Unlink(page);
-      PushFront(page);
-    }
-    return false;
-  }
+bool EpcSim::Fault(Node& nd, uint32_t page) {
   ++faults_;
   if (resident_count_ >= capacity_pages_) {
     const uint32_t victim = tail_;
     CHECK_NE(victim, kNil);
-    Unlink(victim);
-    resident_[victim] = 0;
+    Node& vd = nodes_[victim];
+    Unlink(vd);
+    vd.prev = kNotResident;
     --resident_count_;
     ++evictions_;
   }
-  resident_[page] = 1;
   ++resident_count_;
-  PushFront(page);
+  PushFront(nd, page);
   return true;
 }
 
 bool EpcSim::Resident(uint32_t page) const {
   CHECK_LT(page, kMaxPages);
-  return resident_[page] != 0;
+  return nodes_[page].prev != kNotResident;
 }
 
 void EpcSim::Invalidate(uint32_t page) {
   CHECK_LT(page, kMaxPages);
-  if (!resident_[page]) {
+  Node& nd = nodes_[page];
+  if (nd.prev == kNotResident) {
     return;
   }
-  Unlink(page);
-  resident_[page] = 0;
+  Unlink(nd);
+  nd.prev = kNotResident;
   --resident_count_;
 }
 
 void EpcSim::Reset() {
   for (uint32_t page = head_; page != kNil;) {
-    const uint32_t next = next_[page];
-    resident_[page] = 0;
-    prev_[page] = kNil;
-    next_[page] = kNil;
+    Node& nd = nodes_[page];
+    const uint32_t next = nd.next;
+    nd.prev = kNotResident;
+    nd.next = kNil;
     page = next;
   }
   head_ = kNil;

@@ -8,6 +8,11 @@
 // This model tracks the resident page set with true LRU replacement. A touch
 // of a non-resident page is an EPC fault; the cost is charged by the caller
 // from CostModel::epc_fault.
+//
+// The LRU list is intrusive over a single packed node array: one 8-byte node
+// per page holds both links, and residency is encoded as a sentinel in the
+// prev link. A touch of a resident page (every L2 miss in enclave mode) thus
+// costs one cache line for the page's own state instead of three.
 
 #ifndef SGXBOUNDS_SRC_SIM_EPC_H_
 #define SGXBOUNDS_SRC_SIM_EPC_H_
@@ -25,7 +30,17 @@ class EpcSim {
 
   // Marks a page access. Returns true if this access faulted (page was not
   // resident and had to be paged in, possibly evicting the LRU page).
-  bool Touch(uint32_t page);
+  bool Touch(uint32_t page) {
+    Node& nd = nodes_[page];
+    if (nd.prev != kNotResident) {
+      if (head_ != page) {
+        Unlink(nd);
+        PushFront(nd, page);
+      }
+      return false;
+    }
+    return Fault(nd, page);
+  }
 
   bool Resident(uint32_t page) const;
 
@@ -41,10 +56,44 @@ class EpcSim {
 
  private:
   static constexpr uint32_t kNil = 0xffffffffu;
+  // prev-link sentinel marking a non-resident page. Never a valid page id.
+  static constexpr uint32_t kNotResident = 0xfffffffeu;
   static constexpr uint32_t kMaxPages = 1u << 20;  // 4 GiB / 4 KiB
 
-  void Unlink(uint32_t page);
-  void PushFront(uint32_t page);
+  struct Node {
+    uint32_t prev;
+    uint32_t next;
+  };
+
+  void Unlink(Node& nd) {
+    const uint32_t p = nd.prev;
+    const uint32_t n = nd.next;
+    if (p != kNil) {
+      nodes_[p].next = n;
+    } else {
+      head_ = n;
+    }
+    if (n != kNil) {
+      nodes_[n].prev = p;
+    } else {
+      tail_ = p;
+    }
+  }
+
+  void PushFront(Node& nd, uint32_t page) {
+    nd.prev = kNil;
+    nd.next = head_;
+    if (head_ != kNil) {
+      nodes_[head_].prev = page;
+    }
+    head_ = page;
+    if (tail_ == kNil) {
+      tail_ = page;
+    }
+  }
+
+  // Non-resident touch: page-in, evicting the LRU page when full.
+  bool Fault(Node& nd, uint32_t page);
 
   uint64_t capacity_pages_;
   uint64_t resident_count_ = 0;
@@ -52,9 +101,7 @@ class EpcSim {
   uint64_t evictions_ = 0;
   uint32_t head_ = kNil;  // MRU
   uint32_t tail_ = kNil;  // LRU
-  std::vector<uint32_t> prev_;
-  std::vector<uint32_t> next_;
-  std::vector<uint8_t> resident_;
+  std::vector<Node> nodes_;
 };
 
 }  // namespace sgxb

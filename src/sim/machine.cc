@@ -7,66 +7,35 @@ MemorySystem::MemorySystem(const SimConfig& config)
       l3_(config.l3_bytes, config.l3_ways),
       epc_(config.epc_bytes) {}
 
-uint64_t MemorySystem::ServiceL2Miss(uint32_t line, PerfCounters& counters) {
-  ++counters.llc_accesses;
-  if (l3_.Access(line)) {
-    return config_.costs.l3_hit;
-  }
-  ++counters.llc_misses;
-  uint64_t cost = config_.costs.dram;
-  if (config_.enclave_mode) {
-    const uint32_t page = line >> (kPageShift - kCacheLineShift);
-    if (epc_.Touch(page)) {
-      ++counters.epc_faults;
-      cost += config_.costs.epc_fault;
-    }
-    cost += config_.costs.mee_line;
-  }
-  return cost;
-}
-
 void MemorySystem::FlushCaches() { l3_.Flush(); }
 
 Cpu::Cpu(MemorySystem* memory)
     : memory_(memory),
+      costs_(&memory->costs()),
       l1_(memory->config().l1_bytes, memory->config().l1_ways),
       l2_(memory->config().l2_bytes, memory->config().l2_ways) {}
 
-void Cpu::MemAccess(uint32_t addr, uint32_t size, AccessClass klass) {
-  switch (klass) {
-    case AccessClass::kAppLoad:
-      ++counters_.loads;
-      break;
-    case AccessClass::kAppStore:
-      ++counters_.stores;
-      break;
-    case AccessClass::kMetadataLoad:
-      ++counters_.metadata_loads;
-      break;
-    case AccessClass::kMetadataStore:
-      ++counters_.metadata_stores;
-      break;
+void Cpu::MissLine(uint32_t line) {
+  ++counters_.l1_misses;
+  uint64_t cost;
+  if (l2_.Access(line)) {
+    cost = costs_->l2_hit;
+  } else {
+    ++counters_.l2_misses;
+    cost = memory_->ServiceL2Miss(line, counters_);
   }
-  if (size == 0) {
-    return;
-  }
-  const uint32_t first_line = LineOf(addr);
-  const uint32_t last_line = LineOf(addr + size - 1);
+  counters_.cycles += cost;
+}
+
+void Cpu::MemAccessSpan(uint32_t first_line, uint32_t last_line) {
   for (uint32_t line = first_line;; ++line) {
     ++counters_.l1_accesses;
-    uint64_t cost;
-    if (l1_.Access(line)) {
-      cost = memory_->costs().l1_hit;
+    if (line == last_l1_line_) {
+      l1_.CountMruHit();
+      counters_.cycles += costs_->l1_hit;
     } else {
-      ++counters_.l1_misses;
-      if (l2_.Access(line)) {
-        cost = memory_->costs().l2_hit;
-      } else {
-        ++counters_.l2_misses;
-        cost = memory_->ServiceL2Miss(line, counters_);
-      }
+      AccessLine(line);
     }
-    counters_.cycles += cost;
     if (line == last_line) {
       break;
     }

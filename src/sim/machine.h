@@ -44,7 +44,23 @@ class MemorySystem {
 
   // Services an L2 miss for `line`. Returns the cycle cost and updates the
   // shared structures; per-thread counters are updated through `counters`.
-  uint64_t ServiceL2Miss(uint32_t line, PerfCounters& counters);
+  uint64_t ServiceL2Miss(uint32_t line, PerfCounters& counters) {
+    ++counters.llc_accesses;
+    if (l3_.Access(line)) {
+      return config_.costs.l3_hit;
+    }
+    ++counters.llc_misses;
+    uint64_t cost = config_.costs.dram;
+    if (config_.enclave_mode) {
+      const uint32_t page = line >> (kPageShift - kCacheLineShift);
+      if (epc_.Touch(page)) {
+        ++counters.epc_faults;
+        cost += config_.costs.epc_fault;
+      }
+      cost += config_.costs.mee_line;
+    }
+    return cost;
+  }
 
   void FlushCaches();
 
@@ -74,27 +90,51 @@ class Cpu {
   // Compute charging.
   void Alu(uint32_t n = 1) {
     counters_.alu_ops += n;
-    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().alu;
+    counters_.cycles += static_cast<uint64_t>(n) * costs_->alu;
   }
   void Branch(uint32_t n = 1) {
     counters_.branches += n;
-    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().branch;
+    counters_.cycles += static_cast<uint64_t>(n) * costs_->branch;
   }
   void Fp(uint32_t n = 1) {
     counters_.fp_ops += n;
-    counters_.cycles += static_cast<uint64_t>(n) * memory_->costs().fp;
+    counters_.cycles += static_cast<uint64_t>(n) * costs_->fp;
   }
-  void Call() { counters_.cycles += memory_->costs().call; }
+  void Call() { counters_.cycles += costs_->call; }
   void Charge(uint64_t cycles) { counters_.cycles += cycles; }
 
   // Charges the memory hierarchy for an access of `size` bytes at enclave
   // address `addr`. Touches every cache line the access spans.
-  void MemAccess(uint32_t addr, uint32_t size, AccessClass klass);
+  //
+  // Two fast paths keep the common case cheap without changing any modeled
+  // outcome: accesses contained in one line skip the span loop, and a repeat
+  // of the immediately preceding line is a guaranteed L1 hit (nothing can
+  // evict it in between — the L1 is private and only accesses evict), so it
+  // charges the hit without probing the cache.
+  void MemAccess(uint32_t addr, uint32_t size, AccessClass klass) {
+    BumpClassCounter(klass);
+    if (size == 0) {
+      return;
+    }
+    const uint32_t first_line = LineOf(addr);
+    const uint32_t last_line = LineOf(addr + size - 1);
+    if (first_line == last_line) {
+      ++counters_.l1_accesses;
+      if (first_line == last_l1_line_) {
+        l1_.CountMruHit();
+        counters_.cycles += costs_->l1_hit;
+        return;
+      }
+      AccessLine(first_line);
+      return;
+    }
+    MemAccessSpan(first_line, last_line);
+  }
 
   // Syscall boundary crossing (SS2.1: SCONE syscall interface).
   void Syscall() {
-    counters_.cycles += memory_->enclave_mode() ? memory_->costs().syscall_exit
-                                                : memory_->costs().syscall_native;
+    counters_.cycles += memory_->enclave_mode() ? costs_->syscall_exit
+                                                : costs_->syscall_native;
   }
 
   PerfCounters& counters() { return counters_; }
@@ -105,9 +145,49 @@ class Cpu {
   void ResetCounters() { counters_ = PerfCounters(); }
 
  private:
+  static constexpr uint32_t kNoLine = 0xffffffffu;
+
+  void BumpClassCounter(AccessClass klass) {
+    switch (klass) {
+      case AccessClass::kAppLoad:
+        ++counters_.loads;
+        break;
+      case AccessClass::kAppStore:
+        ++counters_.stores;
+        break;
+      case AccessClass::kMetadataLoad:
+        ++counters_.metadata_loads;
+        break;
+      case AccessClass::kMetadataStore:
+        ++counters_.metadata_stores;
+        break;
+    }
+  }
+
+  // Full lookup for one line (l1_accesses already counted by the caller).
+  // The L1-hit path stays inline; misses go out of line so the inline code
+  // at every Load/Store site stays small.
+  void AccessLine(uint32_t line) {
+    last_l1_line_ = line;
+    if (l1_.Access(line)) {
+      counters_.cycles += costs_->l1_hit;
+      return;
+    }
+    MissLine(line);
+  }
+  // L1 miss: walk L2 -> LLC -> DRAM/EPC and charge the final cost.
+  void MissLine(uint32_t line);
+  // Multi-line (cache-line-crossing) accesses.
+  void MemAccessSpan(uint32_t first_line, uint32_t last_line);
+
   MemorySystem* memory_;
+  // Cached &memory_->costs(): the cost table is immutable after construction,
+  // and every charge on the hot path reads it.
+  const CostModel* costs_;
   Cache l1_;
   Cache l2_;
+  // Line of the most recent L1 access; repeats are guaranteed hits.
+  uint32_t last_l1_line_ = kNoLine;
   PerfCounters counters_;
 };
 

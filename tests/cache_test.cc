@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/common/units.h"
 #include "src/sim/cache.h"
 
@@ -66,6 +68,102 @@ TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
     c.Access(i);
   }
   EXPECT_EQ(c.misses(), 2 * misses_after_first);
+}
+
+TEST(CacheTest, RepeatedLineUsesMruFastPath) {
+  Cache c(32 * kKiB, 8);
+  EXPECT_FALSE(c.Access(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(c.Access(7));
+  }
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 100u);
+}
+
+TEST(CacheTest, AlternatingTwoLinesHitAfterFirstMisses) {
+  // Two lines mapping to the same set, accessed alternately (the data +
+  // metadata interleaving pattern the way-1 fast path exists for): both miss
+  // once, then every access hits.
+  Cache c(32 * kKiB, 8);
+  const uint32_t sets = c.sets();
+  EXPECT_FALSE(c.Access(0));
+  EXPECT_FALSE(c.Access(sets));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(c.Access(0));
+    EXPECT_TRUE(c.Access(sets));
+  }
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 100u);
+}
+
+TEST(CacheTest, AlternationDoesNotDisturbLruOrderOfOtherWays) {
+  Cache c(32 * kKiB, 8);  // 64 sets, 8 ways
+  const uint32_t sets = c.sets();
+  // Fill one set: lines 0..7*sets, LRU order oldest-first.
+  for (uint32_t i = 0; i < 8; ++i) {
+    c.Access(i * sets);
+  }
+  // Heavy alternation between the two newest lines (ways 0/1 fast path).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(c.Access(7 * sets));
+    EXPECT_TRUE(c.Access(6 * sets));
+  }
+  // A new line must evict line 0 (still the LRU), not the alternating pair.
+  EXPECT_FALSE(c.Access(8 * sets));
+  EXPECT_FALSE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(6 * sets));
+  EXPECT_TRUE(c.Contains(7 * sets));
+  EXPECT_TRUE(c.Contains(1 * sets));
+}
+
+// Reference model: exact LRU as a per-set move-to-front list, with none of
+// the Cache class's fast paths. The Cache must agree with it access for
+// access, for every associativity including direct-mapped (ways == 1, which
+// exercises the sentinel slot guarding the inline way-1 probe).
+class RefLru {
+ public:
+  RefLru(uint32_t sets, uint32_t ways) : ways_(ways), sets_(sets) {}
+
+  bool Access(uint32_t line) {
+    auto& set = sets_[line % sets_.size()];
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i] == line) {
+        set.erase(set.begin() + i);
+        set.insert(set.begin(), line);
+        return true;
+      }
+    }
+    set.insert(set.begin(), line);
+    if (set.size() > ways_) {
+      set.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  uint32_t ways_;
+  std::vector<std::vector<uint32_t>> sets_;
+};
+
+TEST(CacheTest, MatchesReferenceLruOnScrambledTrace) {
+  for (uint32_t ways : {1u, 2u, 4u, 8u, 16u}) {
+    const uint32_t sets = 16;
+    Cache c(static_cast<uint64_t>(sets) * ways * kCacheLineSize, ways);
+    ASSERT_EQ(c.sets(), sets);
+    RefLru ref(sets, ways);
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint32_t x = 12345;
+    for (int i = 0; i < 30000; ++i) {
+      x = x * 1664525u + 1013904223u;  // LCG; mix of conflicts and repeats
+      const uint32_t line = (x >> 8) % (sets * ways * 2);
+      const bool hit = c.Access(line);
+      ASSERT_EQ(hit, ref.Access(line)) << "ways=" << ways << " step=" << i;
+      ++(hit ? hits : misses);
+    }
+    EXPECT_EQ(c.hits(), hits) << "ways=" << ways;
+    EXPECT_EQ(c.misses(), misses) << "ways=" << ways;
+  }
 }
 
 TEST(CacheTest, WorkingSetSmallerThanCacheHitsOnReuse) {

@@ -332,6 +332,68 @@ TEST_F(IrFixture, MpxBoundsSurviveTableRoundTrip) {
   EXPECT_THROW(Run(fn), SimTrap);
 }
 
+// Bounds must survive a pointer-valued phi and the GEP applied to it: if the
+// interpreter dropped the association at the merge point, the OOB store
+// would sail through with INIT (unchecked) bounds instead of trapping.
+IrFunction BuildPhiPointerKernel(uint32_t idx) {
+  // p = arg0 ? &a[0] : &c[0]; p[idx] = 7  with a, c = malloc(8 * 8).
+  IrBuilder b("phiptr", 1);
+  const ValueId take_a = b.Arg(0);
+  const ValueId a = b.Malloc(b.Const(8 * 8));
+  const ValueId c = b.Malloc(b.Const(8 * 8));
+  const uint32_t left = b.NewBlock();
+  const uint32_t right = b.NewBlock();
+  const uint32_t join = b.NewBlock();
+  b.CondBr(take_a, left, right);
+  b.SetBlock(left);
+  const ValueId pa = b.Gep(a, b.Const(0), 8);
+  b.Br(join);
+  b.SetBlock(right);
+  const ValueId pc = b.Gep(c, b.Const(0), 8);
+  b.Br(join);
+  b.SetBlock(join);
+  const ValueId p = b.Phi(IrType::kPtr, {pa, pc});
+  b.Store(IrType::kI64, b.Const(7), b.Gep(p, b.Const(idx), 8));
+  b.Ret(b.Const(1));
+  return b.Finish();
+}
+
+TEST_F(IrFixture, MpxBoundsPropagateThroughPhiAndGep) {
+  for (uint64_t take_a : {0u, 1u}) {
+    IrFunction ok = BuildPhiPointerKernel(7);  // last valid element
+    RunMpxPass(ok);
+    EXPECT_EQ(Run(ok, {take_a}), 1u) << "take_a=" << take_a;
+
+    IrFunction oob = BuildPhiPointerKernel(8);  // one past the end
+    RunMpxPass(oob);
+    try {
+      Run(oob, {take_a});
+      FAIL() << "take_a=" << take_a;
+    } catch (const SimTrap& t) {
+      EXPECT_EQ(t.kind(), TrapKind::kMpxBoundRange);
+    }
+  }
+}
+
+TEST_F(IrFixture, ArgWithOutOfRangeIndexReadsAsZero) {
+  // A malformed kArg (negative or past the argument list) must evaluate to 0
+  // rather than read out of bounds of the args vector.
+  for (int64_t bad_index : {int64_t{-1}, int64_t{-1000}, int64_t{5}}) {
+    IrBuilder b("badarg", 1);
+    const ValueId x = b.Arg(0);
+    b.Ret(x);
+    IrFunction fn = b.Finish();
+    for (auto& block : fn.blocks) {
+      for (auto& instr : block.instrs) {
+        if (instr.op == IrOp::kArg) {
+          instr.imm = bad_index;
+        }
+      }
+    }
+    EXPECT_EQ(Run(fn, {42}), 0u) << "imm=" << bad_index;
+  }
+}
+
 TEST_F(IrFixture, StepLimitStopsRunawayLoops) {
   IrBuilder b("forever");
   const uint32_t header = b.NewBlock();
