@@ -19,6 +19,7 @@
 #include "src/common/host_parallel.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/trace/trace_format.h"
 #include "src/workloads/workload.h"
 
 namespace sgxb {
@@ -52,6 +53,22 @@ inline void AddBenchDriverFlags(FlagParser& parser) {
 inline uint32_t ResolveBenchThreads() {
   const int64_t v = BenchThreadsFlag();
   return v <= 0 ? HostHardwareThreads() : static_cast<uint32_t>(v);
+}
+
+// Reproducibility banner: printed first by every figure/table binary so two
+// result sets are comparable at a glance. The cost-table id is the FNV hash
+// of every cycle price in the model (see CostTableId); runs with different
+// ids are not comparable.
+inline void PrintReproHeader(const char* binary, const MachineSpec& spec) {
+  const SimConfig defaults;
+  std::printf(
+      "[repro] %s: trace_version=%u cost_table=%016llx epc=%llu MiB enclave=%s "
+      "seed=%llu sim_threads=%u bench_threads=%u\n",
+      binary, kTraceVersion,
+      static_cast<unsigned long long>(CostTableId(defaults.costs)),
+      static_cast<unsigned long long>(spec.epc_bytes / kMiB),
+      spec.enclave_mode ? "on" : "off", static_cast<unsigned long long>(spec.seed),
+      spec.threads, ResolveBenchThreads());
 }
 
 // One schedulable simulation; `label` feeds progress/--selftime lines.

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
+  PrintReproHeader("fig01_sqlite", MachineSpec{});
   std::printf("Figure 1: SQLite-analogue speedtest vs working-set size (in-enclave)\n");
   std::printf("paper expectation: MPX crashes early; ASan up to ~3.1x slower and ~3.1x "
               "memory; SGXBounds <=1.35x and ~1.0x memory\n\n");

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
+  PrintReproHeader("fig07_overheads", MachineSpec{});
   std::printf("Figure 7: Phoenix + PARSEC overheads over native SGX (%lld threads)\n",
               static_cast<long long>(threads));
   std::printf("paper expectation: perf gmean MPX~1.75x ASan~1.51x SGXBounds~1.17x; "

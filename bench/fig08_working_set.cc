@@ -12,13 +12,131 @@
 
 #include "bench/bench_util.h"
 
+#include <cstdlib>
+
+#include "src/trace/record.h"
+
+namespace {
+
+// EPC sweep (the working-set pressure axis): cycles and fault counts per EPC
+// size, one table per workload. `--mode=live` re-executes the workload per
+// point; `--mode=replay` executes once, records the trace, and re-simulates
+// every point through EpcSweeper. Both print identical series — asserted by
+// tests/trace_test.cc — so replay is purely a wall-clock win.
+void RunEpcSweep(const std::vector<const sgxb::WorkloadInfo*>& workloads,
+                 const std::vector<uint64_t>& epc_mibs, const std::string& mode,
+                 sgxb::SizeClass size, sgxb::PolicyKind kind, uint32_t threads) {
+  using namespace sgxb;
+  std::printf("\nEPC sweep: %s, size %s, %zu point(s), mode=%s\n", PolicyName(kind),
+              SizeClassName(size), epc_mibs.size(), mode.c_str());
+  WorkloadConfig cfg;
+  cfg.size = size;
+  cfg.threads = threads;
+  std::vector<std::vector<RunResult>> all_points(workloads.size());
+  if (mode == "replay") {
+    // One execution per workload (fanned across host threads), then every EPC
+    // point comes from the sweeper in milliseconds.
+    ParallelFor(workloads.size(), ResolveBenchThreads(), [&](size_t i) {
+      const WorkloadInfo* w = workloads[i];
+      const RecordedRun rec = RecordWorkloadRun(*w, kind, MachineSpec{}, PolicyOptions{}, cfg);
+      const EpcSweeper sweeper(rec.trace, SimConfigFromHeader(rec.trace.header));
+      for (uint64_t mib : epc_mibs) {
+        all_points[i].push_back(ToRunResult(sweeper.ReplayAt(mib * kMiB), rec.trace));
+      }
+    });
+  } else {
+    std::vector<BenchJob> jobs;
+    for (const WorkloadInfo* w : workloads) {
+      for (uint64_t mib : epc_mibs) {
+        MachineSpec spec;
+        spec.epc_bytes = mib * kMiB;
+        jobs.push_back({w->name + "/epc" + std::to_string(mib),
+                        [w, kind, spec, cfg] { return w->run(kind, spec, PolicyOptions{}, cfg); }});
+      }
+    }
+    const std::vector<RunResult> flat = RunBenchJobs(jobs, "fig08-epc");
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      all_points[i].assign(flat.begin() + i * epc_mibs.size(),
+                           flat.begin() + (i + 1) * epc_mibs.size());
+    }
+  }
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const WorkloadInfo* w = workloads[wi];
+    const std::vector<RunResult>& points = all_points[wi];
+    std::printf("\n== %s (%s) ==\n", w->name.c_str(), PolicyName(kind));
+    Table table({"EPC MiB", "cycles", "EPC faults", "LLC misses", "vs largest"});
+    const RunResult& base = points.back();
+    for (size_t i = 0; i < epc_mibs.size(); ++i) {
+      const RunResult& r = points[i];
+      table.AddRow({std::to_string(epc_mibs[i]), std::to_string(r.cycles),
+                    std::to_string(r.counters.epc_faults),
+                    std::to_string(r.counters.llc_misses),
+                    r.crashed ? std::string("crash") : FormatRatio(r.CyclesRatioOver(base))});
+    }
+    table.Print();
+  }
+}
+
+std::vector<uint64_t> ParseMibList(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sgxb;
   FlagParser parser;
   int64_t threads = 8;
+  std::string mode = "live";
+  std::string epc_mibs_csv;
+  std::string sweep_size = "S";
+  std::string sweep_policy = "sgxbounds";
   parser.AddInt("threads", &threads, "worker threads");
+  parser.AddString("mode", &mode, "EPC sweep execution: live|replay");
+  parser.AddString("epc_mibs", &epc_mibs_csv,
+                   "comma-separated EPC sizes in MiB; when set, runs the EPC sweep "
+                   "instead of the working-set grid");
+  parser.AddString("sweep_size", &sweep_size, "EPC sweep input size class XS..XL");
+  parser.AddString("sweep_policy", &sweep_policy, "EPC sweep policy: native|mpx|asan|sgxbounds");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+
+  PrintReproHeader("fig08_working_set", MachineSpec{});
+
+  std::vector<const WorkloadInfo*> sweep_workloads;
+  for (const char* name : {"kmeans", "matrixmul", "wordcount", "linear_regression"}) {
+    const WorkloadInfo* w = WorkloadRegistry::Instance().Find(name);
+    if (w != nullptr) {
+      sweep_workloads.push_back(w);
+    }
+  }
+
+  if (!epc_mibs_csv.empty()) {
+    PolicyKind kind = PolicyKind::kSgxBounds;
+    if (sweep_policy == "native") {
+      kind = PolicyKind::kNative;
+    } else if (sweep_policy == "mpx") {
+      kind = PolicyKind::kMpx;
+    } else if (sweep_policy == "asan") {
+      kind = PolicyKind::kAsan;
+    }
+    RunEpcSweep(sweep_workloads, ParseMibList(epc_mibs_csv), mode,
+                ParseSizeClass(sweep_size), kind, static_cast<uint32_t>(threads));
+    return 0;
+  }
 
   std::printf("Figure 8 + Table 3: increasing working sets (normalized to SGXBounds)\n");
   std::printf("paper expectation: kmeans MPX hump at M (~8x); matrixmul MPX ~1x always, "

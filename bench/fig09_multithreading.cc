@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
+  PrintReproHeader("fig09_multithreading", MachineSpec{});
   std::printf("Figure 9: overheads over native SGX at 1 and 4 threads\n");
   std::printf("paper expectation: ASan ~1.35x@1T -> ~1.49x@4T; SGXBounds flat ~1.17x\n\n");
 

@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
+  PrintReproHeader("fig10_optimizations", MachineSpec{});
   std::printf("Figure 10: SGXBounds optimization ablation\n");
   std::printf("paper expectation: ~2%% average gain; up to ~20-22%% on kmeans/matrixmul "
               "(hoisting) and x264 (safe elision)\n\n");

@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
+  {
+    MachineSpec header_spec;
+    header_spec.enclave_mode = false;
+    PrintReproHeader("fig12_spec_native", header_spec);
+  }
   std::printf("Figure 12: SPEC CPU2006 outside the enclave (no EPC, no MEE)\n");
   std::printf("paper expectation: gmean SGXBounds ~1.55x vs ASan ~1.38x (SGXBounds "
               "loses its advantage outside SGX)\n");

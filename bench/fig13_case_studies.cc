@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
   parser.Parse(argc, argv);
   const uint32_t bench_threads = ResolveBenchThreads();
 
+  PrintReproHeader("fig13_case_studies", MachineSpec{});
   std::printf("Figure 13: case studies (throughput @ latency per client count, and peak "
               "memory)\n\n");
 

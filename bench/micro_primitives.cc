@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/asan/asan_runtime.h"
 #include "src/mpx/mpx_runtime.h"
 #include "src/sgxbounds/bounds_runtime.h"
@@ -104,4 +105,13 @@ BENCHMARK(BM_HeapAllocFree);
 }  // namespace
 }  // namespace sgxb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sgxb::PrintReproHeader("micro_primitives", sgxb::MachineSpec{});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

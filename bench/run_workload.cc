@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
   MachineSpec spec;
   spec.enclave_mode = !no_enclave;
   spec.epc_bytes = epc_mb * kMiB;
+  spec.threads = static_cast<uint32_t>(threads);
+  PrintReproHeader("run_workload", spec);
   WorkloadConfig cfg;
   cfg.size = ParseSizeClass(size);
   cfg.threads = static_cast<uint32_t>(threads);

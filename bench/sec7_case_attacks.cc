@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/httpd.h"
 #include "src/apps/memcached.h"
 #include "src/apps/nginx_app.h"
@@ -117,6 +118,7 @@ std::string NginxOutcome(PolicyKind kind, OobPolicy oob) {
 
 int main() {
   using namespace sgxb;
+  PrintReproHeader("sec7_case_attacks", MachineSpec{});
   std::printf("SS7 security case studies inside the enclave\n\n");
 
   struct Row {

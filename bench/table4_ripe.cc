@@ -7,11 +7,13 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/ripe/ripe.h"
 
 int main() {
   using namespace sgxb;
+  PrintReproHeader("table4_ripe", MachineSpec{});
   std::printf("Table 4: RIPE attack matrix (16 attacks surviving under SGX)\n");
   std::printf("paper expectation: MPX 2/16, ASan 8/16, SGXBounds 8/16\n\n");
 

@@ -25,7 +25,26 @@ void Enclave::CheckAddressableSlow(uint32_t first_page, uint32_t last_page) {
 
 Cpu* Enclave::NewCpu() {
   extra_cpus_.push_back(std::make_unique<Cpu>(&memsys_));
-  return extra_cpus_.back().get();
+  Cpu* cpu = extra_cpus_.back().get();
+  if (TraceRecorder* trace = memsys_.trace()) {
+    cpu->AttachTrace(trace, trace->RegisterCpu(&cpu->counters()));
+  }
+  return cpu;
+}
+
+void Enclave::AttachTrace(TraceRecorder* trace) {
+  memsys_.set_trace(trace);
+  if (trace != nullptr) {
+    main_cpu_.AttachTrace(trace, trace->RegisterCpu(&main_cpu_.counters()));
+    for (auto& cpu : extra_cpus_) {
+      cpu->AttachTrace(trace, trace->RegisterCpu(&cpu->counters()));
+    }
+  } else {
+    main_cpu_.AttachTrace(nullptr, 0);
+    for (auto& cpu : extra_cpus_) {
+      cpu->AttachTrace(nullptr, 0);
+    }
+  }
 }
 
 void Enclave::LoadBytes(Cpu& cpu, uint32_t addr, void* dst, uint32_t n, AccessClass klass) {

@@ -56,6 +56,11 @@ class Enclave {
   // LLC/EPC. Lifetime is owned by the enclave.
   Cpu* NewCpu();
 
+  // Attaches (or, with null, detaches) a trace recorder: the main cpu
+  // registers as trace cpu 0, and every Cpu created afterwards registers
+  // itself. Attach before any charged work for a complete recording.
+  void AttachTrace(TraceRecorder* trace);
+
   // --- Guest memory access (charged + checked) ---
 
   template <typename T>

@@ -68,25 +68,31 @@ void PageManager::CommitSlow(Cpu* cpu, uint32_t first, uint32_t last) {
   // Jump between uncommitted pages with memchr: large ranges that are already
   // (mostly) committed — heap blocks recycled every iteration, hot shadow
   // regions — skip at memory-scan speed instead of testing page by page.
+  // Fresh pages are then swallowed as contiguous runs so the minor-fault
+  // charge (Cpu::CommitPages, one trace event per run) is batched.
   const uint8_t* bits = committed_.data();
-  for (uint32_t page = first; page <= last; ++page) {
+  uint32_t page = first;
+  while (page <= last) {
     const void* gap = std::memchr(bits + page, 0, last - page + 1);
     if (gap == nullptr) {
       break;
     }
     page = static_cast<uint32_t>(static_cast<const uint8_t*>(gap) - bits);
-    committed_[page] = 1;
-    addressable_[page] = guard_[page] == 0;
-    committed_bytes_ += kPageSize;
-    if (AccountingFor(page) == VmAccounting::kOnCommit) {
-      BumpVm(kPageSize);
-    }
-    if (zero_on_commit_ && arena_base_ != nullptr) {
-      std::memset(arena_base_ + static_cast<uint64_t>(page) * kPageSize, 0, kPageSize);
+    const uint32_t run_start = page;
+    while (page <= last && !committed_[page]) {
+      committed_[page] = 1;
+      addressable_[page] = guard_[page] == 0;
+      committed_bytes_ += kPageSize;
+      if (AccountingFor(page) == VmAccounting::kOnCommit) {
+        BumpVm(kPageSize);
+      }
+      if (zero_on_commit_ && arena_base_ != nullptr) {
+        std::memset(arena_base_ + static_cast<uint64_t>(page) * kPageSize, 0, kPageSize);
+      }
+      ++page;
     }
     if (cpu != nullptr) {
-      ++cpu->counters().minor_faults;
-      cpu->Charge(memory_->costs().minor_fault);
+      cpu->CommitPages(run_start, page - run_start);
     }
   }
   peak_committed_bytes_ = std::max(peak_committed_bytes_, committed_bytes_);
@@ -102,6 +108,11 @@ void PageManager::Decommit(uint32_t addr, uint64_t bytes) {
   zero_on_commit_ = true;
   const uint32_t first = PageOf(addr);
   const uint32_t last = PageOf(static_cast<uint32_t>(addr + bytes - 1));
+  // Replay invalidates the whole range: equivalent, because a page that was
+  // never committed cannot be EPC-resident.
+  if (memory_->trace() != nullptr) {
+    memory_->trace()->OnDecommit(first, last - first + 1);
+  }
   for (uint32_t page = first; page <= last; ++page) {
     if (!committed_[page]) {
       continue;

@@ -37,6 +37,9 @@ struct MachineSpec {
   uint64_t heap_reserve = 3 * kGiB;
   uint32_t threads = 1;
   uint64_t seed = 42;
+  // Optional: record this run's event stream (src/trace). The recorder must
+  // outlive the run; the harness calls BeginRun/Finalize around the body.
+  TraceRecorder* trace = nullptr;
 };
 
 struct RunResult {
@@ -85,6 +88,26 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   cfg.sim.epc_bytes = spec.epc_bytes;
   cfg.space_bytes = spec.space_bytes;
   Enclave enclave(cfg);
+  if (spec.trace != nullptr) {
+    TraceHeader machine;
+    machine.policy = static_cast<uint8_t>(P::kKind);
+    machine.enclave_mode = spec.enclave_mode ? 1 : 0;
+    machine.threads = spec.threads;
+    machine.seed = spec.seed;
+    machine.space_bytes = spec.space_bytes;
+    machine.heap_reserve = spec.heap_reserve;
+    const SimConfig& sim = enclave.memsys().config();
+    machine.l1_bytes = sim.l1_bytes;
+    machine.l1_ways = sim.l1_ways;
+    machine.l2_bytes = sim.l2_bytes;
+    machine.l2_ways = sim.l2_ways;
+    machine.l3_bytes = sim.l3_bytes;
+    machine.l3_ways = sim.l3_ways;
+    machine.epc_bytes = sim.epc_bytes;
+    machine.costs = sim.costs;
+    spec.trace->BeginRun(machine);
+    enclave.AttachTrace(spec.trace);
+  }
   Heap heap(&enclave, spec.heap_reserve);
 
   RunResult result;
@@ -104,6 +127,17 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   result.cycles = enclave.main_cpu().cycles();
   result.peak_vm_bytes = enclave.PeakVirtualBytes();
   result.counters = enclave.TotalCounters();
+  if (spec.trace != nullptr) {
+    TraceRecorder::Outcome outcome;
+    outcome.live_cycles = result.cycles;
+    outcome.peak_vm_bytes = result.peak_vm_bytes;
+    outcome.mpx_bt_count = result.mpx_bt_count;
+    outcome.crashed = result.crashed;
+    outcome.trap_kind = static_cast<uint8_t>(result.trap);
+    outcome.trap_message = result.trap_message;
+    spec.trace->Finalize(outcome);
+    enclave.AttachTrace(nullptr);
+  }
   return result;
 }
 

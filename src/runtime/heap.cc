@@ -65,6 +65,9 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
       stats_.live_bytes += size;
       stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
       cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);  // header write
+      if (TraceRecorder* trace = cpu.trace()) {
+        trace->OnAlloc(cpu.trace_id(), addr, size);
+      }
       return addr;
     }
     // Full scan without a fit: tighten the watermark to the exact maximum.
@@ -91,6 +94,9 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
   stats_.live_bytes += size;
   stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
   cpu.MemAccess(addr, 8, AccessClass::kMetadataStore);
+  if (TraceRecorder* trace = cpu.trace()) {
+    trace->OnAlloc(cpu.trace_id(), addr, size);
+  }
   return addr;
 }
 
@@ -104,6 +110,9 @@ void Heap::Free(Cpu& cpu, uint32_t addr) {
   stats_.live_bytes -= size;
   cpu.Charge(kFreeCycles);
   cpu.MemAccess(addr, 8, AccessClass::kMetadataLoad);  // header read
+  if (TraceRecorder* trace = cpu.trace()) {
+    trace->OnFree(cpu.trace_id(), addr);
+  }
 
   // Insert and coalesce with neighbours.
   uint32_t start = addr;

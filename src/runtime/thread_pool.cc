@@ -17,14 +17,31 @@ ParallelResult RunParallel(Enclave& enclave, Cpu& caller, uint32_t nthreads,
                            const std::function<void(ThreadCtx&)>& body) {
   CHECK_GT(nthreads, 0u);
   ParallelResult result;
+  TraceRecorder* trace = caller.trace();
+  if (trace != nullptr) {
+    trace->OnParallelBegin(caller.trace_id(), nthreads);
+  }
   for (uint32_t tid = 0; tid < nthreads; ++tid) {
     Cpu* cpu = enclave.NewCpu();
+    if (trace != nullptr) {
+      trace->OnWorkerBegin(cpu->trace_id());
+    }
     ThreadCtx ctx{cpu, tid, nthreads};
     body(ctx);
+    if (trace != nullptr) {
+      trace->OnWorkerEnd(cpu->trace_id());
+    }
     result.makespan_cycles = std::max(result.makespan_cycles, cpu->cycles());
     result.combined += cpu->counters();
   }
-  caller.Charge(result.makespan_cycles + static_cast<uint64_t>(nthreads) * kSpawnCycles);
+  const uint64_t spawn_cycles = static_cast<uint64_t>(nthreads) * kSpawnCycles;
+  if (trace != nullptr) {
+    trace->OnParallelEnd(caller.trace_id(), spawn_cycles);
+  }
+  // Untraced: the replay engine re-derives the makespan from the replayed
+  // workers' cycle totals (which depend on the replay configuration), and
+  // the spawn cost rides in the parallel-end event.
+  caller.ChargeUntraced(result.makespan_cycles + spawn_cycles);
   return result;
 }
 

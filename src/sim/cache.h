@@ -47,6 +47,8 @@ class Cache {
   // re-accessing the MRU line changes no replacement state, so counting the
   // hit is all Access() would have done.
   void CountMruHit() { ++hits_; }
+  // Batched form, same precondition for every one of the `n` hits.
+  void CountMruHits(uint64_t n) { hits_ += n; }
 
   // Lookup without allocation (used by tests and the EPC prefetch logic).
   bool Contains(uint32_t line) const;

@@ -27,6 +27,60 @@ void Cpu::MissLine(uint32_t line) {
   counters_.cycles += cost;
 }
 
+void Cpu::MemAccessRun(uint32_t addr, uint32_t size, int64_t stride, uint64_t count,
+                       AccessClass klass) {
+  if (size == 0 || trace_ != nullptr) {
+    // Zero-size accesses need MemAccess's early-out, and re-recording a
+    // replay must drive the per-access tap. Both are cold paths.
+    int64_t a = addr;
+    for (uint64_t i = 0; i < count; ++i, a += stride) {
+      MemAccess(static_cast<uint32_t>(a), size, klass);
+    }
+    return;
+  }
+  int64_t a = addr;
+  uint64_t i = 0;
+  while (i < count) {
+    const uint32_t cur = static_cast<uint32_t>(a);
+    const uint32_t first_line = LineOf(cur);
+    if (LineOf(cur + size - 1) != first_line) {
+      BumpClassCounter(klass);
+      MemAccessSpan(first_line, LineOf(cur + size - 1));
+      ++i;
+      a += stride;
+      continue;
+    }
+    // Extend over the consecutive accesses that stay fully inside this line.
+    uint64_t k = 1;
+    for (int64_t next = a + stride; i + k < count; next += stride) {
+      const uint32_t naddr = static_cast<uint32_t>(next);
+      if (LineOf(naddr) != first_line || LineOf(naddr + size - 1) != first_line) {
+        break;
+      }
+      ++k;
+    }
+    // First access of the group takes the real single-line path...
+    BumpClassCounter(klass);
+    ++counters_.l1_accesses;
+    if (first_line == last_l1_line_) {
+      l1_.CountMruHit();
+      counters_.cycles += costs_->l1_hit;
+    } else {
+      AccessLine(first_line);
+    }
+    // ...after which last_l1_line_ == first_line, so the remaining k-1 are
+    // exactly the MRU-hit fast path of MemAccess, batched.
+    if (k > 1) {
+      BumpClassCounterN(klass, k - 1);
+      counters_.l1_accesses += k - 1;
+      l1_.CountMruHits(k - 1);
+      counters_.cycles += (k - 1) * costs_->l1_hit;
+    }
+    i += k;
+    a += static_cast<int64_t>(k) * stride;
+  }
+}
+
 void Cpu::MemAccessSpan(uint32_t first_line, uint32_t last_line) {
   for (uint32_t line = first_line;; ++line) {
     ++counters_.l1_accesses;

@@ -15,12 +15,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/units.h"
 #include "src/sim/cache.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/epc.h"
 #include "src/sim/perf_counters.h"
+#include "src/trace/trace_recorder.h"
 
 namespace sgxb {
 
@@ -53,6 +55,9 @@ class MemorySystem {
     uint64_t cost = config_.costs.dram;
     if (config_.enclave_mode) {
       const uint32_t page = line >> (kPageShift - kCacheLineShift);
+      if (miss_log_ != nullptr) {
+        miss_log_->push_back(page);
+      }
       if (epc_.Touch(page)) {
         ++counters.epc_faults;
         cost += config_.costs.epc_fault;
@@ -70,10 +75,23 @@ class MemorySystem {
   bool enclave_mode() const { return config_.enclave_mode; }
   const CostModel& costs() const { return config_.costs; }
 
+  // Optional trace recorder shared by every Cpu on this machine; null unless
+  // a recording was requested (see src/trace/trace_recorder.h).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  // Optional log of the EPC page touched by every enclave LLC miss, in
+  // simulation order. The stream is EPC-size-independent (faults never alter
+  // cache behaviour), which is what lets the trace EPC sweeper re-simulate
+  // other EPC sizes without re-running the cache model.
+  void set_miss_log(std::vector<uint32_t>* log) { miss_log_ = log; }
+
  private:
   SimConfig config_;
   Cache l3_;
   EpcSim epc_;
+  TraceRecorder* trace_ = nullptr;
+  std::vector<uint32_t>* miss_log_ = nullptr;
 };
 
 enum class AccessClass : uint8_t {
@@ -100,8 +118,44 @@ class Cpu {
     counters_.fp_ops += n;
     counters_.cycles += static_cast<uint64_t>(n) * costs_->fp;
   }
-  void Call() { counters_.cycles += costs_->call; }
-  void Charge(uint64_t cycles) { counters_.cycles += cycles; }
+  void Call() {
+    ++counters_.calls;
+    counters_.cycles += costs_->call;
+  }
+
+  // Constant-cost cycle charge (heap, libc wrappers, instrumentation slow
+  // paths). Traced as part of the aggregated compute delta: every Charge
+  // call site must be configuration-independent. Config-dependent charges
+  // (page-fault repricing, parallel makespans) go through CommitPages /
+  // ChargeUntraced instead.
+  void Charge(uint64_t cycles) {
+    counters_.cycles += cycles;
+    if (trace_ != nullptr) {
+      trace_->OnRawCharge(trace_id_, cycles);
+    }
+  }
+
+  // Cycle charge excluded from the trace's compute aggregate: the replay
+  // engine re-derives it structurally (parallel-region makespans).
+  void ChargeUntraced(uint64_t cycles) { counters_.cycles += cycles; }
+
+  // Commits `count` fresh pages: the minor-fault accounting choke point.
+  // Recorded as a structural event so replays under a different cost table
+  // reprice the faults instead of replaying stale cycle counts.
+  void CommitPages(uint32_t first_page, uint32_t count) {
+    counters_.minor_faults += count;
+    counters_.cycles += static_cast<uint64_t>(count) * costs_->minor_fault;
+    if (trace_ != nullptr) {
+      trace_->OnCommit(trace_id_, first_page, count);
+    }
+  }
+
+  // Epoch/phase annotation (workload-defined id); a trace marker only.
+  void Epoch(uint32_t id) {
+    if (trace_ != nullptr) {
+      trace_->OnEpoch(trace_id_, id);
+    }
+  }
 
   // Charges the memory hierarchy for an access of `size` bytes at enclave
   // address `addr`. Touches every cache line the access spans.
@@ -112,6 +166,9 @@ class Cpu {
   // evict it in between — the L1 is private and only accesses evict), so it
   // charges the hit without probing the cache.
   void MemAccess(uint32_t addr, uint32_t size, AccessClass klass) {
+    if (trace_ != nullptr) {
+      trace_->OnAccess(trace_id_, addr, size, static_cast<uint8_t>(klass));
+    }
     BumpClassCounter(klass);
     if (size == 0) {
       return;
@@ -131,8 +188,16 @@ class Cpu {
     MemAccessSpan(first_line, last_line);
   }
 
+  // `count` accesses of `size` bytes starting at `addr`, `stride` bytes
+  // apart. Bit-identical to calling MemAccess once per access, but batches
+  // the guaranteed-MRU repeats of each cache line, which is what lets trace
+  // replay (src/trace) outrun live execution.
+  void MemAccessRun(uint32_t addr, uint32_t size, int64_t stride, uint64_t count,
+                    AccessClass klass);
+
   // Syscall boundary crossing (SS2.1: SCONE syscall interface).
   void Syscall() {
+    ++counters_.syscalls;
     counters_.cycles += memory_->enclave_mode() ? costs_->syscall_exit
                                                 : costs_->syscall_native;
   }
@@ -142,24 +207,35 @@ class Cpu {
   uint64_t cycles() const { return counters_.cycles; }
   MemorySystem* memory() { return memory_; }
 
+  // Points this Cpu's taps at `trace` under trace cpu id `id`. Passing null
+  // detaches (the hot paths revert to their single-pointer-test cost).
+  void AttachTrace(TraceRecorder* trace, uint32_t id) {
+    trace_ = trace;
+    trace_id_ = id;
+  }
+  TraceRecorder* trace() const { return trace_; }
+  uint32_t trace_id() const { return trace_id_; }
+
   void ResetCounters() { counters_ = PerfCounters(); }
 
  private:
   static constexpr uint32_t kNoLine = 0xffffffffu;
 
-  void BumpClassCounter(AccessClass klass) {
+  void BumpClassCounter(AccessClass klass) { BumpClassCounterN(klass, 1); }
+
+  void BumpClassCounterN(AccessClass klass, uint64_t n) {
     switch (klass) {
       case AccessClass::kAppLoad:
-        ++counters_.loads;
+        counters_.loads += n;
         break;
       case AccessClass::kAppStore:
-        ++counters_.stores;
+        counters_.stores += n;
         break;
       case AccessClass::kMetadataLoad:
-        ++counters_.metadata_loads;
+        counters_.metadata_loads += n;
         break;
       case AccessClass::kMetadataStore:
-        ++counters_.metadata_stores;
+        counters_.metadata_stores += n;
         break;
     }
   }
@@ -188,6 +264,9 @@ class Cpu {
   Cache l2_;
   // Line of the most recent L1 access; repeats are guaranteed hits.
   uint32_t last_l1_line_ = kNoLine;
+  // Trace tap: null unless this run is being recorded.
+  TraceRecorder* trace_ = nullptr;
+  uint32_t trace_id_ = 0;
   PerfCounters counters_;
 };
 

@@ -17,6 +17,8 @@ struct PerfCounters {
   uint64_t alu_ops = 0;
   uint64_t branches = 0;
   uint64_t fp_ops = 0;
+  uint64_t calls = 0;
+  uint64_t syscalls = 0;
 
   // Application memory traffic.
   uint64_t loads = 0;
@@ -51,6 +53,8 @@ struct PerfCounters {
     alu_ops += other.alu_ops;
     branches += other.branches;
     fp_ops += other.fp_ops;
+    calls += other.calls;
+    syscalls += other.syscalls;
     loads += other.loads;
     stores += other.stores;
     metadata_loads += other.metadata_loads;

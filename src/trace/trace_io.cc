@@ -1,0 +1,252 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace sgxb {
+
+namespace {
+
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void Put64(std::vector<uint8_t>& out, uint64_t v) {
+  Put32(out, static_cast<uint32_t>(v));
+  Put32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  Put32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Cursor {
+ public:
+  Cursor(const uint8_t* p, const uint8_t* end) : p_(p), end_(end) {}
+
+  bool ok() const { return ok_; }
+  const uint8_t* pos() const { return p_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t Get8() {
+    if (remaining() < 1) {
+      ok_ = false;
+      return 0;
+    }
+    return *p_++;
+  }
+
+  uint32_t Get32() {
+    if (remaining() < 4) {
+      ok_ = false;
+      return 0;
+    }
+    uint32_t v = static_cast<uint32_t>(p_[0]) | static_cast<uint32_t>(p_[1]) << 8 |
+                 static_cast<uint32_t>(p_[2]) << 16 | static_cast<uint32_t>(p_[3]) << 24;
+    p_ += 4;
+    return v;
+  }
+
+  uint64_t Get64() {
+    const uint64_t lo = Get32();
+    const uint64_t hi = Get32();
+    return lo | hi << 32;
+  }
+
+  std::string GetString() {
+    const uint32_t n = Get32();
+    if (remaining() < n) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+void SerializeCosts(std::vector<uint8_t>& out, const CostModel& c) {
+  const uint32_t fields[] = {c.alu,       c.branch,     c.fp,          c.call,
+                             c.l1_hit,    c.l2_hit,     c.l3_hit,      c.dram,
+                             c.mee_line,  c.epc_fault,  c.minor_fault, c.syscall_exit,
+                             c.syscall_native};
+  for (uint32_t f : fields) {
+    Put32(out, f);
+  }
+}
+
+void DeserializeCosts(Cursor& in, CostModel* c) {
+  uint32_t* fields[] = {&c->alu,       &c->branch,     &c->fp,          &c->call,
+                        &c->l1_hit,    &c->l2_hit,     &c->l3_hit,      &c->dram,
+                        &c->mee_line,  &c->epc_fault,  &c->minor_fault, &c->syscall_exit,
+                        &c->syscall_native};
+  for (uint32_t* f : fields) {
+    *f = in.Get32();
+  }
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SaveTrace(const Trace& trace, const std::string& path, std::string* error) {
+  std::vector<uint8_t> out;
+  out.reserve(trace.events.size() + 512);
+  out.insert(out.end(), kTraceMagic, kTraceMagic + sizeof kTraceMagic);
+  Put32(out, trace.header.version);
+
+  const TraceHeader& h = trace.header;
+  out.push_back(h.policy);
+  out.push_back(h.enclave_mode);
+  Put32(out, h.threads);
+  Put64(out, h.seed);
+  Put64(out, h.space_bytes);
+  Put64(out, h.heap_reserve);
+  Put64(out, h.l1_bytes);
+  Put32(out, h.l1_ways);
+  Put64(out, h.l2_bytes);
+  Put32(out, h.l2_ways);
+  Put64(out, h.l3_bytes);
+  Put32(out, h.l3_ways);
+  Put64(out, h.epc_bytes);
+  SerializeCosts(out, h.costs);
+  Put64(out, h.cost_table_id);
+  PutString(out, h.workload);
+  PutString(out, h.note);
+
+  Put64(out, trace.events.size());
+  out.insert(out.end(), trace.events.begin(), trace.events.end());
+
+  const TraceSummary& s = trace.summary;
+  Put64(out, s.event_count);
+  Put64(out, s.stream_hash);
+  Put32(out, s.cpu_count);
+  out.push_back(s.truncated);
+  out.push_back(s.crashed);
+  out.push_back(s.trap_kind);
+  Put64(out, s.live_cycles);
+  Put64(out, s.peak_vm_bytes);
+  Put32(out, s.mpx_bt_count);
+  PutString(out, s.trap_message);
+  Put32(out, kTraceFooterMagic);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed) {
+    return Fail(error, "short write: " + path);
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& path, Trace* trace, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> raw(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t read = raw.empty() ? 0 : std::fread(raw.data(), 1, raw.size(), f);
+  std::fclose(f);
+  if (read != raw.size()) {
+    return Fail(error, "short read: " + path);
+  }
+
+  Cursor in(raw.data(), raw.data() + raw.size());
+  if (in.remaining() < sizeof kTraceMagic ||
+      std::memcmp(in.pos(), kTraceMagic, sizeof kTraceMagic) != 0) {
+    return Fail(error, "not a .sgxtrace file (bad magic): " + path);
+  }
+  in.Skip(sizeof kTraceMagic);
+
+  *trace = Trace{};
+  TraceHeader& h = trace->header;
+  h.version = in.Get32();
+  if (h.version != kTraceVersion) {
+    return Fail(error, "unsupported trace version " + std::to_string(h.version) +
+                           " (expected " + std::to_string(kTraceVersion) + ")");
+  }
+  h.policy = in.Get8();
+  h.enclave_mode = in.Get8();
+  h.threads = in.Get32();
+  h.seed = in.Get64();
+  h.space_bytes = in.Get64();
+  h.heap_reserve = in.Get64();
+  h.l1_bytes = in.Get64();
+  h.l1_ways = in.Get32();
+  h.l2_bytes = in.Get64();
+  h.l2_ways = in.Get32();
+  h.l3_bytes = in.Get64();
+  h.l3_ways = in.Get32();
+  h.epc_bytes = in.Get64();
+  DeserializeCosts(in, &h.costs);
+  h.cost_table_id = in.Get64();
+  h.workload = in.GetString();
+  h.note = in.GetString();
+
+  const uint64_t nbytes = in.Get64();
+  if (!in.ok() || in.remaining() < nbytes) {
+    return Fail(error, "truncated trace file: " + path);
+  }
+  trace->events.assign(in.pos(), in.pos() + nbytes);
+  in.Skip(static_cast<size_t>(nbytes));
+
+  TraceSummary& s = trace->summary;
+  s.event_count = in.Get64();
+  s.stream_hash = in.Get64();
+  s.cpu_count = in.Get32();
+  s.truncated = in.Get8();
+  s.crashed = in.Get8();
+  s.trap_kind = in.Get8();
+  s.live_cycles = in.Get64();
+  s.peak_vm_bytes = in.Get64();
+  s.mpx_bt_count = in.Get32();
+  s.trap_message = in.GetString();
+  const uint32_t footer = in.Get32();
+  if (!in.ok() || footer != kTraceFooterMagic) {
+    return Fail(error, "corrupt trace file (bad footer): " + path);
+  }
+
+  // Integrity: for complete traces the retained bytes are the whole stream,
+  // so their hash must match the summary. Truncated prefixes carry the
+  // full-stream hash, which the prefix cannot reproduce; skip those.
+  if (s.truncated == 0) {
+    const uint64_t hash =
+        FnvUpdate(kFnvOffset, trace->events.data(), trace->events.size());
+    if (hash != s.stream_hash) {
+      return Fail(error, "trace stream hash mismatch (corrupt events): " + path);
+    }
+  }
+  return true;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,24 @@
+// .sgxtrace file save/load.
+//
+// Layout: magic, version, serialized header, event-byte blob, serialized
+// summary, footer magic. All integers little-endian fixed width; strings are
+// u32 length + bytes. Load verifies magic/version/footer and re-hashes the
+// retained event bytes against the summary (full-stream hash for complete
+// traces, prefix consistency left to the caller for truncated ones).
+
+#ifndef SGXBOUNDS_SRC_TRACE_TRACE_IO_H_
+#define SGXBOUNDS_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/trace_format.h"
+
+namespace sgxb {
+
+// Returns true on success; on failure fills *error.
+bool SaveTrace(const Trace& trace, const std::string& path, std::string* error);
+bool LoadTrace(const std::string& path, Trace* trace, std::string* error);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_TRACE_TRACE_IO_H_

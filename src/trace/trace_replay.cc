@@ -1,0 +1,341 @@
+#include "src/trace/trace_replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/trace/trace_reader.h"
+
+namespace sgxb {
+
+SimConfig SimConfigFromHeader(const TraceHeader& h) {
+  SimConfig cfg;
+  cfg.l1_bytes = h.l1_bytes;
+  cfg.l1_ways = h.l1_ways;
+  cfg.l2_bytes = h.l2_bytes;
+  cfg.l2_ways = h.l2_ways;
+  cfg.l3_bytes = h.l3_bytes;
+  cfg.l3_ways = h.l3_ways;
+  cfg.epc_bytes = h.epc_bytes;
+  cfg.enclave_mode = h.enclave_mode != 0;
+  cfg.costs = h.costs;
+  return cfg;
+}
+
+namespace {
+
+// Applies an aggregated compute delta: identical arithmetic to the live
+// charging paths (Cpu::Alu/Branch/Fp/Call/Syscall and raw Charge), priced
+// from the REPLAY cost table so configuration sweeps reprice compute.
+void ApplyDelta(Cpu& cpu, const CpuDelta& d, const SimConfig& cfg) {
+  PerfCounters& c = cpu.counters();
+  const CostModel& costs = cfg.costs;
+  c.alu_ops += d.alu;
+  c.branches += d.branches;
+  c.fp_ops += d.fp;
+  c.calls += d.calls;
+  c.syscalls += d.syscalls;
+  c.bounds_checks += d.bounds_checks;
+  c.bounds_violations += d.bounds_violations;
+  c.cycles += d.alu * costs.alu + d.branches * costs.branch + d.fp * costs.fp +
+              d.calls * costs.call +
+              d.syscalls * (cfg.enclave_mode ? costs.syscall_exit : costs.syscall_native) +
+              d.raw_cycles;
+}
+
+struct Region {
+  Cpu* caller;
+  uint64_t makespan = 0;
+};
+
+}  // namespace
+
+// Capture sink for EpcSweeper: accumulates the EPC-independent replay
+// structure while the structural replay runs. A "segment" is everything the
+// current cpu did between two structural boundaries; its cycles are stored
+// fault-free (the base run's fault charges subtracted) so any EPC size can
+// re-price them.
+struct SweepCapture {
+  explicit SweepCapture(EpcSweeper* sweeper, uint64_t fault_cost)
+      : sweeper_(sweeper), fault_cost_(fault_cost) {}
+
+  void CloseSegment(uint32_t cpu_id, const Cpu& cpu) {
+    Grow(cpu_id);
+    const uint64_t cycles = cpu.cycles() - last_cycles_[cpu_id];
+    const uint64_t faults = cpu.counters().epc_faults - last_faults_[cpu_id];
+    const uint32_t misses =
+        static_cast<uint32_t>(sweeper_->miss_pages_.size() - miss_mark_);
+    if (cycles != 0 || misses != 0) {
+      EpcSweeper::Op op;
+      op.type = EpcSweeper::kSegment;
+      op.cpu = cpu_id;
+      op.misses = misses;
+      op.value = cycles - faults * fault_cost_;
+      sweeper_->ops_.push_back(op);
+    }
+    last_cycles_[cpu_id] = cpu.cycles();
+    last_faults_[cpu_id] = cpu.counters().epc_faults;
+    miss_mark_ = sweeper_->miss_pages_.size();
+  }
+
+  void Push(EpcSweeper::OpType type, uint32_t cpu, uint64_t value) {
+    EpcSweeper::Op op;
+    op.type = type;
+    op.cpu = cpu;
+    op.value = value;
+    sweeper_->ops_.push_back(op);
+  }
+
+  std::vector<uint32_t>* miss_log() { return &sweeper_->miss_pages_; }
+  void PushDecommit(uint32_t first_page, uint64_t count) {
+    Push(EpcSweeper::kDecommit, 0, static_cast<uint64_t>(first_page) | count << 32);
+  }
+  void PushParallelBegin(uint32_t caller) { Push(EpcSweeper::kParallelBegin, caller, 0); }
+  void PushWorkerEnd(uint32_t cpu) { Push(EpcSweeper::kWorkerEnd, cpu, 0); }
+  void PushParallelEnd(uint32_t caller, uint64_t spawn) {
+    Push(EpcSweeper::kParallelEnd, caller, spawn);
+  }
+
+  // After the structural replay applies a parallel-region charge to the
+  // caller, rebaseline it so the charge is not double-counted in the
+  // caller's next segment (ReplayAt re-derives it from worker cycles).
+  void Rebaseline(uint32_t cpu_id, const Cpu& cpu) {
+    Grow(cpu_id);
+    last_cycles_[cpu_id] = cpu.cycles();
+    last_faults_[cpu_id] = cpu.counters().epc_faults;
+  }
+
+  void Grow(uint32_t cpu_id) {
+    if (last_cycles_.size() <= cpu_id) {
+      last_cycles_.resize(cpu_id + 1, 0);
+      last_faults_.resize(cpu_id + 1, 0);
+    }
+  }
+
+  EpcSweeper* sweeper_;
+  uint64_t fault_cost_;
+  std::vector<uint64_t> last_cycles_;
+  std::vector<uint64_t> last_faults_;
+  size_t miss_mark_ = 0;
+};
+
+namespace {
+
+ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
+                             SweepCapture* capture) {
+  MemorySystem memsys(config);
+  if (capture != nullptr) {
+    memsys.set_miss_log(capture->miss_log());
+  }
+  std::vector<std::unique_ptr<Cpu>> cpus;
+  auto cpu_at = [&](uint32_t id) -> Cpu& {
+    while (cpus.size() <= id) {
+      cpus.push_back(std::make_unique<Cpu>(&memsys));
+    }
+    return *cpus[id];
+  };
+  Cpu* cur = &cpu_at(0);
+  uint32_t cur_id = 0;
+  std::vector<Region> regions;
+  std::vector<uint32_t> region_callers;
+
+  TraceReader reader(trace);
+  TraceEvent ev;
+  while (reader.Next(&ev)) {
+    switch (ev.kind) {
+      case TraceEventKind::kAccess:
+        cur->MemAccess(ev.addr, ev.size, static_cast<AccessClass>(ev.klass));
+        break;
+      case TraceEventKind::kAccessRun:
+        cur->MemAccessRun(ev.addr, ev.size, ev.stride, ev.count,
+                          static_cast<AccessClass>(ev.klass));
+        break;
+      case TraceEventKind::kCpuDelta:
+        ApplyDelta(*cur, ev.delta, config);
+        break;
+      case TraceEventKind::kCommit:
+        cur->CommitPages(ev.page, static_cast<uint32_t>(ev.count));
+        break;
+      case TraceEventKind::kDecommit:
+        if (capture != nullptr) {
+          capture->CloseSegment(cur_id, *cur);
+          capture->PushDecommit(ev.page, ev.count);
+        }
+        for (uint64_t i = 0; i < ev.count; ++i) {
+          memsys.epc().Invalidate(static_cast<uint32_t>(ev.page + i));
+        }
+        break;
+      case TraceEventKind::kParallel:
+        switch (static_cast<ParallelSub>(ev.sub)) {
+          case ParallelSub::kBegin:
+            if (capture != nullptr) {
+              capture->CloseSegment(cur_id, *cur);
+              capture->PushParallelBegin(cur_id);
+            }
+            regions.push_back(Region{cur});
+            region_callers.push_back(cur_id);
+            break;
+          case ParallelSub::kWorkerBegin:
+            if (capture != nullptr) {
+              capture->CloseSegment(cur_id, *cur);
+            }
+            cur = &cpu_at(ev.cpu);
+            cur_id = ev.cpu;
+            break;
+          case ParallelSub::kWorkerEnd:
+            if (capture != nullptr) {
+              capture->CloseSegment(cur_id, *cur);
+              capture->PushWorkerEnd(cur_id);
+            }
+            if (!regions.empty()) {
+              regions.back().makespan = std::max(regions.back().makespan, cur->cycles());
+            }
+            break;
+          case ParallelSub::kEnd: {
+            if (!regions.empty()) {
+              if (capture != nullptr) {
+                capture->CloseSegment(cur_id, *cur);
+              }
+              const Region region = regions.back();
+              regions.pop_back();
+              cur = region.caller;
+              const uint32_t caller_id = region_callers.back();
+              region_callers.pop_back();
+              if (capture != nullptr) {
+                capture->PushParallelEnd(caller_id, ev.value);
+              }
+              cur_id = caller_id;
+              // Mirrors RunParallel: the caller pays the slowest worker plus
+              // the recorded spawn/join cost.
+              cur->ChargeUntraced(region.makespan + ev.value);
+              if (capture != nullptr) {
+                capture->Rebaseline(caller_id, *cur);
+              }
+            }
+            break;
+          }
+        }
+        break;
+      case TraceEventKind::kMarker:
+        break;  // annotations only
+      case TraceEventKind::kControl:
+        if (static_cast<ControlSub>(ev.sub) == ControlSub::kSwitchCpu) {
+          if (capture != nullptr) {
+            capture->CloseSegment(cur_id, *cur);
+          }
+          cur = &cpu_at(ev.cpu);
+          cur_id = ev.cpu;
+        } else if (static_cast<ControlSub>(ev.sub) == ControlSub::kLoopRun) {
+          // Re-execute the periodic pattern access by access, in recorded
+          // order; each phase goes through the same MemAccess(/Run) paths a
+          // live run takes, so all counters stay bit-identical.
+          for (uint64_t n = 0; n < ev.count; ++n) {
+            for (uint32_t j = 0; j < ev.period; ++j) {
+              const LoopPhase& ph = ev.phases[j];
+              const uint32_t a = static_cast<uint32_t>(
+                  static_cast<int64_t>(ph.addr) +
+                  ph.iter_delta * static_cast<int64_t>(n));
+              if (ph.count > 1) {
+                cur->MemAccessRun(a, ph.size, ph.stride, ph.count,
+                                  static_cast<AccessClass>(ph.klass));
+              } else {
+                cur->MemAccess(a, ph.size, static_cast<AccessClass>(ph.klass));
+              }
+            }
+          }
+        }
+        break;
+    }
+  }
+
+  if (capture != nullptr) {
+    capture->CloseSegment(cur_id, *cur);
+  }
+
+  ReplayResult result;
+  result.cycles = cpus[0]->cycles();
+  for (const auto& cpu : cpus) {
+    result.counters += cpu->counters();
+  }
+  result.cpu_count = static_cast<uint32_t>(cpus.size());
+  result.events_replayed = reader.position();
+  result.peak_vm_bytes = trace.summary.peak_vm_bytes;
+  result.mpx_bt_count = trace.summary.mpx_bt_count;
+  result.crashed = trace.summary.crashed != 0;
+  result.trap_kind = trace.summary.trap_kind;
+  return result;
+}
+
+}  // namespace
+
+ReplayResult ReplayTrace(const Trace& trace, const SimConfig& config) {
+  return ReplayTraceImpl(trace, config, nullptr);
+}
+
+EpcSweeper::EpcSweeper(const Trace& trace, const SimConfig& base) : config_(base) {
+  SweepCapture capture(this, base.costs.epc_fault);
+  base_ = ReplayTraceImpl(trace, base, &capture);
+}
+
+ReplayResult EpcSweeper::ReplayAt(uint64_t epc_bytes) const {
+  EpcSim epc(epc_bytes);
+  const uint64_t fault_cost = config_.costs.epc_fault;
+  std::vector<uint64_t> cycles(std::max(base_.cpu_count, 1u), 0);
+  std::vector<uint64_t> faults(cycles.size(), 0);
+  struct Region2 {
+    uint32_t caller;
+    uint64_t makespan = 0;
+  };
+  std::vector<Region2> regions;
+  size_t mi = 0;
+  for (const Op& op : ops_) {
+    switch (op.type) {
+      case kSegment: {
+        uint64_t f = 0;
+        const size_t end = mi + op.misses;
+        for (; mi < end; ++mi) {
+          f += epc.Touch(miss_pages_[mi]) ? 1 : 0;
+        }
+        faults[op.cpu] += f;
+        cycles[op.cpu] += op.value + f * fault_cost;
+        break;
+      }
+      case kParallelBegin:
+        regions.push_back(Region2{op.cpu});
+        break;
+      case kWorkerEnd:
+        if (!regions.empty()) {
+          regions.back().makespan = std::max(regions.back().makespan, cycles[op.cpu]);
+        }
+        break;
+      case kParallelEnd:
+        if (!regions.empty()) {
+          const Region2 region = regions.back();
+          regions.pop_back();
+          cycles[region.caller] += region.makespan + op.value;
+        }
+        break;
+      case kDecommit: {
+        const uint32_t first = static_cast<uint32_t>(op.value);
+        const uint64_t count = op.value >> 32;
+        for (uint64_t i = 0; i < count; ++i) {
+          epc.Invalidate(first + static_cast<uint32_t>(i));
+        }
+        break;
+      }
+    }
+  }
+
+  ReplayResult result = base_;
+  result.cycles = cycles[0];
+  uint64_t total_cycles = 0, total_faults = 0;
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    total_cycles += cycles[i];
+    total_faults += faults[i];
+  }
+  result.counters.cycles = total_cycles;
+  result.counters.epc_faults = total_faults;
+  return result;
+}
+
+}  // namespace sgxb

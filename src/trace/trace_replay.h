@@ -1,0 +1,87 @@
+// Trace replay: re-drives the cache + EPC + cost-model stack from a recorded
+// event stream, without re-executing the workload.
+//
+// The replay machine is a bare MemorySystem plus one Cpu per recorded
+// hardware thread — no enclave arena, no host data movement, no policy
+// logic. Memory events go through the exact same Cpu::MemAccess /
+// CommitPages code the live run used, so replaying under the recording
+// configuration reproduces the live PerfCounters and cycle totals
+// bit-for-bit; replaying under a different SimConfig (EPC size, cache
+// geometry, cost table, enclave mode) yields the counters that configuration
+// WOULD have produced, which is what turns one execution into an arbitrary
+// configuration sweep.
+
+#ifndef SGXBOUNDS_SRC_TRACE_TRACE_REPLAY_H_
+#define SGXBOUNDS_SRC_TRACE_TRACE_REPLAY_H_
+
+#include "src/sim/machine.h"
+#include "src/trace/trace_format.h"
+
+namespace sgxb {
+
+// The recording machine configuration; mutate fields to sweep.
+SimConfig SimConfigFromHeader(const TraceHeader& header);
+
+struct ReplayResult {
+  uint64_t cycles = 0;       // main-cpu cycle total (the figures' time axis)
+  PerfCounters counters;     // summed over all replayed cpus
+  uint32_t cpu_count = 0;
+  uint64_t events_replayed = 0;
+  // Copied through from the recording (configuration-independent outcomes).
+  uint64_t peak_vm_bytes = 0;
+  uint32_t mpx_bt_count = 0;
+  bool crashed = false;
+  uint8_t trap_kind = 0;
+};
+
+// Replays `trace` under `config`. A truncated prefix trace replays as far as
+// it goes (useful for diffing, not for totals).
+ReplayResult ReplayTrace(const Trace& trace, const SimConfig& config);
+
+// Convenience: replay under the recording configuration.
+inline ReplayResult ReplayTrace(const Trace& trace) {
+  return ReplayTrace(trace, SimConfigFromHeader(trace.header));
+}
+
+// EPC-size sweeps, the fig08 working-set axis, without re-running the cache
+// model per point. EPC faults never alter cache behaviour — EpcSim::Touch
+// only counts and charges — so the LLC-miss page stream and every non-fault
+// cycle charge are the same at every EPC size. The constructor runs one full
+// structural replay under `base` (cache geometry, cost table, enclave mode),
+// capturing that stream plus the per-cpu segment and parallel-region
+// structure; ReplayAt() then re-simulates any EPC size from the capture in
+// milliseconds, bit-identical to a full ReplayTrace at that size.
+class EpcSweeper {
+ public:
+  // `base.enclave_mode` must be set: EPC sizes are meaningless outside an
+  // enclave. base.epc_bytes is the structural replay's (and base_result's)
+  // EPC size.
+  EpcSweeper(const Trace& trace, const SimConfig& base);
+
+  // Re-simulates the capture under `epc_bytes`. Equivalent to
+  // ReplayTrace(trace, base with epc_bytes) — asserted by tests/trace_test.
+  ReplayResult ReplayAt(uint64_t epc_bytes) const;
+
+  // The structural replay's own result (at base.epc_bytes).
+  const ReplayResult& base_result() const { return base_; }
+
+ private:
+  friend struct SweepCapture;
+  enum OpType : uint8_t { kSegment, kParallelBegin, kWorkerEnd, kParallelEnd, kDecommit };
+  struct Op {
+    OpType type;
+    uint32_t cpu = 0;       // segment owner / worker / region caller
+    uint32_t misses = 0;    // kSegment: miss-stream entries consumed
+    uint64_t value = 0;     // kSegment: fault-free cycles; kParallelEnd:
+                            // spawn cycles; kDecommit: first_page | count<<32
+  };
+
+  SimConfig config_;
+  ReplayResult base_;
+  std::vector<uint32_t> miss_pages_;  // EPC page per enclave LLC miss, in order
+  std::vector<Op> ops_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_TRACE_TRACE_REPLAY_H_

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "src/sgxbounds/bounds_runtime.h"
 
@@ -97,6 +98,84 @@ TEST_F(Fixture, EvictedChunkReadsAsZeroAgain) {
   bl.RedirectStore(cpu, 0x300000);
   uint32_t out = 0;
   EXPECT_FALSE(bl.RedirectLoad(cpu, 0x100000, &out));  // evicted -> zeros
+}
+
+// --- behaviour at the full 1 MiB default cap (1024 chunks) ----------------
+
+TEST_F(Fixture, EvictionOrderAtFullOneMibCap) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get());  // default 1 MiB cap
+  const uint32_t kChunks =
+      BoundlessMemory::kDefaultCapacity / BoundlessMemory::kChunkBytes;
+  auto addr_of = [](uint32_t i) {
+    return 0x01000000u + i * BoundlessMemory::kChunkBytes;
+  };
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    const uint32_t ov = bl.RedirectStore(cpu, addr_of(i));
+    enclave->Store<uint32_t>(cpu, ov, i + 1);
+  }
+  ASSERT_EQ(bl.chunk_count(), kChunks);
+  EXPECT_EQ(bl.stats().chunk_evictions, 0u);
+
+  // Refresh chunk 0 (now MRU); the next insert must evict chunk 1, the true
+  // least-recently-used, not chunk 0.
+  uint32_t out = 0;
+  ASSERT_TRUE(bl.RedirectLoad(cpu, addr_of(0), &out));
+  EXPECT_EQ(enclave->Load<uint32_t>(cpu, out), 1u);
+  bl.RedirectStore(cpu, addr_of(kChunks));
+  EXPECT_EQ(bl.stats().chunk_evictions, 1u);
+  EXPECT_TRUE(bl.RedirectLoad(cpu, addr_of(0), &out)) << "MRU chunk was evicted";
+  EXPECT_FALSE(bl.RedirectLoad(cpu, addr_of(1), &out)) << "LRU chunk survived";
+}
+
+TEST_F(Fixture, EvictedOverlayStorageIsReusedAtCap) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get());
+  const uint32_t kChunks =
+      BoundlessMemory::kDefaultCapacity / BoundlessMemory::kChunkBytes;
+  auto addr_of = [](uint32_t i) {
+    return 0x01000000u + i * BoundlessMemory::kChunkBytes;
+  };
+  // Chunk-aligned stores return the chunk's overlay base directly.
+  std::set<uint32_t> bases;
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    bases.insert(bl.RedirectStore(cpu, addr_of(i)));
+  }
+  ASSERT_EQ(bases.size(), kChunks);
+  // Past the cap, every insert evicts one chunk and recycles its overlay
+  // storage: the overlay never grows beyond its 1 MiB arena.
+  for (uint32_t i = 0; i < 256; ++i) {
+    const uint32_t base = bl.RedirectStore(cpu, addr_of(kChunks + i));
+    EXPECT_TRUE(bases.count(base) != 0)
+        << "chunk " << i << " allocated fresh storage instead of reusing";
+  }
+  EXPECT_EQ(bl.chunk_count(), kChunks);
+  EXPECT_EQ(bl.stats().chunk_evictions, 256u);
+  EXPECT_EQ(bl.stats().chunk_allocs, kChunks + 256u);
+}
+
+TEST_F(Fixture, EvictedReadsReturnZerosAtFullCap) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get());
+  const uint32_t kChunks =
+      BoundlessMemory::kDefaultCapacity / BoundlessMemory::kChunkBytes;
+  auto addr_of = [](uint32_t i) {
+    return 0x01000000u + i * BoundlessMemory::kChunkBytes;
+  };
+  const uint32_t marker_addr = addr_of(0);
+  enclave->Store<uint32_t>(cpu, bl.RedirectStore(cpu, marker_addr), 0xabcdu);
+
+  // Fill the whole cap with fresh chunks; the marker chunk is pushed out.
+  for (uint32_t i = 1; i <= kChunks; ++i) {
+    bl.RedirectStore(cpu, addr_of(i));
+  }
+  uint32_t out = 0;
+  EXPECT_FALSE(bl.RedirectLoad(cpu, marker_addr, &out)) << "marker survived the cap";
+
+  // Re-inserting the marker's chunk recycles overlay storage that previously
+  // held 0xabcd; a new chunk must still read as zeros.
+  const uint32_t fresh = bl.RedirectStore(cpu, marker_addr + 4);
+  EXPECT_EQ(enclave->Load<uint32_t>(cpu, fresh - 4), 0u);
 }
 
 TEST_F(Fixture, RedirectIsChargedAsSlowPath) {
