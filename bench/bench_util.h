@@ -11,11 +11,13 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/ir_engine.h"
 #include "src/common/host_parallel.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -41,6 +43,11 @@ inline bool& SelftimeFlag() {
   return v;
 }
 
+inline bool& JsonFlag() {
+  static bool v = false;
+  return v;
+}
+
 // Registers the shared driver flags; call before FlagParser::Parse.
 inline void AddBenchDriverFlags(FlagParser& parser) {
   parser.AddInt("bench_threads", &BenchThreadsFlag(),
@@ -48,6 +55,13 @@ inline void AddBenchDriverFlags(FlagParser& parser) {
                 "(0 = hardware concurrency)");
   parser.AddBool("selftime", &SelftimeFlag(),
                  "print host wall-clock per simulation to stderr");
+  parser.AddBool("json", &JsonFlag(),
+                 "write measured rows + host timings to BENCH_<binary>.json");
+  parser.AddCallback(
+      "ir_engine",
+      [](const std::string& value) { return ParseIrEngine(value, &DefaultIrEngine()); },
+      "IR execution engine for interpreter-driven workloads: reference|threaded",
+      IrEngineName(DefaultIrEngine()));
 }
 
 inline uint32_t ResolveBenchThreads() {
@@ -55,11 +69,92 @@ inline uint32_t ResolveBenchThreads() {
   return v <= 0 ? HostHardwareThreads() : static_cast<uint32_t>(v);
 }
 
+// --- machine-readable output (--json) ---------------------------------------------
+//
+// Every measured row is also recorded host-side (label, simulated result,
+// host wall-clock) and, under --json, rewritten to BENCH_<binary>.json after
+// each job batch so the file is complete whenever the process exits. The
+// JSON is a host-measurement artifact: simulated stdout stays engine- and
+// flag-invariant.
+
+struct BenchJsonRow {
+  std::string label;
+  std::string tag;
+  RunResult result;
+  double host_ms = 0;
+};
+
+struct BenchJsonState {
+  std::mutex mu;
+  std::string binary = "bench";
+  std::vector<BenchJsonRow> rows;
+  double total_ms = 0;
+};
+
+inline BenchJsonState& JsonState() {
+  static BenchJsonState s;
+  return s;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Rewrites BENCH_<binary>.json from the accumulated rows. Called with
+// JsonState().mu held.
+inline void WriteBenchJsonLocked() {
+  BenchJsonState& s = JsonState();
+  const std::string path = "BENCH_" + s.binary + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[json] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"binary\": \"%s\",\n", JsonEscape(s.binary).c_str());
+  std::fprintf(f, "  \"ir_engine\": \"%s\",\n", IrEngineName(DefaultIrEngine()));
+  std::fprintf(f, "  \"bench_threads\": %u,\n",
+               BenchThreadsFlag() <= 0 ? HostHardwareThreads()
+                                       : static_cast<uint32_t>(BenchThreadsFlag()));
+  std::fprintf(f, "  \"selftime_total_seconds\": %.3f,\n", s.total_ms / 1000.0);
+  std::fprintf(f, "  \"rows\": [");
+  for (size_t i = 0; i < s.rows.size(); ++i) {
+    const BenchJsonRow& row = s.rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"label\": \"%s\", \"tag\": \"%s\", \"policy\": \"%s\", "
+                 "\"cycles\": %llu, \"peak_vm_bytes\": %llu, \"crashed\": %s, "
+                 "\"trap\": \"%s\", \"host_ms\": %.3f}",
+                 i == 0 ? "" : ",", JsonEscape(row.label).c_str(),
+                 JsonEscape(row.tag).c_str(), PolicyName(row.result.kind),
+                 static_cast<unsigned long long>(row.result.cycles),
+                 static_cast<unsigned long long>(row.result.peak_vm_bytes),
+                 row.result.crashed ? "true" : "false",
+                 row.result.crashed ? TrapKindName(row.result.trap) : "",
+                 row.host_ms);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
 // Reproducibility banner: printed first by every figure/table binary so two
 // result sets are comparable at a glance. The cost-table id is the FNV hash
 // of every cycle price in the model (see CostTableId); runs with different
 // ids are not comparable.
 inline void PrintReproHeader(const char* binary, const MachineSpec& spec) {
+  JsonState().binary = binary;
   const SimConfig defaults;
   std::printf(
       "[repro] %s: trace_version=%u cost_table=%016llx epc=%llu MiB enclave=%s "
@@ -87,22 +182,33 @@ inline std::vector<RunResult> RunBenchJobs(const std::vector<BenchJob>& jobs,
     std::fprintf(stderr, "[%s] dispatching %zu runs over %u host thread(s)\n", tag,
                  jobs.size(), threads);
   }
+  std::vector<double> host_ms(jobs.size(), 0.0);
   const auto suite_start = Clock::now();
   ParallelFor(jobs.size(), threads, [&](size_t i) {
     std::fprintf(stderr, "[%s] running %s...\n", tag, jobs[i].label.c_str());
     const auto start = Clock::now();
     out[i] = jobs[i].run();
+    host_ms[i] = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
     if (SelftimeFlag()) {
-      const double ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-      std::fprintf(stderr, "[selftime] %s: %.1f ms\n", jobs[i].label.c_str(), ms);
+      std::fprintf(stderr, "[selftime] %s: %.1f ms\n", jobs[i].label.c_str(), host_ms[i]);
     }
   });
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - suite_start).count();
   if (SelftimeFlag()) {
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - suite_start).count();
     std::fprintf(stderr, "[selftime] %s total: %.1f ms (%u host threads)\n", tag,
-                 jobs.size() > 0 ? ms : 0.0, threads);
+                 jobs.size() > 0 ? total_ms : 0.0, threads);
+  }
+  {
+    BenchJsonState& s = JsonState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      s.rows.push_back({jobs[i].label, tag, out[i], host_ms[i]});
+    }
+    s.total_ms += total_ms;
+    if (JsonFlag()) {
+      WriteBenchJsonLocked();
+    }
   }
   return out;
 }

@@ -1,0 +1,144 @@
+// IR engine comparison: runs every "ir" suite workload under all four
+// policies with BOTH execution engines (reference switch interpreter vs
+// pre-decoded direct-threaded), verifies the simulated results are
+// bit-identical, and reports the host-side speedup.
+//
+// Simulated output (stdout) depends only on the simulation, never on the
+// engine: the table prints cycles/memory from runs that were cross-checked
+// between engines and aborts on any divergence. Host wall-clock lives on
+// stderr (--selftime) and in BENCH_ir_engine.json (--json) - that file is
+// the committed evidence for the threaded engine's speedup.
+
+#include "bench/bench_util.h"
+
+namespace sgxb {
+namespace {
+
+// Host milliseconds for `label` from the recorded rows (-1 if absent).
+double HostMsFor(const std::string& label) {
+  BenchJsonState& s = JsonState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const BenchJsonRow& row : s.rows) {
+    if (row.label == label) {
+      return row.host_ms;
+    }
+  }
+  return -1.0;
+}
+
+bool SameSimulation(const RunResult& a, const RunResult& b) {
+  return a.cycles == b.cycles && a.peak_vm_bytes == b.peak_vm_bytes &&
+         a.crashed == b.crashed && a.trap_message == b.trap_message &&
+         a.mpx_bt_count == b.mpx_bt_count && a.counters == b.counters;
+}
+
+}  // namespace
+}  // namespace sgxb
+
+int main(int argc, char** argv) {
+  using namespace sgxb;
+  FlagParser parser;
+  std::string size = "M";
+  int64_t repeats = 1;
+  parser.AddString("size", &size, "input size class (XS|S|M|L|XL)");
+  parser.AddInt("repeats", &repeats, "timed repetitions per (workload, policy, engine)");
+  AddBenchDriverFlags(parser);
+  parser.Parse(argc, argv);
+
+  MachineSpec spec;
+  PrintReproHeader("ir_engine", spec);
+  std::printf("IR execution engines: reference (switch) vs threaded (pre-decoded)\n");
+  std::printf("simulated results are checked bit-identical between engines\n\n");
+
+  WorkloadConfig cfg;
+  cfg.size = ParseSizeClass(size);
+  cfg.threads = 1;
+
+  const std::vector<const WorkloadInfo*> workloads =
+      WorkloadRegistry::Instance().BySuite("ir");
+  const IrEngine engines[] = {IrEngine::kReference, IrEngine::kThreaded};
+
+  // One job per (workload, policy, engine, repeat); repeats > 1 sharpen the
+  // host-time measurement without touching simulated results.
+  std::vector<BenchJob> jobs;
+  for (const WorkloadInfo* w : workloads) {
+    for (PolicyKind kind : kAllPolicies) {
+      for (const IrEngine engine : engines) {
+        for (int64_t rep = 0; rep < repeats; ++rep) {
+          PolicyOptions options;
+          options.ir_engine = engine;
+          std::string label = w->name + "/" + PolicyName(kind) + "/" + IrEngineName(engine);
+          if (repeats > 1) {
+            label += "#" + std::to_string(rep);
+          }
+          jobs.push_back(
+              {std::move(label), [w, kind, spec, options, cfg] {
+                 return w->run(kind, spec, options, cfg);
+               }});
+        }
+      }
+    }
+  }
+  const std::vector<RunResult> results = RunBenchJobs(jobs, "ir_engine");
+
+  // Cross-check engines and print the simulated table.
+  Table table({"workload", "policy", "cycles", "vs native", "peak vm", "engines agree"});
+  bool all_match = true;
+  size_t j = 0;
+  const size_t per_engine = static_cast<size_t>(repeats);
+  for (const WorkloadInfo* w : workloads) {
+    uint64_t native_cycles = 0;
+    for (PolicyKind kind : kAllPolicies) {
+      const RunResult& ref = results[j];
+      const RunResult& thr = results[j + per_engine];
+      bool match = true;
+      for (size_t rep = 0; rep < 2 * per_engine; ++rep) {
+        match = match && SameSimulation(ref, results[j + rep]);
+      }
+      all_match = all_match && match;
+      if (kind == PolicyKind::kNative) {
+        native_cycles = thr.cycles;
+      }
+      table.AddRow({w->name, PolicyName(kind), std::to_string(thr.cycles),
+                    FormatRatio(native_cycles == 0
+                                    ? 0.0
+                                    : static_cast<double>(thr.cycles) / native_cycles),
+                    FormatBytes(thr.peak_vm_bytes), match ? "yes" : "NO"});
+      j += 2 * per_engine;
+    }
+  }
+  table.Print();
+
+  if (!all_match) {
+    std::printf("\nENGINE MISMATCH: simulated results differ between engines\n");
+    return 1;
+  }
+  std::printf("\nall %zu (workload, policy) pairs bit-identical across engines\n",
+              workloads.size() * 4);
+
+  // Host-side speedup, from the same timed rows --json writes. Stderr only:
+  // stdout must not depend on host speed.
+  double ref_total = 0;
+  double thr_total = 0;
+  for (const WorkloadInfo* w : workloads) {
+    for (PolicyKind kind : kAllPolicies) {
+      for (int64_t rep = 0; rep < repeats; ++rep) {
+        const std::string suffix = repeats > 1 ? "#" + std::to_string(rep) : "";
+        const std::string base = w->name + "/" + std::string(PolicyName(kind)) + "/";
+        const double r = HostMsFor(base + "reference" + suffix);
+        const double t = HostMsFor(base + "threaded" + suffix);
+        if (r >= 0 && t >= 0) {
+          ref_total += r;
+          thr_total += t;
+        }
+      }
+    }
+  }
+  if (thr_total > 0) {
+    std::fprintf(stderr,
+                 "[ir_engine] host time: reference %.1f ms, threaded %.1f ms, "
+                 "speedup %.2fx\n",
+                 ref_total, thr_total, ref_total / thr_total);
+  }
+  return 0;
+}

@@ -9,6 +9,8 @@
 
 #include "bench/bench_util.h"
 #include "src/asan/asan_runtime.h"
+#include "src/ir/builder.h"
+#include "src/ir/interp.h"
 #include "src/mpx/mpx_runtime.h"
 #include "src/sgxbounds/bounds_runtime.h"
 
@@ -101,6 +103,47 @@ void BM_HeapAllocFree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HeapAllocFree);
+
+// --- interpreter dispatch ---------------------------------------------------------
+//
+// Pure-ALU counted loop (no memory traffic): isolates per-instruction
+// dispatch, the cost the threaded engine attacks. Same kernel, same
+// simulated cycles - only host time differs between the two rows.
+
+IrFunction BuildDispatchKernel() {
+  IrBuilder b("dispatch");
+  auto loop = b.BeginCountedLoop(b.Const(0), b.Const(2048), 1);
+  ValueId x = b.Mul(loop.iv, b.Const(0x9e3779b9));
+  x = b.Bin(IrOp::kXor, x, b.Bin(IrOp::kLShr, x, b.Const(13)));
+  x = b.Add(x, loop.iv);
+  x = b.Bin(IrOp::kXor, x, b.Bin(IrOp::kShl, x, b.Const(7)));
+  b.EndLoop(loop);
+  b.Ret();
+  return b.Finish();
+}
+
+void RunIrDispatch(benchmark::State& state, IrEngine engine) {
+  SimFixtures f;
+  StackAllocator stack(f.enclave.get(), 1 * kMiB, "bench-stack");
+  Interpreter interp(f.enclave.get(), f.heap.get(), &stack);
+  interp.set_engine(engine);
+  const IrFunction fn = BuildDispatchKernel();
+  Cpu& cpu = f.enclave->main_cpu();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Run(fn, cpu, {}, /*max_steps=*/UINT64_MAX));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(interp.stats().steps));
+}
+
+void BM_IrDispatchReference(benchmark::State& state) {
+  RunIrDispatch(state, IrEngine::kReference);
+}
+BENCHMARK(BM_IrDispatchReference);
+
+void BM_IrDispatchThreaded(benchmark::State& state) {
+  RunIrDispatch(state, IrEngine::kThreaded);
+}
+BENCHMARK(BM_IrDispatchThreaded);
 
 }  // namespace
 }  // namespace sgxb

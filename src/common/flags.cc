@@ -55,6 +55,12 @@ void FlagParser::AddString(const std::string& name, std::string* target, const s
   flags_.push_back({name, Kind::kString, target, help, DefaultToString(this, target, 4)});
 }
 
+void FlagParser::AddCallback(const std::string& name,
+                             std::function<bool(const std::string&)> parse,
+                             const std::string& help, const std::string& default_display) {
+  flags_.push_back({name, Kind::kCallback, nullptr, help, default_display, std::move(parse)});
+}
+
 const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
   for (const auto& flag : flags_) {
     if (flag.name == name) {
@@ -106,6 +112,8 @@ bool FlagParser::SetValue(const Flag& flag, const std::string& value) {
       *static_cast<std::string*>(flag.target) = value;
       return true;
     }
+    case Kind::kCallback:
+      return flag.parse(value);
   }
   return false;
 }

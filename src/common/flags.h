@@ -11,6 +11,7 @@
 #define SGXBOUNDS_SRC_COMMON_FLAGS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,19 +25,26 @@ class FlagParser {
   void AddBool(const std::string& name, bool* target, const std::string& help);
   void AddString(const std::string& name, std::string* target, const std::string& help);
 
+  // Custom-parsed flag: `parse` receives the raw value and returns false to
+  // reject it (same error path as a malformed int). `default_display` is
+  // shown in --help.
+  void AddCallback(const std::string& name, std::function<bool(const std::string&)> parse,
+                   const std::string& help, const std::string& default_display);
+
   // Returns positional (non-flag) arguments. Exits on --help or parse errors.
   std::vector<std::string> Parse(int argc, char** argv);
 
   std::string Usage(const std::string& program) const;
 
  private:
-  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+  enum class Kind { kInt, kUint, kDouble, kBool, kString, kCallback };
   struct Flag {
     std::string name;
     Kind kind;
     void* target;
     std::string help;
     std::string default_value;
+    std::function<bool(const std::string&)> parse;
   };
 
   const Flag* Find(const std::string& name) const;

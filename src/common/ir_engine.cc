@@ -1,0 +1,34 @@
+#include "src/common/ir_engine.h"
+
+namespace sgxb {
+
+IrEngine& DefaultIrEngine() {
+  static IrEngine engine = IrEngine::kThreaded;
+  return engine;
+}
+
+bool ParseIrEngine(const std::string& text, IrEngine* out) {
+  if (text == "reference") {
+    *out = IrEngine::kReference;
+    return true;
+  }
+  if (text == "threaded") {
+    *out = IrEngine::kThreaded;
+    return true;
+  }
+  return false;
+}
+
+const char* IrEngineName(IrEngine engine) {
+  switch (engine) {
+    case IrEngine::kDefault:
+      return "default";
+    case IrEngine::kReference:
+      return "reference";
+    case IrEngine::kThreaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+}  // namespace sgxb

@@ -1,0 +1,41 @@
+// Process-wide selection of the IR execution engine (see src/ir/exec/).
+//
+// Lives in src/common (not src/ir) so the policy/run layer can plumb an
+// engine choice through PolicyOptions without depending on the IR library:
+// the enum is plain data, and the flag default is a process-global that the
+// bench driver sets from --ir_engine.
+//
+//   kReference  the original per-instruction switch interpreter - the
+//               differential oracle (tests compare against it);
+//   kThreaded   the pre-decoded micro-op engine with direct-threaded
+//               dispatch - same simulated results, faster host execution;
+//   kDefault    "whatever the process default is" (kThreaded unless
+//               --ir_engine=reference was passed).
+
+#ifndef SGXBOUNDS_SRC_COMMON_IR_ENGINE_H_
+#define SGXBOUNDS_SRC_COMMON_IR_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgxb {
+
+enum class IrEngine : uint8_t { kDefault = 0, kReference, kThreaded };
+
+// The process default used wherever kDefault is requested. Initially
+// kThreaded; mutated (once, at flag-parse time) by --ir_engine.
+IrEngine& DefaultIrEngine();
+
+// Maps kDefault to the process default; identity otherwise.
+inline IrEngine ResolveIrEngine(IrEngine engine) {
+  return engine == IrEngine::kDefault ? DefaultIrEngine() : engine;
+}
+
+// Parses "reference"/"threaded"; returns false on anything else.
+bool ParseIrEngine(const std::string& text, IrEngine* out);
+
+const char* IrEngineName(IrEngine engine);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_COMMON_IR_ENGINE_H_

@@ -1,0 +1,50 @@
+// Memoizes DecodeFunction results per (function, instrumentation) pair so
+// repeated Interpreter::Run calls and multi-policy bench loops decode once.
+//
+// The key is (structural hash, name, mpx-tracking): re-instrumenting a
+// function (the passes mutate it in place) changes the hash, so a stale
+// entry can never be executed; attaching an MPX runtime switches to the
+// bounds-tracking decode of the same body.
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_DECODE_CACHE_H_
+#define SGXBOUNDS_SRC_IR_EXEC_DECODE_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/ir/exec/decoder.h"
+
+namespace sgxb {
+
+class DecodeCache {
+ public:
+  const DecodedFunction& Get(const IrFunction& fn, const DecodeOptions& options) {
+    const Key key{HashIrFunction(fn), fn.name, options.track_mpx, options.fuse};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      it = entries_
+               .emplace(key, std::make_unique<DecodedFunction>(DecodeFunction(fn, options)))
+               .first;
+    } else {
+      ++hits_;
+    }
+    return *it->second;
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::tuple<uint64_t, std::string, bool, bool>;
+  std::map<Key, std::unique_ptr<DecodedFunction>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_DECODE_CACHE_H_

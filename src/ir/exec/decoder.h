@@ -1,0 +1,24 @@
+// Lowers an IrFunction into the flat micro-op form executed by the
+// direct-threaded engine (see uop.h for the representation contract).
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_DECODER_H_
+#define SGXBOUNDS_SRC_IR_EXEC_DECODER_H_
+
+#include "src/ir/exec/uop.h"
+
+namespace sgxb {
+
+// One-shot lowering: resolves operands to slots, compiles phis into edge
+// copies, fuses superinstructions. FATALs on structurally invalid functions
+// (missing terminator, non-leading phi) - the same programs the reference
+// interpreter FATALs/CHECKs on.
+DecodedFunction DecodeFunction(const IrFunction& fn, const DecodeOptions& options = {});
+
+// Structural FNV-1a hash over the function body; the decode-cache key. Two
+// differently-instrumented copies of the same source hash differently, so a
+// (function, policy-instrumentation) pair decodes exactly once.
+uint64_t HashIrFunction(const IrFunction& fn);
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_DECODER_H_

@@ -1,0 +1,181 @@
+// Micro-op program representation for the direct-threaded IR engine.
+//
+// An IrFunction is lowered once (see decoder.cc) into a flat array of
+// fixed-size MicroOps:
+//
+//   * operands are register-slot indices into one contiguous value array
+//     (SSA id-indexed, plus decoder-allocated temporaries for phi cycles);
+//   * branch targets are micro-op offsets - no block lookup, no phi scan;
+//   * phi nodes are compiled away into parallel-copy stubs materialized on
+//     each control-flow edge (kCopy/kBoundsCopy sequences);
+//   * runtime symbol dispatch ("sgx"/"asan"/builtin call names) is resolved
+//     at decode time into distinct opcodes;
+//   * the patterns the instrumentation passes emit are fused into
+//     superinstructions (gep+check+load, gep+check+store, icmp+condbr,
+//     const-operand ALU forms).
+//
+// The decoded program preserves the reference interpreter's observable
+// behaviour exactly: same step accounting (phi copies are free, fused ops
+// count one step per fused instruction, checked against max_steps at each),
+// same Cpu charges in the same order, same memory-access sequence, same
+// traps. Only host-side dispatch cost changes.
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_UOP_H_
+#define SGXBOUNDS_SRC_IR_EXEC_UOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace sgxb {
+
+enum class UOp : uint8_t {
+  // Values.
+  kConst,  // dst, imm
+  kArg,    // dst, imm = argument index (reference semantics: OOB/negative -> 0)
+  // ALU, slot-slot forms: dst, a, b.
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kURem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  // ALU, const-rhs superinstructions: dst, a, imm = folded constant.
+  kAddImm,
+  kSubImm,
+  kMulImm,
+  kAndImm,
+  kOrImm,
+  kXorImm,
+  kShlImm,
+  kLShrImm,
+  // Fused xorshift pair, the mixing idiom ALU-heavy kernels repeat:
+  //   t = shl/lshr x, const ; d = xor x, t
+  // One dispatch, two simulated instructions (two steps, two Alu charges,
+  // and the intermediate t is still written - no liveness analysis needed).
+  // dst = d, a = x, c = t, imm = pre-masked shift amount.
+  kXorShlImm,
+  kXorLShrImm,
+  // Comparison: dst, a, b (or imm), aux = IrCmp.
+  kICmp,
+  kICmpImm,
+  // Control flow; targets are micro-op offsets.
+  kBr,      // imm = target
+  kCondBr,  // a = cond slot; imm = true target, imm2 = false target
+  kCmpBr,   // fused icmp+condbr: dst = cmp result slot, a, b, aux = IrCmp,
+            // imm = true target, imm2 = false target
+  kRet,     // a = value slot, flag = has-value (flag 0 returns 0)
+  // Phi-edge parallel copies (free: no step, no Cpu charge - matching the
+  // reference's phi phase).
+  kCopy,        // dst <- a (value only)
+  kBoundsCopy,  // dst <- a (MPX bounds only, sequential reference order)
+  kJump,        // imm = target; free stub-internal jump (no step, no charge)
+  // Allocation, symbol dispatch resolved at decode time. imm = byte size for
+  // allocas; a = size slot for mallocs.
+  kAllocaNative,
+  kAllocaNativeMpx,  // + BndMk side-table entry (MPX tracking decode)
+  kAllocaSgx,
+  kAllocaAsan,
+  kMallocNative,
+  kMallocNativeMpx,
+  kMallocSgx,
+  kMallocAsan,
+  kFreeNative,  // a = ptr slot
+  kFreeSgx,
+  kFreeAsan,
+  // Address arithmetic.
+  kGep,     // dst, a = base, b = index, imm = scale, imm2 = offset
+  kGepMpx,  // + bounds propagation from base
+  kMaskPtr,  // dst, a = ptr-after-arith, b = ptr-before
+  // Memory: type = access type, aux = byte size.
+  kLoad,   // dst, a = ptr
+  kStore,  // a = value, b = ptr
+  // Instrumentation: a = ptr slot, imm = access size, flag = is-write.
+  kSgxCheck,
+  kSgxCheckUpper,
+  kSgxCheckRange,  // a = ptr, b = extent slot
+  kAsanCheck,
+  kMpxCheck,
+  kMpxLdx,  // a = loaded-ptr slot, b = slot-ptr slot
+  kMpxStx,
+  // Superinstructions for the access patterns the SGXBounds pass emits:
+  // gep (a=base, b=index, imm=scale, imm2=offset, c=gep result slot)
+  // + bounds check (aux = access size, flag = is-write)
+  // + load (dst = result slot, type) / store (dst = value slot, type).
+  kGepSgxCheckLoad,
+  kGepSgxCheckUpperLoad,
+  kGepSgxCheckStore,
+  kGepSgxCheckUpperStore,
+  // Superinstructions for the shapes the SGXBounds pass actually emits: the
+  // pass renames the gep result and re-tags it through a maskptr, so the
+  // lowered access is
+  //   t = gep base, idx ; p = maskptr t, base ; [sgxcheck p] ; load/store p
+  // (the check is absent when it was hoisted to the preheader or elided).
+  // Encoding: a = base, b = index, c = t slot, imm2 = p slot, dst = load
+  // result / store value slot, aux = access size, flag = is-write, and imm
+  // packs (scale << 32) | offset - both verified to fit 32 bits at decode.
+  kGepMaskLoad,
+  kGepMaskStore,
+  kGepMaskSgxCheckLoad,
+  kGepMaskSgxCheckUpperLoad,
+  kGepMaskSgxCheckStore,
+  kGepMaskSgxCheckUpperStore,
+  // Calls (symbol resolved at decode time).
+  kCallAbs64,  // dst, a
+  kCallNop,    // dst (0 = no result)
+  kCount
+};
+
+const char* UOpName(UOp op);
+
+struct MicroOp {
+  UOp op = UOp::kCallNop;
+  IrType type = IrType::kI64;
+  uint8_t aux = 0;   // access byte size / IrCmp predicate
+  uint8_t flag = 0;  // is-write for checks
+  uint32_t dst = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;    // fused gep result slot
+  int64_t imm = 0;
+  int64_t imm2 = 0;
+};
+
+struct DecodeOptions {
+  // Track the MPX side table alongside values (required when an MpxRuntime
+  // is attached: phi/gep/alloca/malloc propagate bounds in the reference).
+  bool track_mpx = false;
+  // Enable superinstruction fusion (disabled automatically for the SGX
+  // access patterns when track_mpx is set: the fused forms do not propagate
+  // bounds through the gep).
+  bool fuse = true;
+};
+
+// The decoded, directly executable form of one IrFunction.
+struct DecodedFunction {
+  std::vector<MicroOp> code;
+  uint32_t num_slots = 0;  // fn.num_values + phi-cycle temporaries
+  uint32_t entry = 0;      // offset of the first executed micro-op
+  bool track_mpx = false;
+  // Decoder statistics (asserted by tests, printed by benches).
+  uint32_t fused_superinstructions = 0;
+  uint32_t edge_stubs = 0;
+  uint32_t phi_cycle_temps = 0;
+
+  size_t CountUOp(UOp op) const {
+    size_t n = 0;
+    for (const MicroOp& u : code) {
+      n += u.op == op ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_UOP_H_

@@ -1,61 +1,24 @@
 #include "src/ir/interp.h"
 
 #include "src/common/check.h"
+#include "src/ir/eval.h"
 
 namespace sgxb {
-
-namespace {
-
-uint64_t TruncateToType(IrType type, uint64_t value) {
-  switch (type) {
-    case IrType::kI8:
-      return value & 0xff;
-    case IrType::kI16:
-      return value & 0xffff;
-    case IrType::kI32:
-      return value & 0xffffffff;
-    case IrType::kI64:
-    case IrType::kPtr:
-      return value;
-  }
-  return value;
-}
-
-bool EvalCmp(IrCmp pred, uint64_t a, uint64_t b) {
-  const int64_t sa = static_cast<int64_t>(a);
-  const int64_t sb = static_cast<int64_t>(b);
-  switch (pred) {
-    case IrCmp::kEq:
-      return a == b;
-    case IrCmp::kNe:
-      return a != b;
-    case IrCmp::kULt:
-      return a < b;
-    case IrCmp::kULe:
-      return a <= b;
-    case IrCmp::kUGt:
-      return a > b;
-    case IrCmp::kUGe:
-      return a >= b;
-    case IrCmp::kSLt:
-      return sa < sb;
-    case IrCmp::kSLe:
-      return sa <= sb;
-    case IrCmp::kSGt:
-      return sa > sb;
-    case IrCmp::kSGe:
-      return sa >= sb;
-  }
-  return false;
-}
-
-}  // namespace
 
 Interpreter::Interpreter(Enclave* enclave, Heap* heap, StackAllocator* stack)
     : enclave_(enclave), heap_(heap), stack_(stack) {}
 
 uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint64_t>& args,
                           uint64_t max_steps) {
+  if (ResolveIrEngine(engine_) == IrEngine::kThreaded) {
+    const DecodeOptions opts{/*track_mpx=*/mpx_ != nullptr, /*fuse=*/true};
+    return RunDecoded(cache_.Get(fn, opts), cpu, args, max_steps);
+  }
+  return RunReference(fn, cpu, args, max_steps);
+}
+
+uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
+                                   const std::vector<uint64_t>& args, uint64_t max_steps) {
   values_.assign(fn.num_values, 0);
   auto& values = values_;
   if (mpx_ != nullptr) {

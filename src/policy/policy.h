@@ -30,6 +30,7 @@
 
 #include <cstdint>
 
+#include "src/common/ir_engine.h"
 #include "src/sgxbounds/bounds_runtime.h"
 
 namespace sgxb {
@@ -47,6 +48,10 @@ struct PolicyOptions {
   OobPolicy oob = OobPolicy::kFailFast;
   bool opt_safe_elision = true;
   bool opt_hoist_checks = true;
+  // Execution engine for interpreter-driven workload bodies (the "ir" suite).
+  // kDefault follows the process-wide --ir_engine selection; simulated
+  // results are engine-invariant by construction.
+  IrEngine ir_engine = IrEngine::kDefault;
 };
 
 }  // namespace sgxb

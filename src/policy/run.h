@@ -71,6 +71,9 @@ struct Env {
   Cpu& cpu;
   uint32_t threads;
   Rng rng;
+  // The options this run was configured with; interpreter-driven workload
+  // bodies read ir_engine from here.
+  PolicyOptions options;
 
   using Ptr = typename P::Ptr;
 
@@ -114,7 +117,8 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   result.kind = P::kKind;
   try {
     P policy(&enclave, &heap, options);
-    Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed)};
+    Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed),
+               options};
     fn(env);
     if constexpr (P::kKind == PolicyKind::kMpx) {
       result.mpx_bt_count = policy.runtime().bt_count();

@@ -48,6 +48,23 @@ struct PerfCounters {
   uint64_t instructions() const { return alu_ops + branches + fp_ops + loads + stores; }
   uint64_t page_faults() const { return epc_faults + minor_faults; }
 
+  // Exact equality across every counter - the engine-differential tests'
+  // definition of "bit-identical simulation".
+  bool operator==(const PerfCounters& other) const {
+    return cycles == other.cycles && alu_ops == other.alu_ops &&
+           branches == other.branches && fp_ops == other.fp_ops &&
+           calls == other.calls && syscalls == other.syscalls &&
+           loads == other.loads && stores == other.stores &&
+           metadata_loads == other.metadata_loads &&
+           metadata_stores == other.metadata_stores &&
+           l1_accesses == other.l1_accesses && l1_misses == other.l1_misses &&
+           l2_misses == other.l2_misses && llc_accesses == other.llc_accesses &&
+           llc_misses == other.llc_misses && epc_faults == other.epc_faults &&
+           minor_faults == other.minor_faults && bounds_checks == other.bounds_checks &&
+           bounds_violations == other.bounds_violations;
+  }
+  bool operator!=(const PerfCounters& other) const { return !(*this == other); }
+
   PerfCounters& operator+=(const PerfCounters& other) {
     cycles += other.cycles;
     alu_ops += other.alu_ops;

@@ -40,6 +40,7 @@ WorkloadRegistry& WorkloadRegistry::Instance() {
     RegisterPhoenixWorkloads(*r);
     RegisterParsecWorkloads(*r);
     RegisterSpecWorkloads(*r);
+    RegisterIrWorkloads(*r);
     return r;
   }();
   return *registry;

@@ -38,7 +38,7 @@ using WorkloadRunner =
 
 struct WorkloadInfo {
   std::string name;
-  std::string suite;  // "phoenix", "parsec", or "spec"
+  std::string suite;  // "phoenix", "parsec", "spec", or "ir"
   bool multithreaded = true;
   WorkloadRunner run;
 };
@@ -77,6 +77,7 @@ WorkloadRunner MakeRunner(Body body) {
 void RegisterPhoenixWorkloads(WorkloadRegistry& registry);
 void RegisterParsecWorkloads(WorkloadRegistry& registry);
 void RegisterSpecWorkloads(WorkloadRegistry& registry);
+void RegisterIrWorkloads(WorkloadRegistry& registry);
 
 #define REGISTER_WORKLOAD(registry, suite, name, multithreaded, BodyType) \
   (registry).Add(::sgxb::WorkloadInfo{name, suite, multithreaded, ::sgxb::MakeRunner(BodyType{})})

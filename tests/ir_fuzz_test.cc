@@ -153,6 +153,85 @@ TEST_P(IrFuzz, SgxPassTrapsOnOverflowingVariant) {
   }
 }
 
+// --- engine differential coverage ----------------------------------------------
+//
+// Every random program - safe and overflowing, under every instrumentation
+// pass - must behave identically on the reference and threaded engines: same
+// return value or same trap, same interpreter stats, and bit-identical
+// PerfCounters (the engines' definition of "same simulation").
+
+enum class Hardening { kNone, kSgx, kSgxOpt, kAsan, kMpx };
+
+struct EngineOutcome {
+  bool trapped = false;
+  std::string trap_detail;
+  uint64_t result = 0;
+  PerfCounters counters;
+  InterpStats stats;
+};
+
+EngineOutcome RunUnderEngine(IrEngine engine, uint64_t seed, bool overflow,
+                             Hardening hardening) {
+  FuzzRig rig;
+  rig.interp->set_engine(engine);
+  IrFunction fn = GenerateProgram(seed, overflow);
+  switch (hardening) {
+    case Hardening::kNone:
+      break;
+    case Hardening::kSgx:
+      RunSgxBoundsPass(fn, SgxPassOptions{});
+      break;
+    case Hardening::kSgxOpt: {
+      SgxPassOptions options;
+      options.elide_safe = true;
+      options.hoist_loops = true;
+      RunSgxBoundsPass(fn, options);
+      break;
+    }
+    case Hardening::kAsan:
+      RunAsanPass(fn);
+      break;
+    case Hardening::kMpx:
+      RunMpxPass(fn);
+      break;
+  }
+  EngineOutcome out;
+  try {
+    out.result = rig.interp->Run(fn, rig.enclave->main_cpu());
+  } catch (const SimTrap& trap) {
+    out.trapped = true;
+    out.trap_detail = trap.what();
+  }
+  out.counters = rig.enclave->main_cpu().counters();
+  out.stats = rig.interp->stats();
+  return out;
+}
+
+TEST_P(IrFuzz, EnginesAgreeOnEveryProgram) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 7919 + 3;
+  for (const bool overflow : {false, true}) {
+    for (const Hardening hardening : {Hardening::kNone, Hardening::kSgx,
+                                      Hardening::kSgxOpt, Hardening::kAsan,
+                                      Hardening::kMpx}) {
+      const EngineOutcome ref =
+          RunUnderEngine(IrEngine::kReference, seed, overflow, hardening);
+      const EngineOutcome thr =
+          RunUnderEngine(IrEngine::kThreaded, seed, overflow, hardening);
+      const std::string what = "seed " + std::to_string(seed) + " overflow " +
+                               std::to_string(overflow) + " hardening " +
+                               std::to_string(static_cast<int>(hardening));
+      EXPECT_EQ(ref.trapped, thr.trapped) << what;
+      EXPECT_EQ(ref.trap_detail, thr.trap_detail) << what;
+      EXPECT_EQ(ref.result, thr.result) << what;
+      EXPECT_TRUE(ref.counters == thr.counters) << what;
+      EXPECT_EQ(ref.stats.steps, thr.stats.steps) << what;
+      EXPECT_EQ(ref.stats.loads, thr.stats.loads) << what;
+      EXPECT_EQ(ref.stats.stores, thr.stats.stores) << what;
+      EXPECT_EQ(ref.stats.checks, thr.stats.checks) << what;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IrFuzz, ::testing::Range(0, 12));
 
 }  // namespace

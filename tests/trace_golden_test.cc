@@ -98,5 +98,35 @@ TEST(TraceGolden, MatchesCheckedInPrefix) {
          << "the golden trace (see the comment at the top of this test)";
 }
 
+// The trace encodes cycle-stamped memory events, so it is the sharpest
+// engine-equivalence check available: the threaded engine batches pure
+// compute charges between observable points, and any slip in that accounting
+// shifts a stamp. Record an interpreter-driven workload under both engines
+// and require byte-identical streams.
+Trace RecordIrWorkload(IrEngine engine) {
+  const WorkloadInfo* info = WorkloadRegistry::Instance().Find("ir_mix");
+  EXPECT_NE(info, nullptr);
+  TraceRecorder recorder("ir_mix/XS");
+  recorder.set_event_limit(kGoldenEventLimit);
+  MachineSpec spec;
+  spec.trace = &recorder;
+  WorkloadConfig cfg;
+  cfg.size = SizeClass::kXS;
+  cfg.threads = 1;
+  PolicyOptions options;
+  options.ir_engine = engine;
+  info->run(PolicyKind::kSgxBounds, spec, options, cfg);
+  return recorder.TakeTrace();
+}
+
+TEST(TraceGolden, IrWorkloadTraceIsEngineInvariant) {
+  const Trace ref = RecordIrWorkload(IrEngine::kReference);
+  const Trace thr = RecordIrWorkload(IrEngine::kThreaded);
+  EXPECT_EQ(ref.summary.event_count, thr.summary.event_count);
+  EXPECT_EQ(ref.summary.stream_hash, thr.summary.stream_hash);
+  EXPECT_TRUE(ref.events == thr.events)
+      << "threaded engine shifted the cycle-stamped event stream";
+}
+
 }  // namespace
 }  // namespace sgxb
