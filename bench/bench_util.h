@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -60,8 +61,8 @@ inline void AddBenchDriverFlags(FlagParser& parser) {
   parser.AddCallback(
       "ir_engine",
       [](const std::string& value) { return ParseIrEngine(value, &DefaultIrEngine()); },
-      "IR execution engine for interpreter-driven workloads: reference|threaded",
-      IrEngineName(DefaultIrEngine()));
+      "IR execution engine for interpreter-driven workloads",
+      IrEngineName(DefaultIrEngine()), {"reference", "threaded"});
 }
 
 inline uint32_t ResolveBenchThreads() {
@@ -327,6 +328,30 @@ inline SuiteRow RunAllPolicies(const WorkloadInfo& w, const MachineSpec& spec,
   return RunSuiteRows({&w}, spec, cfg, "bench")[0];
 }
 
+// Valid spellings for --size flags; pass to FlagParser::AddChoice so unknown
+// classes are rejected at parse time instead of silently running the largest.
+inline std::vector<std::string> SizeClassChoices() { return {"XS", "S", "M", "L", "XL"}; }
+
+// Valid spellings for --policy flags (kAllPolicies order is native first).
+inline std::vector<std::string> PolicyChoices() { return {"native", "mpx", "asan", "sgxbounds"}; }
+
+inline PolicyKind ParsePolicyKind(const std::string& s) {
+  if (s == "native") {
+    return PolicyKind::kNative;
+  }
+  if (s == "mpx") {
+    return PolicyKind::kMpx;
+  }
+  if (s == "asan") {
+    return PolicyKind::kAsan;
+  }
+  if (s == "sgxbounds") {
+    return PolicyKind::kSgxBounds;
+  }
+  std::fprintf(stderr, "invalid policy '%s' (valid: native|mpx|asan|sgxbounds)\n", s.c_str());
+  std::exit(2);
+}
+
 inline SizeClass ParseSizeClass(const std::string& s) {
   if (s == "XS") {
     return SizeClass::kXS;
@@ -337,10 +362,14 @@ inline SizeClass ParseSizeClass(const std::string& s) {
   if (s == "M") {
     return SizeClass::kM;
   }
+  if (s == "L") {
+    return SizeClass::kL;
+  }
   if (s == "XL") {
     return SizeClass::kXL;
   }
-  return SizeClass::kL;
+  std::fprintf(stderr, "invalid size class '%s' (valid: XS|S|M|L|XL)\n", s.c_str());
+  std::exit(2);
 }
 
 }  // namespace sgxb

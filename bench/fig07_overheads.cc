@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   int64_t threads = 8;
   std::string size = "L";
   parser.AddInt("threads", &threads, "worker threads (paper: 8)");
-  parser.AddString("size", &size, "input size class XS/S/M/L/XL");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 

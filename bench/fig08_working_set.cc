@@ -105,12 +105,12 @@ int main(int argc, char** argv) {
   std::string sweep_size = "S";
   std::string sweep_policy = "sgxbounds";
   parser.AddInt("threads", &threads, "worker threads");
-  parser.AddString("mode", &mode, "EPC sweep execution: live|replay");
+  parser.AddChoice("mode", &mode, {"live", "replay"}, "EPC sweep execution");
   parser.AddString("epc_mibs", &epc_mibs_csv,
                    "comma-separated EPC sizes in MiB; when set, runs the EPC sweep "
                    "instead of the working-set grid");
-  parser.AddString("sweep_size", &sweep_size, "EPC sweep input size class XS..XL");
-  parser.AddString("sweep_policy", &sweep_policy, "EPC sweep policy: native|mpx|asan|sgxbounds");
+  parser.AddChoice("sweep_size", &sweep_size, SizeClassChoices(), "EPC sweep input size class");
+  parser.AddChoice("sweep_policy", &sweep_policy, PolicyChoices(), "EPC sweep policy");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
@@ -125,14 +125,7 @@ int main(int argc, char** argv) {
   }
 
   if (!epc_mibs_csv.empty()) {
-    PolicyKind kind = PolicyKind::kSgxBounds;
-    if (sweep_policy == "native") {
-      kind = PolicyKind::kNative;
-    } else if (sweep_policy == "mpx") {
-      kind = PolicyKind::kMpx;
-    } else if (sweep_policy == "asan") {
-      kind = PolicyKind::kAsan;
-    }
+    const PolicyKind kind = ParsePolicyKind(sweep_policy);
     RunEpcSweep(sweep_workloads, ParseMibList(epc_mibs_csv), mode,
                 ParseSizeClass(sweep_size), kind, static_cast<uint32_t>(threads));
     return 0;

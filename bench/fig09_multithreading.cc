@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   using namespace sgxb;
   FlagParser parser;
   std::string size = "S";
-  parser.AddString("size", &size, "input size class");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 

@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   int64_t threads = 8;
   std::string size = "S";
   parser.AddInt("threads", &threads, "worker threads");
-  parser.AddString("size", &size, "input size class");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 

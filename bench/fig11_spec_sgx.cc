@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "L";
   std::string mode = "live";
-  parser.AddString("size", &size, "input size class");
-  parser.AddString("mode", &mode,
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
+  parser.AddChoice("mode", &mode, {"live", "replay"},
                    "live: run the in-enclave suite; replay: record each "
                    "(benchmark, policy) once and derive BOTH the in-enclave and "
                    "out-of-enclave tables from that single recording set");

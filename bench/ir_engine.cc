@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "M";
   int64_t repeats = 1;
-  parser.AddString("size", &size, "input size class (XS|S|M|L|XL)");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddInt("repeats", &repeats, "timed repetitions per (workload, policy, engine)");
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);

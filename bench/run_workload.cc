@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   bool list = false;
   bool no_opts = false;
   parser.AddString("workload", &workload, "workload name (see --list)");
-  parser.AddString("policy", &policy, "native|asan|mpx|sgxbounds");
-  parser.AddString("size", &size, "XS|S|M|L|XL");
+  parser.AddChoice("policy", &policy, PolicyChoices(), "memory-safety scheme");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddInt("threads", &threads, "worker threads");
   parser.AddUint("epc_mb", &epc_mb, "usable EPC size in MiB");
   parser.AddBool("no_enclave", &no_enclave, "run outside the enclave (no EPC/MEE)");
@@ -46,19 +46,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown workload '%s' (try --list)\n", workload.c_str());
     return 2;
   }
-  PolicyKind kind;
-  if (policy == "native") {
-    kind = PolicyKind::kNative;
-  } else if (policy == "asan") {
-    kind = PolicyKind::kAsan;
-  } else if (policy == "mpx") {
-    kind = PolicyKind::kMpx;
-  } else if (policy == "sgxbounds") {
-    kind = PolicyKind::kSgxBounds;
-  } else {
-    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
-    return 2;
-  }
+  const PolicyKind kind = ParsePolicyKind(policy);
 
   MachineSpec spec;
   spec.enclave_mode = !no_enclave;

@@ -77,16 +77,21 @@ int Record(FlagParser& parser, int argc, char** argv) {
   std::string size = "M";
   std::string out;
   std::string note;
+  std::string faults;
   int64_t threads = 1;
   uint64_t seed = 42;
   uint64_t epc_mib = 94;
   bool enclave = true;
   uint64_t event_limit = 0;
   parser.AddString("workload", &workload, "workload name (see run_workload --list)");
-  parser.AddString("policy", &policy, "native|mpx|asan|sgxbounds");
-  parser.AddString("size", &size, "input size class XS..XL");
+  parser.AddChoice("policy", &policy, {"native", "sgx", "mpx", "asan", "sgxbounds"},
+                   "memory-safety scheme (sgx = native)");
+  parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddString("out", &out, "output .sgxtrace path (default <workload>.sgxtrace)");
   parser.AddString("note", &note, "free-form note stored in the trace header");
+  parser.AddString("faults", &faults,
+                   "deterministic fault plan spec (see src/fault/fault.h), armed on the "
+                   "recorded run; the injected accesses land in the trace like any others");
   parser.AddInt("threads", &threads, "simulated worker threads");
   parser.AddUint("seed", &seed, "workload rng seed");
   parser.AddUint("epc_mib", &epc_mib, "usable EPC size in MiB");
@@ -109,11 +114,23 @@ int Record(FlagParser& parser, int argc, char** argv) {
     out = workload + ".sgxtrace";
   }
 
+  FaultPlan plan;
+  if (!faults.empty()) {
+    std::string error;
+    if (!FaultPlan::Parse(faults, &plan, &error)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   MachineSpec spec;
   spec.enclave_mode = enclave;
   spec.epc_bytes = epc_mib * kMiB;
   spec.seed = seed;
   spec.threads = static_cast<uint32_t>(threads);
+  if (!plan.empty()) {
+    spec.faults = &plan;
+  }
   PrintReproHeader("trace_tool", spec);
   WorkloadConfig cfg;
   cfg.size = ParseSizeClass(size);

@@ -23,6 +23,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "src/common/rng.h"
 #include "src/runtime/heap.h"
 
 namespace sgxb {
@@ -107,6 +108,24 @@ class AsanRuntime {
 
   uint32_t shadow_base() const { return shadow_base_; }
   const AsanStats& stats() const { return stats_; }
+
+  // Fault campaigns (src/fault): flips one RNG-chosen bit of the shadow byte
+  // covering an RNG-chosen address in the allocated heap span (charged
+  // metadata load + store). A flip can fabricate a poison value (false
+  // report) or clear one (missed report). Returns false on an empty heap.
+  bool CorruptShadow(Cpu& cpu, Rng& rng) {
+    const uint64_t span = heap_->used_bytes();
+    if (span == 0) {
+      return false;
+    }
+    const uint32_t addr = heap_->base() + static_cast<uint32_t>(rng.NextBounded(span));
+    const uint32_t saddr = ShadowAddr(addr);
+    enclave_->pages().Commit(&cpu, saddr, 1);
+    const uint8_t byte = enclave_->Load<uint8_t>(cpu, saddr, AccessClass::kMetadataLoad);
+    const uint8_t flipped = byte ^ static_cast<uint8_t>(1u << rng.NextBounded(8));
+    enclave_->Store<uint8_t>(cpu, saddr, flipped, AccessClass::kMetadataStore);
+    return true;
+  }
 
  private:
   uint32_t ShadowAddr(uint32_t addr) const { return shadow_base_ + (addr >> config_.shadow_scale); }

@@ -55,10 +55,18 @@ void FlagParser::AddString(const std::string& name, std::string* target, const s
   flags_.push_back({name, Kind::kString, target, help, DefaultToString(this, target, 4)});
 }
 
+void FlagParser::AddChoice(const std::string& name, std::string* target,
+                           std::vector<std::string> choices, const std::string& help) {
+  flags_.push_back({name, Kind::kChoice, target, help, DefaultToString(this, target, 4), nullptr,
+                    std::move(choices)});
+}
+
 void FlagParser::AddCallback(const std::string& name,
                              std::function<bool(const std::string&)> parse,
-                             const std::string& help, const std::string& default_display) {
-  flags_.push_back({name, Kind::kCallback, nullptr, help, default_display, std::move(parse)});
+                             const std::string& help, const std::string& default_display,
+                             std::vector<std::string> choices) {
+  flags_.push_back({name, Kind::kCallback, nullptr, help, default_display, std::move(parse),
+                    std::move(choices)});
 }
 
 const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
@@ -112,6 +120,15 @@ bool FlagParser::SetValue(const Flag& flag, const std::string& value) {
       *static_cast<std::string*>(flag.target) = value;
       return true;
     }
+    case Kind::kChoice: {
+      for (const std::string& choice : flag.choices) {
+        if (value == choice) {
+          *static_cast<std::string*>(flag.target) = value;
+          return true;
+        }
+      }
+      return false;
+    }
     case Kind::kCallback:
       return flag.parse(value);
   }
@@ -153,7 +170,19 @@ std::vector<std::string> FlagParser::Parse(int argc, char** argv) {
       has_value = true;
     }
     if (!SetValue(*flag, value)) {
-      std::fprintf(stderr, "invalid value '%s' for flag --%s\n", value.c_str(), name.c_str());
+      if (!flag->choices.empty()) {
+        std::string valid;
+        for (const std::string& choice : flag->choices) {
+          if (!valid.empty()) {
+            valid += "|";
+          }
+          valid += choice;
+        }
+        std::fprintf(stderr, "invalid value '%s' for flag --%s (valid: %s)\n", value.c_str(),
+                     name.c_str(), valid.c_str());
+      } else {
+        std::fprintf(stderr, "invalid value '%s' for flag --%s\n", value.c_str(), name.c_str());
+      }
       std::exit(2);
     }
   }
@@ -164,8 +193,15 @@ std::string FlagParser::Usage(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n";
   for (const auto& flag : flags_) {
-    os << "  --" << flag.name << "  " << flag.help << " (default: " << flag.default_value
-       << ")\n";
+    os << "  --" << flag.name << "  " << flag.help;
+    if (!flag.choices.empty()) {
+      os << " (one of: ";
+      for (size_t i = 0; i < flag.choices.size(); ++i) {
+        os << (i == 0 ? "" : "|") << flag.choices[i];
+      }
+      os << ")";
+    }
+    os << " (default: " << flag.default_value << ")\n";
   }
   return os.str();
 }

@@ -25,11 +25,18 @@ class FlagParser {
   void AddBool(const std::string& name, bool* target, const std::string& help);
   void AddString(const std::string& name, std::string* target, const std::string& help);
 
+  // Enum-valued string flag: the value must be one of `choices`; anything
+  // else is a hard startup error listing the valid spellings.
+  void AddChoice(const std::string& name, std::string* target,
+                 std::vector<std::string> choices, const std::string& help);
+
   // Custom-parsed flag: `parse` receives the raw value and returns false to
   // reject it (same error path as a malformed int). `default_display` is
-  // shown in --help.
+  // shown in --help. When `choices` is non-empty the rejection error lists
+  // them (the parser itself still decides validity).
   void AddCallback(const std::string& name, std::function<bool(const std::string&)> parse,
-                   const std::string& help, const std::string& default_display);
+                   const std::string& help, const std::string& default_display,
+                   std::vector<std::string> choices = {});
 
   // Returns positional (non-flag) arguments. Exits on --help or parse errors.
   std::vector<std::string> Parse(int argc, char** argv);
@@ -37,7 +44,7 @@ class FlagParser {
   std::string Usage(const std::string& program) const;
 
  private:
-  enum class Kind { kInt, kUint, kDouble, kBool, kString, kCallback };
+  enum class Kind { kInt, kUint, kDouble, kBool, kString, kChoice, kCallback };
   struct Flag {
     std::string name;
     Kind kind;
@@ -45,6 +52,7 @@ class FlagParser {
     std::string help;
     std::string default_value;
     std::function<bool(const std::string&)> parse;
+    std::vector<std::string> choices;
   };
 
   const Flag* Find(const std::string& name) const;

@@ -54,6 +54,9 @@ void Enclave::LoadBytes(Cpu& cpu, uint32_t addr, void* dst, uint32_t n, AccessCl
   CheckAddressable(addr, n);
   cpu.MemAccess(addr, n, klass);
   std::memcpy(dst, space_.HostPtr(addr), n);
+  if (faults_ != nullptr) {
+    faults_->OnAccess(cpu, addr, n);
+  }
 }
 
 void Enclave::StoreBytes(Cpu& cpu, uint32_t addr, const void* src, uint32_t n,
@@ -64,6 +67,9 @@ void Enclave::StoreBytes(Cpu& cpu, uint32_t addr, const void* src, uint32_t n,
   CheckAddressable(addr, n);
   cpu.MemAccess(addr, n, klass);
   std::memcpy(space_.HostPtr(addr), src, n);
+  if (faults_ != nullptr) {
+    faults_->OnAccess(cpu, addr, n);
+  }
 }
 
 PerfCounters Enclave::TotalCounters() const {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/enclave/address_space.h"
+#include "src/enclave/fault_hooks.h"
 #include "src/enclave/page_manager.h"
 #include "src/enclave/trap.h"
 #include "src/sim/machine.h"
@@ -61,6 +62,12 @@ class Enclave {
   // itself. Attach before any charged work for a complete recording.
   void AttachTrace(TraceRecorder* trace);
 
+  // Attaches (or, with null, detaches) fault-injection hooks. Every charged
+  // Load/Store reports to the hooks after it completes; the heap consults
+  // them at allocator entry via faults().
+  void AttachFaults(FaultHooks* faults) { faults_ = faults; }
+  FaultHooks* faults() const { return faults_; }
+
   // --- Guest memory access (charged + checked) ---
 
   template <typename T>
@@ -69,6 +76,9 @@ class Enclave {
     cpu.MemAccess(addr, sizeof(T), klass);
     T value;
     std::memcpy(&value, space_.HostPtr(addr), sizeof(T));
+    if (faults_ != nullptr) {
+      faults_->OnAccess(cpu, addr, sizeof(T));
+    }
     return value;
   }
 
@@ -77,6 +87,9 @@ class Enclave {
     CheckAddressable(addr, sizeof(T));
     cpu.MemAccess(addr, sizeof(T), klass);
     std::memcpy(space_.HostPtr(addr), &value, sizeof(T));
+    if (faults_ != nullptr) {
+      faults_->OnAccess(cpu, addr, sizeof(T));
+    }
   }
 
   void LoadBytes(Cpu& cpu, uint32_t addr, void* dst, uint32_t n,
@@ -123,6 +136,7 @@ class Enclave {
   PageManager pages_;
   Cpu main_cpu_;
   std::vector<std::unique_ptr<Cpu>> extra_cpus_;
+  FaultHooks* faults_ = nullptr;
 };
 
 }  // namespace sgxb

@@ -1,0 +1,37 @@
+// Fault-injection hook interface.
+//
+// The enclave (and through it the heap) exposes two observation points to an
+// attached FaultHooks implementation: every charged guest memory access, and
+// every allocator entry. The concrete implementation lives in src/fault;
+// keeping only this abstract interface here avoids a dependency cycle
+// (fault -> enclave for injection, enclave -> fault hooks for the tap).
+//
+// Hooks are consulted on measured paths, so the enclave guards each call
+// site with a null check — a detached enclave pays one predictable branch.
+
+#ifndef SGXBOUNDS_SRC_ENCLAVE_FAULT_HOOKS_H_
+#define SGXBOUNDS_SRC_ENCLAVE_FAULT_HOOKS_H_
+
+#include <cstdint>
+
+namespace sgxb {
+
+class Cpu;
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  // Called after every charged guest Load/Store (the access has already been
+  // performed and charged). The hook may issue further charged accesses
+  // through the enclave; implementations must guard against re-entry.
+  virtual void OnAccess(Cpu& cpu, uint32_t addr, uint32_t size) = 0;
+
+  // Called at allocator entry, after the base malloc cycles are charged but
+  // before the free-list scan. Return true to force this allocation to fail.
+  virtual bool OnAlloc(Cpu& cpu) = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_ENCLAVE_FAULT_HOOKS_H_

@@ -1,10 +1,13 @@
 #include "src/enclave/trap.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace sgxb {
 
 const char* TrapKindName(TrapKind kind) {
+  // Exhaustive switch with no default: adding a TrapKind without a name here
+  // is a compile-time -Wswitch warning, not a silent "?".
   switch (kind) {
     case TrapKind::kSegFault:
       return "SIGSEGV";
@@ -19,15 +22,23 @@ const char* TrapKindName(TrapKind kind) {
     case TrapKind::kIllegalInstruction:
       return "SIGILL";
   }
-  return "?";
+  std::abort();  // unreachable for in-range values
 }
 
 namespace {
 
+// Uniform `KIND @ 0xADDR: detail` message, with the detail length bounded.
 std::string FormatTrap(TrapKind kind, uint32_t addr, const std::string& detail) {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%s at 0x%08x: ", TrapKindName(kind), addr);
-  return std::string(buf) + detail;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s @ 0x%08x: ", TrapKindName(kind), addr);
+  std::string message(buf);
+  if (detail.size() > kMaxTrapDetailBytes) {
+    message.append(detail, 0, kMaxTrapDetailBytes);
+    message += "...";
+  } else {
+    message += detail;
+  }
+  return message;
 }
 
 }  // namespace

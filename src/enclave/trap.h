@@ -8,6 +8,7 @@
 #ifndef SGXBOUNDS_SRC_ENCLAVE_TRAP_H_
 #define SGXBOUNDS_SRC_ENCLAVE_TRAP_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -30,7 +31,17 @@ enum class TrapKind : uint8_t {
   kIllegalInstruction,
 };
 
+// Number of TrapKind values; per-kind counter arrays size themselves with
+// this (keep in sync with the enum — TrapKindName's exhaustive switch flags
+// additions).
+inline constexpr uint32_t kTrapKindCount = 6;
+
 const char* TrapKindName(TrapKind kind);
+
+// Longest detail string admitted into a SimTrap message; longer details are
+// truncated with "..." so a hostile or runaway detail cannot bloat logs or
+// trace summaries.
+inline constexpr size_t kMaxTrapDetailBytes = 160;
 
 class SimTrap : public std::runtime_error {
  public:

@@ -71,6 +71,9 @@ void MpxRuntime::BndStx(Cpu& cpu, uint32_t ptr_loc, uint32_t ptr_value, const Mp
   auto* host = enclave_->space().HostPtr(entry);
   uint32_t words[4] = {bounds.lb, bounds.ub, ptr_value, 0};
   std::memcpy(host, words, sizeof(words));
+  if (track_entries_ && entry_seen_.insert(entry).second) {
+    entry_addrs_.push_back(entry);
+  }
   RegInsert(cpu, ptr_loc, bounds);
 }
 

@@ -26,8 +26,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/runtime/heap.h"
 
 namespace sgxb {
@@ -95,6 +97,27 @@ class MpxRuntime {
   uint32_t bt_count() const { return static_cast<uint32_t>(bt_bases_.size()); }
   const MpxStats& stats() const { return stats_; }
 
+  // Fault campaigns (src/fault): when entry tracking is on, every bndstx
+  // records its BT entry address so a corruptor can pick a populated entry
+  // deterministically. Off by default: normal runs pay nothing.
+  void set_track_entries(bool on) { track_entries_ = on; }
+
+  // Flips one RNG-chosen bit in the {LB, UB, pointer value} words of an
+  // RNG-chosen populated bounds-table entry (charged metadata load + store).
+  // A ptr-value flip silently widens to INIT bounds; an LB/UB flip can
+  // fabricate or mask a #BR. Returns false when no entry was ever stored.
+  bool CorruptBoundsTable(Cpu& cpu, Rng& rng) {
+    if (entry_addrs_.empty()) {
+      return false;
+    }
+    const uint32_t entry = entry_addrs_[rng.NextBounded(entry_addrs_.size())];
+    const uint32_t word = entry + 4 * static_cast<uint32_t>(rng.NextBounded(3));
+    const uint32_t value = enclave_->Load<uint32_t>(cpu, word, AccessClass::kMetadataLoad);
+    const uint32_t flipped = value ^ (1u << rng.NextBounded(32));
+    enclave_->Store<uint32_t>(cpu, word, flipped, AccessClass::kMetadataStore);
+    return true;
+  }
+
  private:
   static constexpr uint32_t kBdIndexShift = 20;            // addr[31:20]
   static constexpr uint32_t kBdEntryBytes = 8;             // 4096 * 8 = 32 KiB
@@ -124,6 +147,11 @@ class MpxRuntime {
   std::unordered_map<uint32_t, uint32_t> bt_bases_;  // BD index -> BT base
   RegEntry regs_[4];
   uint64_t reg_tick_ = 0;
+  // Populated-entry index for fault campaigns (insertion-ordered vector for
+  // a deterministic RNG pick; set for O(1) dedup).
+  bool track_entries_ = false;
+  std::vector<uint32_t> entry_addrs_;
+  std::unordered_set<uint32_t> entry_seen_;
 };
 
 }  // namespace sgxb

@@ -8,6 +8,7 @@
 #define SGXBOUNDS_SRC_POLICY_ASAN_POLICY_H_
 
 #include "src/asan/asan_runtime.h"
+#include "src/fault/fault.h"
 #include "src/policy/policy.h"
 
 namespace sgxb {
@@ -149,6 +150,12 @@ class AsanPolicy {
     rt_.CheckAccess(cpu, dst.addr, n, /*is_write=*/true);
     cpu.MemAccess(dst.addr, n, AccessClass::kAppStore);
     std::memset(enclave_->space().HostPtr(dst.addr), value, n);
+  }
+
+  // Fault campaigns: metadata flips land in the shadow memory.
+  void AttachFaults(FaultInjector* faults) {
+    faults->RegisterMetadataCorruptor(
+        [this](Cpu& cpu, Rng& rng) { return rt_.CorruptShadow(cpu, rng); });
   }
 
   Enclave* enclave() { return enclave_; }

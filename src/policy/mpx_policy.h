@@ -7,6 +7,7 @@
 #ifndef SGXBOUNDS_SRC_POLICY_MPX_POLICY_H_
 #define SGXBOUNDS_SRC_POLICY_MPX_POLICY_H_
 
+#include "src/fault/fault.h"
 #include "src/mpx/mpx_runtime.h"
 #include "src/policy/policy.h"
 
@@ -169,6 +170,13 @@ class MpxPolicy {
     rt_.BndCheck(cpu, dst.bounds, dst.addr, n);
     cpu.MemAccess(dst.addr, n, AccessClass::kAppStore);
     std::memset(enclave_->space().HostPtr(dst.addr), value, n);
+  }
+
+  // Fault campaigns: metadata flips land in a populated bounds-table entry.
+  void AttachFaults(FaultInjector* faults) {
+    rt_.set_track_entries(true);
+    faults->RegisterMetadataCorruptor(
+        [this](Cpu& cpu, Rng& rng) { return rt_.CorruptBoundsTable(cpu, rng); });
   }
 
   Enclave* enclave() { return enclave_; }

@@ -5,6 +5,7 @@
 #ifndef SGXBOUNDS_SRC_POLICY_NATIVE_POLICY_H_
 #define SGXBOUNDS_SRC_POLICY_NATIVE_POLICY_H_
 
+#include "src/fault/fault.h"
 #include "src/policy/policy.h"
 #include "src/runtime/heap.h"
 
@@ -135,6 +136,10 @@ class NativePolicy {
     cpu.MemAccess(dst.addr, n, AccessClass::kAppStore);
     std::memset(enclave_->space().HostPtr(dst.addr), value, n);
   }
+
+  // Fault campaigns: native code has no safety metadata to corrupt, so
+  // kMetadataFlip events are counted as skipped.
+  void AttachFaults(FaultInjector* faults) { (void)faults; }
 
   Enclave* enclave() { return enclave_; }
   Heap* heap() { return heap_; }

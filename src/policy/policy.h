@@ -52,6 +52,10 @@ struct PolicyOptions {
   // kDefault follows the process-wide --ir_engine selection; simulated
   // results are engine-invariant by construction.
   IrEngine ir_engine = IrEngine::kDefault;
+  // Boundless-memory degradation mode at overlay capacity (SGXBounds with
+  // oob == kBoundless only): silently recycle the LRU chunk, or trap loudly
+  // so a recovery layer can contain the request.
+  OverlayExhaustPolicy overlay_exhaust = OverlayExhaustPolicy::kEvictOldest;
 };
 
 }  // namespace sgxb

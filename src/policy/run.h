@@ -14,12 +14,15 @@
 #ifndef SGXBOUNDS_SRC_POLICY_RUN_H_
 #define SGXBOUNDS_SRC_POLICY_RUN_H_
 
+#include <optional>
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/policy/asan_policy.h"
 #include "src/policy/mpx_policy.h"
 #include "src/policy/native_policy.h"
+#include "src/policy/recovery.h"
 #include "src/policy/sgxbounds_policy.h"
 #include "src/runtime/thread_pool.h"
 
@@ -40,6 +43,12 @@ struct MachineSpec {
   // Optional: record this run's event stream (src/trace). The recorder must
   // outlive the run; the harness calls BeginRun/Finalize around the body.
   TraceRecorder* trace = nullptr;
+  // Optional: a deterministic fault campaign (src/fault) armed on the
+  // enclave before the body runs. The plan must outlive the run.
+  const FaultPlan* faults = nullptr;
+  // Trap-recovery configuration for env.Serve() request containment;
+  // disabled by default (traps propagate as before).
+  RecoveryConfig recovery;
 };
 
 struct RunResult {
@@ -52,6 +61,9 @@ struct RunResult {
   std::string trap_message;
   // MPX-specific (Table 3).
   uint32_t mpx_bt_count = 0;
+  // Fault campaign + recovery accounting (zero when neither was configured).
+  FaultStats fault_stats;
+  RecoveryStats recovery_stats;
 
   double CyclesRatioOver(const RunResult& base) const {
     return base.cycles == 0 ? 0.0 : static_cast<double>(cycles) / base.cycles;
@@ -74,6 +86,8 @@ struct Env {
   // The options this run was configured with; interpreter-driven workload
   // bodies read ir_engine from here.
   PolicyOptions options;
+  // Trap-recovery control (always present; pass-through when disabled).
+  RecoveryControl* recovery = nullptr;
 
   using Ptr = typename P::Ptr;
 
@@ -81,6 +95,14 @@ struct Env {
   template <typename Body>
   ParallelResult Parallel(const Body& body) {
     return RunParallel(enclave, cpu, threads, body);
+  }
+
+  // Runs `fn` as one contained request under the recovery policy: true when
+  // served, false when the request trapped and was dropped. With recovery
+  // disabled (the default spec), traps propagate unchanged.
+  template <typename Fn>
+  bool Serve(Fn&& fn) {
+    return recovery->Serve(cpu, std::forward<Fn>(fn));
   }
 };
 
@@ -113,12 +135,25 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   }
   Heap heap(&enclave, spec.heap_reserve);
 
+  // Fault campaign + recovery wiring. The injector arms the enclave's access
+  // tap before the policy is constructed so even runtime-setup accesses
+  // advance the deterministic access counter.
+  std::optional<FaultInjector> injector;
+  if (spec.faults != nullptr && !spec.faults->empty()) {
+    injector.emplace(*spec.faults);
+    injector->Arm(&enclave, &heap);
+  }
+  RecoveryControl recovery(spec.recovery);
+
   RunResult result;
   result.kind = P::kKind;
   try {
     P policy(&enclave, &heap, options);
+    if (injector.has_value()) {
+      policy.AttachFaults(&*injector);
+    }
     Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed),
-               options};
+               options, &recovery};
     fn(env);
     if constexpr (P::kKind == PolicyKind::kMpx) {
       result.mpx_bt_count = policy.runtime().bt_count();
@@ -128,6 +163,11 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
     result.trap = trap.kind();
     result.trap_message = trap.what();
   }
+  if (injector.has_value()) {
+    result.fault_stats = injector->stats();
+    injector->Disarm();
+  }
+  result.recovery_stats = recovery.stats();
   result.cycles = enclave.main_cpu().cycles();
   result.peak_vm_bytes = enclave.PeakVirtualBytes();
   result.counters = enclave.TotalCounters();

@@ -6,6 +6,7 @@
 #ifndef SGXBOUNDS_SRC_POLICY_SGXBOUNDS_POLICY_H_
 #define SGXBOUNDS_SRC_POLICY_SGXBOUNDS_POLICY_H_
 
+#include "src/fault/fault.h"
 #include "src/policy/policy.h"
 #include "src/sgxbounds/bounds_runtime.h"
 
@@ -18,7 +19,9 @@ class SgxBoundsPolicy {
   using Ptr = TaggedPtr;
 
   SgxBoundsPolicy(Enclave* enclave, Heap* heap, const PolicyOptions& options)
-      : enclave_(enclave), rt_(enclave, heap, options.oob), options_(options) {}
+      : enclave_(enclave), rt_(enclave, heap, options.oob), options_(options) {
+    rt_.boundless().set_exhaust_policy(options.overlay_exhaust);
+  }
 
   Ptr Malloc(Cpu& cpu, uint32_t size) { return rt_.Malloc(cpu, size); }
 
@@ -155,6 +158,13 @@ class SgxBoundsPolicy {
     const ResolvedAccess rd = rt_.CheckAccess(cpu, dst, n, AccessType::kWrite);
     cpu.MemAccess(rd.addr, n, AccessClass::kAppStore);
     std::memset(enclave_->space().HostPtr(rd.addr), value, n);
+  }
+
+  // Fault campaigns: metadata flips land in a live object's LB footer.
+  void AttachFaults(FaultInjector* faults) {
+    rt_.set_track_objects(true);
+    faults->RegisterMetadataCorruptor(
+        [this](Cpu& cpu, Rng& rng) { return rt_.CorruptLbFooter(cpu, rng); });
   }
 
   Enclave* enclave() { return enclave_; }

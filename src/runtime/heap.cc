@@ -1,5 +1,9 @@
 #include "src/runtime/heap.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
 #include "src/common/check.h"
 
 namespace sgxb {
@@ -34,6 +38,18 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
   }
   const uint32_t needed = AlignUp(size, 16);
   cpu.Charge(kMallocCycles);
+
+  // Fault campaigns can force this allocation to fail before any free-list
+  // state changes, modelling transient allocator exhaustion.
+  if (FaultHooks* faults = enclave_->faults()) {
+    if (faults->OnAlloc(cpu)) {
+      ++stats_.failed_allocs;
+      if (may_throw) {
+        throw SimTrap(TrapKind::kOutOfMemory, wilderness_, "injected allocation failure");
+      }
+      return 0;
+    }
+  }
 
   // First fit over the free list. Skip the scan when even the largest free
   // block cannot satisfy the request (slack >= 0, so size < needed never
@@ -102,7 +118,13 @@ uint32_t Heap::AllocLocked(Cpu& cpu, uint32_t size, uint32_t align, bool may_thr
 
 void Heap::Free(Cpu& cpu, uint32_t addr) {
   auto it = live_blocks_.find(addr);
-  CHECK(it != live_blocks_.end());
+  if (it == live_blocks_.end()) {
+    // Freeing a pointer that is not a live block start (double free, or a
+    // pointer/footer corrupted by a fault campaign): the allocator's header
+    // validation catches it, as glibc's "free(): invalid pointer" abort
+    // would. In-simulation that is a guest trap, not a harness failure.
+    throw SimTrap(TrapKind::kSegFault, addr, "free of invalid or corrupted pointer");
+  }
   const uint32_t size = it->second;
   const uint32_t block = AlignUp(size, 16);
   live_blocks_.erase(it);
@@ -136,8 +158,87 @@ void Heap::Free(Cpu& cpu, uint32_t addr) {
 
 uint32_t Heap::BlockSize(uint32_t addr) const {
   auto it = live_blocks_.find(addr);
-  CHECK(it != live_blocks_.end());
+  if (it == live_blocks_.end()) {
+    throw SimTrap(TrapKind::kSegFault, addr, "size query on invalid or corrupted pointer");
+  }
   return it->second;
+}
+
+bool Heap::IsBlockStart(uint32_t addr) const { return live_blocks_.count(addr) != 0; }
+
+namespace {
+
+bool Fail(std::string* error, const char* fmt, uint64_t a, uint64_t b) {
+  if (error != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    *error = buf;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Heap::CheckInvariants(std::string* error) const {
+  const uint64_t lo = base_;
+  const uint64_t hi = wilderness_;
+  uint32_t max_free = 0;
+  uint64_t prev_end = lo;
+  for (const auto& [addr, size] : free_blocks_) {
+    if (size < 16) {
+      return Fail(error, "free block at 0x%llx has size %llu < 16", addr, size);
+    }
+    if (addr < prev_end) {
+      return Fail(error, "free block at 0x%llx overlaps previous ending at 0x%llx", addr,
+                  prev_end);
+    }
+    const uint64_t end = static_cast<uint64_t>(addr) + size;
+    if (end > hi) {
+      return Fail(error, "free block ending at 0x%llx beyond wilderness 0x%llx", end, hi);
+    }
+    prev_end = end;
+    max_free = std::max(max_free, size);
+  }
+  if (max_free > max_free_upper_) {
+    return Fail(error, "free watermark %llu below actual max free size %llu", max_free_upper_,
+                max_free);
+  }
+
+  // Live blocks, sorted by address, must tile [base, wilderness) with the
+  // free blocks without overlap (gaps are fine: sub-16-byte fragments are
+  // dropped by design).
+  std::vector<std::pair<uint32_t, uint32_t>> live(live_blocks_.begin(), live_blocks_.end());
+  std::sort(live.begin(), live.end());
+  uint64_t live_bytes = 0;
+  auto free_it = free_blocks_.begin();
+  prev_end = lo;
+  for (const auto& [addr, size] : live) {
+    live_bytes += size;
+    const uint64_t extent = AlignUp(std::max<uint32_t>(size, 1), 16);
+    if (addr < prev_end) {
+      return Fail(error, "live block at 0x%llx overlaps previous ending at 0x%llx", addr,
+                  prev_end);
+    }
+    const uint64_t end = addr + extent;
+    if (addr < lo || end > hi) {
+      return Fail(error, "live block at 0x%llx outside heap span ending 0x%llx", addr, hi);
+    }
+    prev_end = end;
+    while (free_it != free_blocks_.end() &&
+           static_cast<uint64_t>(free_it->first) + free_it->second <= addr) {
+      ++free_it;
+    }
+    if (free_it != free_blocks_.end() && free_it->first < end) {
+      return Fail(error, "live block at 0x%llx overlaps free block at 0x%llx", addr,
+                  free_it->first);
+    }
+  }
+  if (live_bytes != stats_.live_bytes) {
+    return Fail(error, "live byte accounting %llu != sum of live blocks %llu", stats_.live_bytes,
+                live_bytes);
+  }
+  return true;
 }
 
 bool Heap::IsLive(uint32_t addr) const {

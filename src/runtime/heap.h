@@ -52,9 +52,24 @@ class Heap {
   const HeapStats& stats() const { return stats_; }
   uint32_t base() const { return base_; }
   uint64_t reserve_bytes() const { return reserve_bytes_; }
+  // Start of the never-allocated tail; [base, wilderness) is the span the
+  // allocator has ever handed out (fault campaigns target wild writes here).
+  uint32_t wilderness() const { return wilderness_; }
+  uint64_t used_bytes() const { return wilderness_ - base_; }
 
   // True if `addr` lies inside a live block (diagnostic; used by tests).
   bool IsLive(uint32_t addr) const;
+
+  // True if `addr` is exactly the start of a live block (O(1); lets runtimes
+  // validate a base pointer recovered from possibly-corrupted metadata).
+  bool IsBlockStart(uint32_t addr) const;
+
+  // Verifies allocator bookkeeping: free-list blocks sorted, non-overlapping
+  // and inside [base, wilderness); live blocks disjoint from each other and
+  // from every free block; live-byte accounting consistent; the first-fit
+  // watermark a true upper bound. O(n log n) diagnostic for tests and fault
+  // campaigns; returns false and fills `error` on the first violation.
+  bool CheckInvariants(std::string* error) const;
 
  private:
   struct FreeBlock {

@@ -37,6 +37,10 @@ uint32_t BoundlessMemory::LookupOrInsert(Cpu& cpu, uint32_t oob_addr, bool inser
     return 0;
   }
   if (chunks_.size() >= capacity_chunks_) {
+    if (exhaust_policy_ == OverlayExhaustPolicy::kFailFast) {
+      ++stats_.exhaust_trips;
+      throw SimTrap(TrapKind::kOutOfMemory, oob_addr, "boundless overlay exhausted");
+    }
     const uint32_t victim_key = lru_.back();
     lru_.pop_back();
     auto victim = chunks_.find(victim_key);

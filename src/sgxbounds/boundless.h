@@ -29,6 +29,17 @@ struct BoundlessStats {
   uint64_t zero_fills = 0;     // loads with no overlay chunk
   uint64_t chunk_allocs = 0;
   uint64_t chunk_evictions = 0;
+  uint64_t exhaust_trips = 0;  // fail-fast refusals at full capacity
+};
+
+// What happens when the overlay cache is full and a new chunk is needed.
+enum class OverlayExhaustPolicy : uint8_t {
+  // Recycle the least-recently-used chunk (SS4.2 behaviour): the service
+  // keeps running but the oldest redirected data is silently dropped.
+  kEvictOldest,
+  // Trap with kOutOfMemory instead: degradation is loud, so a recovery layer
+  // can contain the request rather than let overlay data rot quietly.
+  kFailFast,
 };
 
 class BoundlessMemory {
@@ -52,6 +63,9 @@ class BoundlessMemory {
   const BoundlessStats& stats() const { return stats_; }
   size_t chunk_count() const { return chunks_.size(); }
 
+  void set_exhaust_policy(OverlayExhaustPolicy policy) { exhaust_policy_ = policy; }
+  OverlayExhaustPolicy exhaust_policy() const { return exhaust_policy_; }
+
  private:
   struct Chunk {
     uint32_t overlay_base;
@@ -65,6 +79,7 @@ class BoundlessMemory {
   Enclave* enclave_;
   Heap* heap_;
   uint32_t capacity_chunks_;
+  OverlayExhaustPolicy exhaust_policy_ = OverlayExhaustPolicy::kEvictOldest;
   BoundlessStats stats_;
   std::unordered_map<uint32_t, Chunk> chunks_;  // key -> chunk
   std::list<uint32_t> lru_;                     // front = MRU, holds keys

@@ -42,7 +42,27 @@ void SgxBoundsRuntime::Free(Cpu& cpu, TaggedPtr tagged) {
   const uint32_t ub = ExtractUb(tagged);
   CHECK_NE(ub, 0u);
   const uint32_t base = LoadLb(cpu, ub);
+  // free(LB) hands the footer-recovered base straight to the allocator; if a
+  // bit flip or wild write corrupted the footer, the base no longer names a
+  // live block and the allocator's header validation (already charged inside
+  // Heap::Free) turns it into a detected trap rather than silent reuse.
+  if (base > ub || !heap_->IsBlockStart(base)) {
+    ++stats_.violations;
+    ++cpu.counters().bounds_violations;
+    throw SimTrap(TrapKind::kSgxBoundsViolation, ub, "corrupted LB footer on free");
+  }
   registry_->FireDelete(cpu, ub);
+  if (track_objects_) {
+    auto it = live_ub_index_.find(ub);
+    if (it != live_ub_index_.end()) {
+      const size_t pos = it->second;
+      const uint32_t last = live_ubs_.back();
+      live_ubs_[pos] = last;
+      live_ub_index_[last] = pos;
+      live_ubs_.pop_back();
+      live_ub_index_.erase(it);
+    }
+  }
   heap_->Free(cpu, base);
   ++stats_.objects_freed;
 }
@@ -56,6 +76,9 @@ TaggedPtr SgxBoundsRuntime::SpecifyBounds(Cpu& cpu, uint32_t p, uint32_t ub, Obj
   cpu.Alu(2);  // tagged = (UB << 32) | p
   ++stats_.objects_created;
   registry_->FireCreate(cpu, p, ub - p, kind);
+  if (track_objects_ && live_ub_index_.emplace(ub, live_ubs_.size()).second) {
+    live_ubs_.push_back(ub);
+  }
   return MakeTagged(p, ub);
 }
 

@@ -18,7 +18,10 @@
 
 #include <cstdint>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/runtime/heap.h"
 #include "src/sgxbounds/boundless.h"
 #include "src/sgxbounds/metadata.h"
@@ -183,6 +186,26 @@ class SgxBoundsRuntime {
     return enclave_->Load<uint32_t>(cpu, ub, AccessClass::kMetadataLoad);
   }
 
+  // --- Fault campaigns (src/fault) -------------------------------------------
+
+  // When object tracking is on, the runtime maintains a deterministic index
+  // of live UB footers so a metadata corruptor can pick a victim
+  // reproducibly. Off by default: normal runs pay nothing.
+  void set_track_objects(bool on) { track_objects_ = on; }
+
+  // Flips one RNG-chosen bit of one live object's LB footer (charged
+  // metadata load + store). Returns false when no tracked object is live.
+  bool CorruptLbFooter(Cpu& cpu, Rng& rng) {
+    if (live_ubs_.empty()) {
+      return false;
+    }
+    const uint32_t ub = live_ubs_[rng.NextBounded(live_ubs_.size())];
+    const uint32_t lb = LoadLb(cpu, ub);
+    const uint32_t flipped = lb ^ (1u << rng.NextBounded(32));
+    enclave_->Store<uint32_t>(cpu, ub, flipped, AccessClass::kMetadataStore);
+    return true;
+  }
+
   Enclave* enclave() { return enclave_; }
   Heap* heap() { return heap_; }
   OobPolicy policy() const { return policy_; }
@@ -202,6 +225,11 @@ class SgxBoundsRuntime {
   BoundlessMemory boundless_;
   BoundsRuntimeStats stats_;
   std::set<uint32_t> narrowed_ubs_;
+  // Live-object index for fault campaigns: vector for an O(1) deterministic
+  // RNG pick, map for O(1) swap-erase on Free.
+  bool track_objects_ = false;
+  std::vector<uint32_t> live_ubs_;
+  std::unordered_map<uint32_t, size_t> live_ub_index_;
 };
 
 }  // namespace sgxb

@@ -400,7 +400,10 @@ void TraceRecorder::Finalize(const Outcome& outcome) {
   trace_.summary.live_cycles = outcome.live_cycles;
   trace_.summary.peak_vm_bytes = outcome.peak_vm_bytes;
   trace_.summary.mpx_bt_count = outcome.mpx_bt_count;
-  trace_.summary.trap_message = outcome.trap_message;
+  // Bound the trap message before it enters the trace summary: .sgxtrace
+  // files must not grow with whatever detail string a trap carried.
+  constexpr size_t kMaxTrapMessageBytes = 256;
+  trace_.summary.trap_message = outcome.trap_message.substr(0, kMaxTrapMessageBytes);
   finalized_ = true;
 }
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 
 #include "src/sgxbounds/bounds_runtime.h"
 
@@ -176,6 +177,81 @@ TEST_F(Fixture, EvictedReadsReturnZerosAtFullCap) {
   // held 0xabcd; a new chunk must still read as zeros.
   const uint32_t fresh = bl.RedirectStore(cpu, marker_addr + 4);
   EXPECT_EQ(enclave->Load<uint32_t>(cpu, fresh - 4), 0u);
+}
+
+// --- overlay-exhaustion degradation policy --------------------------------
+
+TEST_F(Fixture, EvictOldestIsTheDefaultAndTripsNothing) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get(), 2 * BoundlessMemory::kChunkBytes);
+  EXPECT_EQ(bl.exhaust_policy(), OverlayExhaustPolicy::kEvictOldest);
+  bl.RedirectStore(cpu, 0x100000);
+  bl.RedirectStore(cpu, 0x200000);
+  bl.RedirectStore(cpu, 0x300000);  // over capacity: quiet eviction
+  EXPECT_EQ(bl.stats().chunk_evictions, 1u);
+  EXPECT_EQ(bl.stats().exhaust_trips, 0u);
+}
+
+TEST_F(Fixture, FailFastExhaustTrapsAtCapacity) {
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get(), 2 * BoundlessMemory::kChunkBytes);
+  bl.set_exhaust_policy(OverlayExhaustPolicy::kFailFast);
+  const uint32_t a1 = bl.RedirectStore(cpu, 0x100000);
+  enclave->Store<uint32_t>(cpu, a1, 42);
+  bl.RedirectStore(cpu, 0x200000);
+  try {
+    bl.RedirectStore(cpu, 0x300000);
+    FAIL() << "overlay exhaustion did not trap under kFailFast";
+  } catch (const SimTrap& trap) {
+    EXPECT_EQ(trap.kind(), TrapKind::kOutOfMemory);
+    EXPECT_NE(std::string(trap.what()).find("boundless overlay exhausted"),
+              std::string::npos);
+  }
+  // The trap fired *instead of* evicting: existing chunks are intact.
+  EXPECT_EQ(bl.stats().exhaust_trips, 1u);
+  EXPECT_EQ(bl.stats().chunk_evictions, 0u);
+  EXPECT_EQ(bl.chunk_count(), 2u);
+  uint32_t out = 0;
+  ASSERT_TRUE(bl.RedirectLoad(cpu, 0x100000, &out));
+  EXPECT_EQ(enclave->Load<uint32_t>(cpu, out), 42u);
+}
+
+TEST_F(Fixture, ExhaustPolicyCanDegradeMidRun) {
+  // A service can start fail-fast (loud) and switch to evict-oldest
+  // (degraded-but-alive) after the first trip.
+  Cpu& cpu = enclave->main_cpu();
+  BoundlessMemory bl(enclave.get(), heap.get(), 2 * BoundlessMemory::kChunkBytes);
+  bl.set_exhaust_policy(OverlayExhaustPolicy::kFailFast);
+  bl.RedirectStore(cpu, 0x100000);
+  bl.RedirectStore(cpu, 0x200000);
+  EXPECT_THROW(bl.RedirectStore(cpu, 0x300000), SimTrap);
+  bl.set_exhaust_policy(OverlayExhaustPolicy::kEvictOldest);
+  bl.RedirectStore(cpu, 0x300000);  // now succeeds by evicting the oldest
+  EXPECT_EQ(bl.stats().exhaust_trips, 1u);
+  EXPECT_EQ(bl.stats().chunk_evictions, 1u);
+  uint32_t out = 0;
+  EXPECT_FALSE(bl.RedirectLoad(cpu, 0x100000, &out));  // oldest was evicted
+  EXPECT_TRUE(bl.RedirectLoad(cpu, 0x300000, &out));
+}
+
+TEST_F(Fixture, RuntimeExhaustTrapReportsUniformFormat) {
+  // Through the full runtime path: a fail-fast overlay exhaustion surfaces
+  // as "kind @ addr: detail" like every other trap.
+  rt->boundless().set_exhaust_policy(OverlayExhaustPolicy::kFailFast);
+  Cpu& cpu = enclave->main_cpu();
+  const TaggedPtr p = rt->Malloc(cpu, 64);
+  const uint32_t cap_chunks =
+      BoundlessMemory::kDefaultCapacity / BoundlessMemory::kChunkBytes;
+  try {
+    for (uint32_t k = 0; k <= cap_chunks; ++k) {
+      rt->Store<uint32_t>(cpu, TaggedAdd(p, 1024 + k * BoundlessMemory::kChunkBytes), k);
+    }
+    FAIL() << "overlay exhaustion did not trap";
+  } catch (const SimTrap& trap) {
+    EXPECT_EQ(trap.kind(), TrapKind::kOutOfMemory);
+    const std::string msg = trap.what();
+    EXPECT_NE(msg.find("OUT-OF-MEMORY @ 0x"), std::string::npos) << msg;
+  }
 }
 
 TEST_F(Fixture, RedirectIsChargedAsSlowPath) {

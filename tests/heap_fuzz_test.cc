@@ -7,10 +7,12 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/asan/asan_runtime.h"
 #include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/runtime/heap.h"
 
 namespace sgxb {
@@ -117,6 +119,59 @@ TEST_P(HeapFuzz, AsanWrapperSurvivesChurnWithInvariants) {
       live.pop_back();
     }
   }
+}
+
+TEST_P(HeapFuzz, InjectedAllocFailuresKeepInvariants) {
+  // Periodic injected allocation failures in the middle of a random
+  // alloc/free stream: every failure must surface as a clean kOutOfMemory
+  // trap, and the free list must hold its invariants after each one.
+  EnclaveConfig cfg;
+  cfg.space_bytes = 256 * kMiB;
+  Enclave enclave(cfg);
+  Heap heap(&enclave, 64 * kMiB);
+  Cpu& cpu = enclave.main_cpu();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("alloc_fail@alloc:5*400+7", &plan, &error)) << error;
+  FaultInjector injector(plan);
+  injector.Arm(&enclave, &heap);
+
+  std::vector<uint32_t> live;
+  uint64_t failures = 0;
+  for (int op = 0; op < 4000; ++op) {
+    if (live.size() < 256 && (live.empty() || rng.NextBounded(3) != 0)) {
+      const uint32_t size = 1 + static_cast<uint32_t>(rng.NextBounded(900));
+      try {
+        live.push_back(heap.Alloc(cpu, size));
+      } catch (const SimTrap& trap) {
+        ASSERT_EQ(trap.kind(), TrapKind::kOutOfMemory);
+        ++failures;
+        std::string why;
+        ASSERT_TRUE(heap.CheckInvariants(&why)) << "after failed Malloc: " << why;
+      }
+    } else {
+      const size_t idx = rng.NextBounded(live.size());
+      heap.Free(cpu, live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  injector.Disarm();
+
+  EXPECT_GT(failures, 0u);
+  EXPECT_EQ(failures,
+            injector.stats().injected[static_cast<int>(FaultKind::kAllocFail)]);
+  EXPECT_EQ(failures, heap.stats().failed_allocs);
+  // Surviving blocks are still live and the heap is still fully usable.
+  std::string why;
+  ASSERT_TRUE(heap.CheckInvariants(&why)) << why;
+  for (const uint32_t addr : live) {
+    EXPECT_TRUE(heap.IsLive(addr));
+  }
+  const uint32_t after = heap.Alloc(cpu, 128);
+  EXPECT_NE(after, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz, ::testing::Range(0, 6));
