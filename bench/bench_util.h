@@ -22,6 +22,7 @@
 #include "src/common/host_parallel.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/policy/registry.h"
 #include "src/trace/trace_format.h"
 #include "src/workloads/workload.h"
 
@@ -214,12 +215,65 @@ inline std::vector<RunResult> RunBenchJobs(const std::vector<BenchJob>& jobs,
   return out;
 }
 
+// --- the shared --policies= flag ---------------------------------------------------
+//
+// Every driver that runs a set of schemes accepts --policies=<csv|paper|all>
+// and resolves it through the registry (registry.h ParsePolicyList). The
+// default is the paper's four schemes so default stdout stays comparable
+// with the paper; plugged-in schemes (l4ptr) are opt-in.
+
+inline std::string& PoliciesFlag() {
+  static std::string v = "paper";
+  return v;
+}
+
+inline void AddPoliciesFlag(FlagParser& parser) {
+  std::string help = "comma-separated schemes to run (";
+  for (const SchemeDescriptor* d : AllSchemes()) {
+    help += d->id;
+    help += "|";
+  }
+  help += "paper|all)";
+  parser.AddString("policies", &PoliciesFlag(), help);
+}
+
+// Resolves the --policies flag; prints the registry's spellings and exits(2)
+// on an unknown id.
+inline std::vector<PolicyKind> ResolvePolicies() {
+  std::string error;
+  const std::vector<PolicyKind> kinds = ParsePolicyList(PoliciesFlag(), &error);
+  if (kinds.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
+  }
+  return kinds;
+}
+
+// The paper's default scheme set, from the registry.
+inline std::vector<PolicyKind> PaperPolicyKinds() {
+  std::vector<PolicyKind> kinds;
+  for (const SchemeDescriptor* d : PaperSchemes()) {
+    kinds.push_back(d->kind);
+  }
+  return kinds;
+}
+
+// One benchmark's results across the selected schemes (policies[i] produced
+// results[i]; the registry says which one is the overhead baseline).
 struct SuiteRow {
   std::string name;
-  RunResult native;
-  RunResult mpx;
-  RunResult asan;
-  RunResult sgxb;
+  std::vector<PolicyKind> policies;
+  std::vector<RunResult> results;
+
+  const RunResult& For(PolicyKind kind) const {
+    for (size_t i = 0; i < policies.size(); ++i) {
+      if (policies[i] == kind) {
+        return results[i];
+      }
+    }
+    std::fprintf(stderr, "SuiteRow %s has no %s result\n", name.c_str(), PolicyName(kind));
+    std::abort();
+  }
 };
 
 inline std::string PerfCell(const RunResult& r, const RunResult& base) {
@@ -236,66 +290,100 @@ inline std::string MemCell(const RunResult& r, const RunResult& base) {
   return FormatRatio(r.VmRatioOver(base));
 }
 
-// Prints the Fig. 7/11-style table: per-benchmark performance and memory
-// ratios over native SGX, with a gmean row (crashes excluded, as the paper's
-// gmean necessarily does).
-inline void PrintOverheadTables(const std::string& title, const std::vector<SuiteRow>& rows) {
-  std::printf("\n== %s : performance overhead over native SGX ==\n", title.c_str());
-  Table perf({"benchmark", "MPX", "ASan", "SGXBounds"});
-  std::vector<double> gm_mpx;
-  std::vector<double> gm_asan;
-  std::vector<double> gm_sgxb;
-  for (const auto& row : rows) {
-    perf.AddRow({row.name, PerfCell(row.mpx, row.native), PerfCell(row.asan, row.native),
-                 PerfCell(row.sgxb, row.native)});
-    if (!row.mpx.crashed) {
-      gm_mpx.push_back(row.mpx.CyclesRatioOver(row.native));
-    }
-    if (!row.asan.crashed) {
-      gm_asan.push_back(row.asan.CyclesRatioOver(row.native));
-    }
-    if (!row.sgxb.crashed) {
-      gm_sgxb.push_back(row.sgxb.CyclesRatioOver(row.native));
+// Index of the overhead baseline (the registry's `baseline` scheme) within
+// `policies`; falls back to column 0 when the baseline wasn't selected.
+inline size_t BaselineIndex(const std::vector<PolicyKind>& policies) {
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (SchemeOf(policies[i]).baseline) {
+      return i;
     }
   }
+  return 0;
+}
+
+// Prints the Fig. 7/11-style table: per-benchmark performance and memory
+// ratios over native SGX, with a gmean row (crashes excluded, as the paper's
+// gmean necessarily does). Columns come from the rows' scheme list - one per
+// selected non-baseline scheme, in registry order, so the default four
+// produce exactly the paper's MPX | ASan | SGXBounds layout.
+inline void PrintOverheadTables(const std::string& title, const std::vector<SuiteRow>& rows) {
+  if (rows.empty()) {
+    return;
+  }
+  const std::vector<PolicyKind>& policies = rows[0].policies;
+  const size_t base = BaselineIndex(policies);
+  std::vector<size_t> cols;  // indices of the non-baseline columns
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (i != base) {
+      cols.push_back(i);
+    }
+  }
+
+  std::printf("\n== %s : performance overhead over native SGX ==\n", title.c_str());
+  std::vector<std::string> perf_head{"benchmark"};
+  for (const size_t c : cols) {
+    perf_head.emplace_back(SchemeOf(policies[c]).name);
+  }
+  Table perf(perf_head);
+  std::vector<std::vector<double>> gm(cols.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const RunResult& r = row.results[cols[k]];
+      cells.push_back(PerfCell(r, row.results[base]));
+      if (!r.crashed) {
+        gm[k].push_back(r.CyclesRatioOver(row.results[base]));
+      }
+    }
+    perf.AddRow(cells);
+  }
   perf.AddSeparator();
-  perf.AddRow({"gmean", FormatRatio(GeoMean(gm_mpx)), FormatRatio(GeoMean(gm_asan)),
-               FormatRatio(GeoMean(gm_sgxb))});
+  {
+    std::vector<std::string> cells{"gmean"};
+    for (size_t k = 0; k < cols.size(); ++k) {
+      cells.push_back(FormatRatio(GeoMean(gm[k])));
+    }
+    perf.AddRow(cells);
+  }
   perf.Print();
 
   std::printf("\n== %s : peak virtual memory over native SGX ==\n", title.c_str());
-  Table mem({"benchmark", "native MB", "MPX", "ASan", "SGXBounds"});
-  std::vector<double> mm_mpx;
-  std::vector<double> mm_asan;
-  std::vector<double> mm_sgxb;
+  std::vector<std::string> mem_head{"benchmark",
+                                    std::string(SchemeOf(policies[base]).id) + " MB"};
+  for (const size_t c : cols) {
+    mem_head.emplace_back(SchemeOf(policies[c]).name);
+  }
+  Table mem(mem_head);
+  std::vector<std::vector<double>> mm(cols.size());
   for (const auto& row : rows) {
-    mem.AddRow({row.name, FormatBytes(row.native.peak_vm_bytes),
-                MemCell(row.mpx, row.native), MemCell(row.asan, row.native),
-                MemCell(row.sgxb, row.native)});
-    if (!row.mpx.crashed) {
-      mm_mpx.push_back(row.mpx.VmRatioOver(row.native));
+    std::vector<std::string> cells{row.name, FormatBytes(row.results[base].peak_vm_bytes)};
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const RunResult& r = row.results[cols[k]];
+      cells.push_back(MemCell(r, row.results[base]));
+      if (!r.crashed) {
+        mm[k].push_back(r.VmRatioOver(row.results[base]));
+      }
     }
-    if (!row.asan.crashed) {
-      mm_asan.push_back(row.asan.VmRatioOver(row.native));
-    }
-    if (!row.sgxb.crashed) {
-      mm_sgxb.push_back(row.sgxb.VmRatioOver(row.native));
-    }
+    mem.AddRow(cells);
   }
   mem.AddSeparator();
-  mem.AddRow({"gmean", "", FormatRatio(GeoMean(mm_mpx)), FormatRatio(GeoMean(mm_asan)),
-              FormatRatio(GeoMean(mm_sgxb))});
+  {
+    std::vector<std::string> cells{"gmean", ""};
+    for (size_t k = 0; k < cols.size(); ++k) {
+      cells.push_back(FormatRatio(GeoMean(mm[k])));
+    }
+    mem.AddRow(cells);
+  }
   mem.Print();
 }
 
-// Assembles one SuiteRow from four policy results ordered as kAllPolicies.
-inline SuiteRow MakeSuiteRow(const std::string& name, const RunResult* results) {
+// Assembles one SuiteRow from per-policy results ordered as `policies`.
+inline SuiteRow MakeSuiteRow(const std::string& name, const RunResult* results,
+                             const std::vector<PolicyKind>& policies) {
   SuiteRow row;
   row.name = name;
-  row.native = results[0];
-  row.mpx = results[1];
-  row.asan = results[2];
-  row.sgxb = results[3];
+  row.policies = policies;
+  row.results.assign(results, results + policies.size());
   return row;
 }
 
@@ -303,11 +391,12 @@ inline SuiteRow MakeSuiteRow(const std::string& name, const RunResult* results) 
 // threads, and returns rows in workload order.
 inline std::vector<SuiteRow> RunSuiteRows(const std::vector<const WorkloadInfo*>& workloads,
                                           const MachineSpec& spec, const WorkloadConfig& cfg,
-                                          const char* tag) {
+                                          const char* tag,
+                                          const std::vector<PolicyKind>& policies) {
   std::vector<BenchJob> jobs;
-  jobs.reserve(workloads.size() * 4);
+  jobs.reserve(workloads.size() * policies.size());
   for (const WorkloadInfo* w : workloads) {
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       jobs.push_back({w->name + "/" + PolicyName(kind),
                       [w, kind, spec, cfg] { return w->run(kind, spec, PolicyOptions{}, cfg); }});
     }
@@ -316,12 +405,18 @@ inline std::vector<SuiteRow> RunSuiteRows(const std::vector<const WorkloadInfo*>
   std::vector<SuiteRow> rows;
   rows.reserve(workloads.size());
   for (size_t i = 0; i < workloads.size(); ++i) {
-    rows.push_back(MakeSuiteRow(workloads[i]->name, &results[i * 4]));
+    rows.push_back(MakeSuiteRow(workloads[i]->name, &results[i * policies.size()], policies));
   }
   return rows;
 }
 
-// Runs one workload under the four schemes (concurrently when
+inline std::vector<SuiteRow> RunSuiteRows(const std::vector<const WorkloadInfo*>& workloads,
+                                          const MachineSpec& spec, const WorkloadConfig& cfg,
+                                          const char* tag) {
+  return RunSuiteRows(workloads, spec, cfg, tag, PaperPolicyKinds());
+}
+
+// Runs one workload under the paper's four schemes (concurrently when
 // --bench_threads allows).
 inline SuiteRow RunAllPolicies(const WorkloadInfo& w, const MachineSpec& spec,
                                const WorkloadConfig& cfg) {
@@ -332,25 +427,9 @@ inline SuiteRow RunAllPolicies(const WorkloadInfo& w, const MachineSpec& spec,
 // classes are rejected at parse time instead of silently running the largest.
 inline std::vector<std::string> SizeClassChoices() { return {"XS", "S", "M", "L", "XL"}; }
 
-// Valid spellings for --policy flags (kAllPolicies order is native first).
-inline std::vector<std::string> PolicyChoices() { return {"native", "mpx", "asan", "sgxbounds"}; }
-
-inline PolicyKind ParsePolicyKind(const std::string& s) {
-  if (s == "native") {
-    return PolicyKind::kNative;
-  }
-  if (s == "mpx") {
-    return PolicyKind::kMpx;
-  }
-  if (s == "asan") {
-    return PolicyKind::kAsan;
-  }
-  if (s == "sgxbounds") {
-    return PolicyKind::kSgxBounds;
-  }
-  std::fprintf(stderr, "invalid policy '%s' (valid: native|mpx|asan|sgxbounds)\n", s.c_str());
-  std::exit(2);
-}
+// --policy spellings and parsing now come from the scheme registry
+// (registry.h: PolicyChoices(), ParsePolicyKind()) - the same id table that
+// backs PolicyName, trace headers and JSON keys.
 
 inline SizeClass ParseSizeClass(const std::string& s) {
   if (s == "XS") {

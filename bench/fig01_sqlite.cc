@@ -17,16 +17,33 @@ int main(int argc, char** argv) {
   FlagParser parser;
   uint64_t max_items = 400 * 1000;
   parser.AddUint("max_items", &max_items, "largest working-set size in rows");
+  AddPoliciesFlag(parser);
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   PrintReproHeader("fig01_sqlite", MachineSpec{});
   std::printf("Figure 1: SQLite-analogue speedtest vs working-set size (in-enclave)\n");
   std::printf("paper expectation: MPX crashes early; ASan up to ~3.1x slower and ~3.1x "
               "memory; SGXBounds <=1.35x and ~1.0x memory\n\n");
 
-  Table table({"rows", "native MB", "MPX perf", "ASan perf", "SGXBnd perf", "MPX mem",
-               "ASan mem", "SGXBnd mem"});
+  // Columns from the registry: one perf + one mem column per selected
+  // non-baseline scheme.
+  const size_t base = BaselineIndex(policies);
+  std::vector<size_t> cols;
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (i != base) {
+      cols.push_back(i);
+    }
+  }
+  std::vector<std::string> head{"rows", std::string(SchemeOf(policies[base]).id) + " MB"};
+  for (const size_t c : cols) {
+    head.push_back(std::string(SchemeOf(policies[c]).name) + " perf");
+  }
+  for (const size_t c : cols) {
+    head.push_back(std::string(SchemeOf(policies[c]).name) + " mem");
+  }
+  Table table(head);
 
   std::vector<uint64_t> sizes;
   for (uint64_t items = 25000; items <= max_items; items *= 2) {
@@ -34,7 +51,7 @@ int main(int argc, char** argv) {
   }
   std::vector<BenchJob> jobs;
   for (uint64_t items : sizes) {
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       jobs.push_back({std::to_string(items) + "/" + PolicyName(kind), [items, kind] {
                         SpeedtestConfig cfg;
                         cfg.items = items;
@@ -50,11 +67,16 @@ int main(int argc, char** argv) {
   }
   const std::vector<RunResult> results = RunBenchJobs(jobs, "fig01");
   for (size_t si = 0; si < sizes.size(); ++si) {
-    const RunResult* r = &results[si * 4];
-    const RunResult &native = r[0], &mpx = r[1], &asan = r[2], &sgxb = r[3];
-    table.AddRow({std::to_string(sizes[si]), FormatBytes(native.peak_vm_bytes),
-                  PerfCell(mpx, native), PerfCell(asan, native), PerfCell(sgxb, native),
-                  MemCell(mpx, native), MemCell(asan, native), MemCell(sgxb, native)});
+    const RunResult* r = &results[si * policies.size()];
+    std::vector<std::string> cells{std::to_string(sizes[si]),
+                                   FormatBytes(r[base].peak_vm_bytes)};
+    for (const size_t c : cols) {
+      cells.push_back(PerfCell(r[c], r[base]));
+    }
+    for (const size_t c : cols) {
+      cells.push_back(MemCell(r[c], r[base]));
+    }
+    table.AddRow(cells);
   }
   table.Print();
   return 0;

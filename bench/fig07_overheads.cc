@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   std::string size = "L";
   parser.AddInt("threads", &threads, "worker threads (paper: 8)");
   parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
+  AddPoliciesFlag(parser);
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   PrintReproHeader("fig07_overheads", MachineSpec{});
   std::printf("Figure 7: Phoenix + PARSEC overheads over native SGX (%lld threads)\n",
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
       workloads.push_back(w);
     }
   }
-  const std::vector<SuiteRow> rows = RunSuiteRows(workloads, spec, cfg, "fig07");
+  const std::vector<SuiteRow> rows = RunSuiteRows(workloads, spec, cfg, "fig07", policies);
   PrintOverheadTables("Fig.7 Phoenix+PARSEC (" + size + ", " + std::to_string(threads) +
                           " threads)",
                       rows);

@@ -20,8 +20,10 @@ int main(int argc, char** argv) {
                    "live: run the in-enclave suite; replay: record each "
                    "(benchmark, policy) once and derive BOTH the in-enclave and "
                    "out-of-enclave tables from that single recording set");
+  AddPoliciesFlag(parser);
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   MachineSpec spec;  // enclave mode on
   WorkloadConfig cfg;
@@ -43,10 +45,10 @@ int main(int argc, char** argv) {
     std::vector<SuiteRow> enclave_rows;
     std::vector<SuiteRow> native_rows;
     for (const WorkloadInfo* w : workloads) {
-      RunResult enc[4];
-      RunResult nat[4];
-      ParallelFor(4, ResolveBenchThreads(), [&](size_t i) {
-        const PolicyKind kind = kAllPolicies[i];
+      std::vector<RunResult> enc(policies.size());
+      std::vector<RunResult> nat(policies.size());
+      ParallelFor(policies.size(), ResolveBenchThreads(), [&](size_t i) {
+        const PolicyKind kind = policies[i];
         std::fprintf(stderr, "[fig11] recording %s/%s...\n", w->name.c_str(),
                      PolicyName(kind));
         const RecordedRun rec =
@@ -56,8 +58,8 @@ int main(int argc, char** argv) {
         native_cfg.enclave_mode = false;
         nat[i] = ToRunResult(ReplayTrace(rec.trace, native_cfg), rec.trace);
       });
-      enclave_rows.push_back(MakeSuiteRow(w->name, enc));
-      native_rows.push_back(MakeSuiteRow(w->name, nat));
+      enclave_rows.push_back(MakeSuiteRow(w->name, enc.data(), policies));
+      native_rows.push_back(MakeSuiteRow(w->name, nat.data(), policies));
     }
     PrintOverheadTables("Fig.11 SPEC in-enclave (" + size + ", recorded)", enclave_rows);
     PrintOverheadTables(
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::vector<SuiteRow> rows = RunSuiteRows(workloads, spec, cfg, "fig11");
+  const std::vector<SuiteRow> rows = RunSuiteRows(workloads, spec, cfg, "fig11", policies);
   PrintOverheadTables("Fig.11 SPEC in-enclave (" + size + ")", rows);
   return 0;
 }

@@ -14,8 +14,10 @@ int main(int argc, char** argv) {
   FlagParser parser;
   std::string size = "L";
   parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
+  AddPoliciesFlag(parser);
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   {
     MachineSpec header_spec;
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
   cfg.threads = 1;
 
   const std::vector<SuiteRow> rows =
-      RunSuiteRows(WorkloadRegistry::Instance().BySuite("spec"), spec, cfg, "fig12");
+      RunSuiteRows(WorkloadRegistry::Instance().BySuite("spec"), spec, cfg, "fig12", policies);
   PrintOverheadTables("Fig.12 SPEC outside enclave (" + size + ")", rows);
   return 0;
 }

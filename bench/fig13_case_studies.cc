@@ -122,6 +122,27 @@ std::string Cell(const ServicePoint& p, uint32_t clients, uint32_t servers) {
   return buf;
 }
 
+// The paper only published numbers for its four schemes; plugged-in schemes
+// get a "-" in the paper column.
+std::string PaperNumber(PolicyKind kind,
+                        std::initializer_list<std::pair<PolicyKind, const char*>> table) {
+  for (const auto& entry : table) {
+    if (entry.first == kind) {
+      return entry.second;
+    }
+  }
+  return "-";
+}
+
+std::vector<std::string> SchemeHead(const std::vector<PolicyKind>& policies,
+                                    const char* first) {
+  std::vector<std::string> head{first};
+  for (PolicyKind kind : policies) {
+    head.emplace_back(PolicyName(kind));
+  }
+  return head;
+}
+
 }  // namespace
 }  // namespace sgxb
 
@@ -134,37 +155,45 @@ int main(int argc, char** argv) {
   parser.AddUint("mc_items", &mc_items, "memcached preloaded items");
   parser.AddUint("mc_requests", &mc_requests, "memcached measured requests");
   parser.AddUint("web_requests", &web_requests, "httpd/nginx measured requests");
+  AddPoliciesFlag(parser);
+  // Case studies run every registered scheme by default (plugged-in schemes
+  // included), so a new policy shows up here without editing this driver.
+  PoliciesFlag() = "all";
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
+  const size_t n = policies.size();
   const uint32_t bench_threads = ResolveBenchThreads();
 
   PrintReproHeader("fig13_case_studies", MachineSpec{});
   std::printf("Figure 13: case studies (throughput @ latency per client count, and peak "
               "memory)\n\n");
 
-  const PolicyKind kinds[] = {PolicyKind::kNative, PolicyKind::kMpx, PolicyKind::kAsan,
-                              PolicyKind::kSgxBounds};
-
   // --- Memcached -------------------------------------------------------------
   {
     std::printf("== Memcached (memaslap-like: 90%% GET / 10%% SET, 1 KB values, zipf) ==\n");
-    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
-    ServicePoint points[4];
-    ParallelFor(4, bench_threads, [&](size_t k) {
-      std::fprintf(stderr, "[fig13] memcached %s...\n", PolicyName(kinds[k]));
-      points[k] = MeasureMemcached(kinds[k], 8, mc_items, 1024,
+    Table t(SchemeHead(policies, "clients"));
+    std::vector<ServicePoint> points(n);
+    ParallelFor(n, bench_threads, [&](size_t k) {
+      std::fprintf(stderr, "[fig13] memcached %s...\n", PolicyName(policies[k]));
+      points[k] = MeasureMemcached(policies[k], 8, mc_items, 1024,
                                    static_cast<uint32_t>(mc_requests));
     });
     for (uint32_t clients : {1u, 4u, 8u, 16u, 32u}) {
-      t.AddRow({std::to_string(clients), Cell(points[0], clients, 4),
-                Cell(points[1], clients, 4), Cell(points[2], clients, 4),
-                Cell(points[3], clients, 4)});
+      std::vector<std::string> row{std::to_string(clients)};
+      for (size_t k = 0; k < n; ++k) {
+        row.push_back(Cell(points[k], clients, 4));
+      }
+      t.AddRow(row);
     }
     t.Print();
     Table mem({"scheme", "peak memory", "paper"});
-    const char* paper_mem[] = {"71.6 MB", "641 MB", "649 MB", "71.8 MB"};
-    for (int k = 0; k < 4; ++k) {
-      mem.AddRow({PolicyName(kinds[k]), FormatBytes(points[k].peak_vm), paper_mem[k]});
+    for (size_t k = 0; k < n; ++k) {
+      mem.AddRow({PolicyName(policies[k]), FormatBytes(points[k].peak_vm),
+                  PaperNumber(policies[k], {{PolicyKind::kNative, "71.6 MB"},
+                                            {PolicyKind::kMpx, "641 MB"},
+                                            {PolicyKind::kAsan, "649 MB"},
+                                            {PolicyKind::kSgxBounds, "71.8 MB"}})});
     }
     mem.Print();
   }
@@ -172,31 +201,35 @@ int main(int argc, char** argv) {
   // --- Apache ---------------------------------------------------------------
   {
     std::printf("\n== Apache httpd (ab-like GETs; 25 worker threads; per-client pools) ==\n");
-    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
+    Table t(SchemeHead(policies, "clients"));
     const uint32_t client_counts[] = {8, 32, 64, 128};
-    std::vector<std::vector<ServicePoint>> per_kind(4);
-    for (int k = 0; k < 4; ++k) {
+    std::vector<std::vector<ServicePoint>> per_kind(n);
+    for (size_t k = 0; k < n; ++k) {
       per_kind[k].resize(4);
     }
-    ParallelFor(16, bench_threads, [&](size_t job) {
+    ParallelFor(n * 4, bench_threads, [&](size_t job) {
       const size_t k = job / 4;
       const size_t ci = job % 4;
       const uint32_t clients = client_counts[ci];
-      std::fprintf(stderr, "[fig13] httpd %s c=%u...\n", PolicyName(kinds[k]), clients);
-      per_kind[k][ci] = MeasureHttpd(kinds[k], clients, static_cast<uint32_t>(web_requests));
+      std::fprintf(stderr, "[fig13] httpd %s c=%u...\n", PolicyName(policies[k]), clients);
+      per_kind[k][ci] = MeasureHttpd(policies[k], clients,
+                                     static_cast<uint32_t>(web_requests));
     });
     for (size_t ci = 0; ci < 4; ++ci) {
-      t.AddRow({std::to_string(client_counts[ci]),
-                Cell(per_kind[0][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
-                Cell(per_kind[1][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
-                Cell(per_kind[2][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers),
-                Cell(per_kind[3][ci], client_counts[ci], Httpd<NativePolicy>::kWorkers)});
+      std::vector<std::string> row{std::to_string(client_counts[ci])};
+      for (size_t k = 0; k < n; ++k) {
+        row.push_back(Cell(per_kind[k][ci], client_counts[ci], kHttpdWorkers));
+      }
+      t.AddRow(row);
     }
     t.Print();
     Table mem({"scheme", "peak memory (64 clients)", "paper"});
-    const char* paper_mem[] = {"15.4 MB", "144 MB", "598 MB", "23.2 MB"};
-    for (int k = 0; k < 4; ++k) {
-      mem.AddRow({PolicyName(kinds[k]), FormatBytes(per_kind[k][2].peak_vm), paper_mem[k]});
+    for (size_t k = 0; k < n; ++k) {
+      mem.AddRow({PolicyName(policies[k]), FormatBytes(per_kind[k][2].peak_vm),
+                  PaperNumber(policies[k], {{PolicyKind::kNative, "15.4 MB"},
+                                            {PolicyKind::kMpx, "144 MB"},
+                                            {PolicyKind::kAsan, "598 MB"},
+                                            {PolicyKind::kSgxBounds, "23.2 MB"}})});
     }
     mem.Print();
   }
@@ -204,22 +237,27 @@ int main(int argc, char** argv) {
   // --- Nginx ----------------------------------------------------------------
   {
     std::printf("\n== Nginx (ab-like GETs of a 200 KB page; single worker) ==\n");
-    Table t({"clients", "SGX", "MPX", "ASan", "SGXBounds"});
-    ServicePoint points[4];
-    ParallelFor(4, bench_threads, [&](size_t k) {
-      std::fprintf(stderr, "[fig13] nginx %s...\n", PolicyName(kinds[k]));
-      points[k] = MeasureNginx(kinds[k], static_cast<uint32_t>(web_requests));
+    Table t(SchemeHead(policies, "clients"));
+    std::vector<ServicePoint> points(n);
+    ParallelFor(n, bench_threads, [&](size_t k) {
+      std::fprintf(stderr, "[fig13] nginx %s...\n", PolicyName(policies[k]));
+      points[k] = MeasureNginx(policies[k], static_cast<uint32_t>(web_requests));
     });
     for (uint32_t clients : {1u, 2u, 4u, 8u}) {
-      t.AddRow({std::to_string(clients), Cell(points[0], clients, 1),
-                Cell(points[1], clients, 1), Cell(points[2], clients, 1),
-                Cell(points[3], clients, 1)});
+      std::vector<std::string> row{std::to_string(clients)};
+      for (size_t k = 0; k < n; ++k) {
+        row.push_back(Cell(points[k], clients, 1));
+      }
+      t.AddRow(row);
     }
     t.Print();
     Table mem({"scheme", "peak memory", "paper"});
-    const char* paper_mem[] = {"0.9 MB", "37.0 MB", "893 MB", "1.0 MB"};
-    for (int k = 0; k < 4; ++k) {
-      mem.AddRow({PolicyName(kinds[k]), FormatBytes(points[k].peak_vm), paper_mem[k]});
+    for (size_t k = 0; k < n; ++k) {
+      mem.AddRow({PolicyName(policies[k]), FormatBytes(points[k].peak_vm),
+                  PaperNumber(policies[k], {{PolicyKind::kNative, "0.9 MB"},
+                                            {PolicyKind::kMpx, "37.0 MB"},
+                                            {PolicyKind::kAsan, "893 MB"},
+                                            {PolicyKind::kSgxBounds, "1.0 MB"}})});
     }
     mem.Print();
   }

@@ -112,7 +112,9 @@ int main(int argc, char** argv) {
   parser.AddString("json_out", &json_out, "JSON output path");
   parser.AddInt("bench_threads", &BenchThreadsFlag(),
                 "host threads for dispatching independent runs (0 = hardware concurrency)");
+  AddPoliciesFlag(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   FaultPlan custom_plan;
   const bool custom = !faults_spec.empty();
@@ -148,7 +150,7 @@ int main(int argc, char** argv) {
   const int first_class = custom ? kClassCount : 0;  // kClassCount = "custom" pseudo-class
   if (custom) {
     plans.push_back(custom_plan);
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       cells.push_back({kind, first_class, 0, 0});
     }
   } else {
@@ -163,7 +165,7 @@ int main(int argc, char** argv) {
                                                     campaign_seed, n_events, span));
           plan_index = static_cast<int>(plans.size()) - 1;
         }
-        for (PolicyKind kind : kAllPolicies) {
+        for (PolicyKind kind : policies) {
           cells.push_back({kind, cls, c, plan_index});
         }
       }
@@ -195,10 +197,14 @@ int main(int argc, char** argv) {
     return cls == kClassCount ? "custom" : kClassNames[cls];
   };
   std::printf("\n== outcome matrix ==\n");
-  Table matrix({"fault class", "native", "MPX", "ASan", "SGXBounds"});
+  std::vector<std::string> matrix_head{"fault class"};
+  for (PolicyKind kind : policies) {
+    matrix_head.emplace_back(SchemeOf(kind).id);
+  }
+  Table matrix(matrix_head);
   for (int cls = custom ? kClassCount : 0; cls < total_classes; ++cls) {
     std::vector<std::string> row = {class_name(cls)};
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       std::vector<Outcome> outcomes;
       for (const CellRun& cell : cells) {
         if (cell.fault_class == cls && cell.policy == kind) {
@@ -216,7 +222,7 @@ int main(int argc, char** argv) {
   Table detail({"fault class", "policy", "inj", "skip", "traps", "retried", "recovered",
                 "contained", "served", "dropped", "mismatch"});
   for (int cls = custom ? kClassCount : 0; cls < total_classes; ++cls) {
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       uint64_t inj = 0, skip = 0, traps = 0, retried = 0, recovered = 0, contained = 0,
                served = 0, dropped = 0, mismatch = 0;
       bool any = false;
@@ -259,6 +265,15 @@ int main(int argc, char** argv) {
       const CellRun& c = cells[i];
       static const char* const kOutcomeNames[] = {"clean", "detected", "silent", "damaged",
                                                   "fatal"};
+      // One entry per TrapKind; sized from the enum so a new trap kind
+      // (e.g. a plugged-in scheme's) extends the array automatically.
+      std::string traps_by_kind;
+      for (uint32_t t = 0; t < kTrapKindCount; ++t) {
+        if (t != 0) {
+          traps_by_kind += ", ";
+        }
+        traps_by_kind += std::to_string(c.run.recovery_stats.trap_by_kind[t]);
+      }
       std::fprintf(f,
                    "%s\n    {\"class\": \"%s\", \"policy\": \"%s\", \"campaign\": %u, "
                    "\"plan\": \"%s\", \"outcome\": \"%s\", \"cycles\": %llu, "
@@ -266,7 +281,7 @@ int main(int argc, char** argv) {
                    "\"oracle_mismatches\": %llu, \"injected\": %llu, \"skipped\": %llu, "
                    "\"retried\": %llu, \"recovered\": %llu, \"contained\": %llu, "
                    "\"watchdog_kills\": %llu, \"crashed\": %s, \"trap\": \"%s\", "
-                   "\"traps_by_kind\": [%llu, %llu, %llu, %llu, %llu, %llu]}",
+                   "\"traps_by_kind\": [%s]}",
                    i == 0 ? "" : ",", class_name(c.fault_class), PolicyName(c.policy),
                    c.campaign,
                    c.plan_index >= 0 ? JsonEscape(plans[c.plan_index].ToSpec()).c_str() : "",
@@ -283,13 +298,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(c.run.recovery_stats.contained),
                    static_cast<unsigned long long>(c.run.recovery_stats.watchdog_kills),
                    c.run.crashed ? "true" : "false",
-                   c.run.crashed ? TrapKindName(c.run.trap) : "",
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[0]),
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[1]),
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[2]),
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[3]),
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[4]),
-                   static_cast<unsigned long long>(c.run.recovery_stats.trap_by_kind[5]));
+                   c.run.crashed ? TrapKindName(c.run.trap) : "", traps_by_kind.c_str());
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

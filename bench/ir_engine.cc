@@ -42,8 +42,10 @@ int main(int argc, char** argv) {
   int64_t repeats = 1;
   parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddInt("repeats", &repeats, "timed repetitions per (workload, policy, engine)");
+  AddPoliciesFlag(parser);
   AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
+  const std::vector<PolicyKind> policies = ResolvePolicies();
 
   MachineSpec spec;
   PrintReproHeader("ir_engine", spec);
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
   // host-time measurement without touching simulated results.
   std::vector<BenchJob> jobs;
   for (const WorkloadInfo* w : workloads) {
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       for (const IrEngine engine : engines) {
         for (int64_t rep = 0; rep < repeats; ++rep) {
           PolicyOptions options;
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
   const size_t per_engine = static_cast<size_t>(repeats);
   for (const WorkloadInfo* w : workloads) {
     uint64_t native_cycles = 0;
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       const RunResult& ref = results[j];
       const RunResult& thr = results[j + per_engine];
       bool match = true;
@@ -114,14 +116,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nall %zu (workload, policy) pairs bit-identical across engines\n",
-              workloads.size() * 4);
+              workloads.size() * policies.size());
 
   // Host-side speedup, from the same timed rows --json writes. Stderr only:
   // stdout must not depend on host speed.
   double ref_total = 0;
   double thr_total = 0;
   for (const WorkloadInfo* w : workloads) {
-    for (PolicyKind kind : kAllPolicies) {
+    for (PolicyKind kind : policies) {
       for (int64_t rep = 0; rep < repeats; ++rep) {
         const std::string suffix = repeats > 1 ? "#" + std::to_string(rep) : "";
         const std::string base = w->name + "/" + std::string(PolicyName(kind)) + "/";

@@ -89,8 +89,11 @@ int main(int argc, char** argv) {
   row("EPC faults", c.epc_faults);
   row("minor faults", c.minor_faults);
   t.AddRow({"peak virtual memory", FormatBytes(r.peak_vm_bytes)});
-  if (kind == PolicyKind::kMpx) {
-    row("MPX bounds tables", r.mpx_bt_count);
+  // Scheme-specific extra metric (e.g. MPX's bounds-table count), declared
+  // by the scheme's registry entry.
+  const SchemeDescriptor& scheme = SchemeOf(kind);
+  if (scheme.extra_metric != nullptr) {
+    row(scheme.extra_metric_label, scheme.extra_metric(r));
   }
   t.Print();
   return 0;

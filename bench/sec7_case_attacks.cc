@@ -131,15 +131,20 @@ int main() {
       {"CVE-2013-2028 (Nginx analogue)", NginxOutcome},
   };
 
+  // One row per registered scheme; schemes that claim boundless mode get a
+  // second row with the overlay enabled.
   for (const Row& row : rows) {
     std::printf("== %s ==\n", row.name);
     Table t({"defense", "outcome"});
-    t.AddRow({"native SGX", row.fn(PolicyKind::kNative, OobPolicy::kFailFast)});
-    t.AddRow({"MPX", row.fn(PolicyKind::kMpx, OobPolicy::kFailFast)});
-    t.AddRow({"ASan", row.fn(PolicyKind::kAsan, OobPolicy::kFailFast)});
-    t.AddRow({"SGXBounds (fail-fast)", row.fn(PolicyKind::kSgxBounds, OobPolicy::kFailFast)});
-    t.AddRow(
-        {"SGXBounds (boundless)", row.fn(PolicyKind::kSgxBounds, OobPolicy::kBoundless)});
+    for (const SchemeDescriptor* d : AllSchemes()) {
+      const bool boundless = d->caps.supports_boundless;
+      t.AddRow({boundless ? std::string(d->name) + " (fail-fast)" : std::string(d->name),
+                row.fn(d->kind, OobPolicy::kFailFast)});
+      if (boundless) {
+        t.AddRow({std::string(d->name) + " (boundless)",
+                  row.fn(d->kind, OobPolicy::kBoundless)});
+      }
+    }
     t.Print();
     std::printf("\n");
   }

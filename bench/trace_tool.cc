@@ -26,21 +26,6 @@
 namespace sgxb {
 namespace {
 
-bool ParsePolicy(const std::string& s, PolicyKind* kind) {
-  if (s == "native" || s == "sgx") {
-    *kind = PolicyKind::kNative;
-  } else if (s == "asan") {
-    *kind = PolicyKind::kAsan;
-  } else if (s == "mpx") {
-    *kind = PolicyKind::kMpx;
-  } else if (s == "sgxbounds") {
-    *kind = PolicyKind::kSgxBounds;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 void PrintHeader(const TraceHeader& h) {
   std::printf("workload:      %s%s%s\n", h.workload.c_str(), h.note.empty() ? "" : "  # ",
               h.note.c_str());
@@ -84,8 +69,15 @@ int Record(FlagParser& parser, int argc, char** argv) {
   bool enclave = true;
   uint64_t event_limit = 0;
   parser.AddString("workload", &workload, "workload name (see run_workload --list)");
-  parser.AddChoice("policy", &policy, {"native", "sgx", "mpx", "asan", "sgxbounds"},
-                   "memory-safety scheme (sgx = native)");
+  // Registry ids plus their aliases (e.g. "sgx" for native).
+  std::vector<std::string> policy_choices;
+  for (const SchemeDescriptor* d : AllSchemes()) {
+    policy_choices.push_back(d->id);
+    for (const char* alias : d->aliases) {
+      policy_choices.push_back(alias);
+    }
+  }
+  parser.AddChoice("policy", &policy, policy_choices, "memory-safety scheme (sgx = native)");
   parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddString("out", &out, "output .sgxtrace path (default <workload>.sgxtrace)");
   parser.AddString("note", &note, "free-form note stored in the trace header");
@@ -100,11 +92,12 @@ int Record(FlagParser& parser, int argc, char** argv) {
                  "retain only the first N events (golden prefix traces); 0 = all");
   parser.Parse(argc, argv);
 
-  PolicyKind kind;
-  if (!ParsePolicy(policy, &kind)) {
+  const SchemeDescriptor* scheme = FindScheme(policy);
+  if (scheme == nullptr) {
     std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
     return 1;
   }
+  const PolicyKind kind = scheme->kind;
   const WorkloadInfo* info = WorkloadRegistry::Instance().Find(workload);
   if (info == nullptr) {
     std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());

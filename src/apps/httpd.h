@@ -26,13 +26,17 @@
 
 namespace sgxb {
 
+// Worker-thread count of the modelled Apache (paper: 25 threads). A plain
+// constant so drivers can reference it without naming a concrete policy.
+inline constexpr uint32_t kHttpdWorkers = 25;
+
 template <typename P>
 class Httpd {
  public:
   using Ptr = typename P::Ptr;
 
   static constexpr uint32_t kPoolChunk = 8 * 1024;  // page-aligned pool chunks
-  static constexpr uint32_t kWorkers = 25;          // paper: Apache used 25 threads
+  static constexpr uint32_t kWorkers = kHttpdWorkers;
 
   Httpd(P* policy, Cpu* cpu, SyscallShim* shim, uint32_t page_bytes = 16 * 1024)
       : policy_(policy), cpu_(cpu), shim_(shim), page_bytes_(page_bytes) {

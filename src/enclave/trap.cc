@@ -21,6 +21,8 @@ const char* TrapKindName(TrapKind kind) {
       return "OUT-OF-MEMORY";
     case TrapKind::kIllegalInstruction:
       return "SIGILL";
+    case TrapKind::kPolicyViolation:
+      return "POLICY-VIOLATION";
   }
   std::abort();  // unreachable for in-range values
 }

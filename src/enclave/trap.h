@@ -29,12 +29,16 @@ enum class TrapKind : uint8_t {
   // Guest program invoked an illegal operation (e.g. `int` in shellcode,
   // which SGX forbids - SS6.6).
   kIllegalInstruction,
+  // Generic memory-safety violation raised by a registry-plugged scheme that
+  // has no dedicated trap kind of its own (e.g. l4ptr). The four paper
+  // schemes keep their historical kinds for trace-format stability.
+  kPolicyViolation,
 };
 
 // Number of TrapKind values; per-kind counter arrays size themselves with
 // this (keep in sync with the enum — TrapKindName's exhaustive switch flags
 // additions).
-inline constexpr uint32_t kTrapKindCount = 6;
+inline constexpr uint32_t kTrapKindCount = 7;
 
 const char* TrapKindName(TrapKind kind);
 

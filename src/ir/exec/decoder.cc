@@ -171,13 +171,16 @@ class Decoder {
     size_t a = i + 2;
     bool has_check = false;
     bool upper = false;
+    bool scheme = false;
     const IrInstr& chk = instrs[a];
-    if (chk.op == IrOp::kSgxCheck || chk.op == IrOp::kSgxCheckUpper) {
+    if (chk.op == IrOp::kSgxCheck || chk.op == IrOp::kSgxCheckUpper ||
+        chk.op == IrOp::kSchemeCheck) {
       if (a + 1 >= end || chk.args.empty() || chk.args[0] != mask.id) {
         return false;
       }
       has_check = true;
       upper = chk.op == IrOp::kSgxCheckUpper;
+      scheme = chk.op == IrOp::kSchemeCheck;
       ++a;
     }
     const IrInstr& acc = instrs[a];
@@ -188,12 +191,16 @@ class Decoder {
     }
     if (acc.op == IrOp::kLoad && !acc.args.empty() && acc.args[0] == mask.id) {
       *fused = has_check
-                   ? (upper ? UOp::kGepMaskSgxCheckUpperLoad : UOp::kGepMaskSgxCheckLoad)
+                   ? (scheme ? UOp::kGepMaskSchemeCheckLoad
+                             : upper ? UOp::kGepMaskSgxCheckUpperLoad
+                                     : UOp::kGepMaskSgxCheckLoad)
                    : UOp::kGepMaskLoad;
     } else if (acc.op == IrOp::kStore && acc.args.size() >= 2 &&
                acc.args[1] == mask.id) {
       *fused = has_check
-                   ? (upper ? UOp::kGepMaskSgxCheckUpperStore : UOp::kGepMaskSgxCheckStore)
+                   ? (scheme ? UOp::kGepMaskSchemeCheckStore
+                             : upper ? UOp::kGepMaskSgxCheckUpperStore
+                                     : UOp::kGepMaskSgxCheckStore)
                    : UOp::kGepMaskStore;
     } else {
       return false;
@@ -433,6 +440,8 @@ class Decoder {
           op = UOp::kAllocaSgx;
         } else if (in.symbol == "asan") {
           op = UOp::kAllocaAsan;
+        } else if (in.symbol == "scheme") {
+          op = UOp::kAllocaScheme;
         } else if (options_.track_mpx) {
           op = UOp::kAllocaNativeMpx;
         }
@@ -447,6 +456,8 @@ class Decoder {
           op = UOp::kMallocSgx;
         } else if (in.symbol == "asan") {
           op = UOp::kMallocAsan;
+        } else if (in.symbol == "scheme") {
+          op = UOp::kMallocScheme;
         } else if (options_.track_mpx) {
           op = UOp::kMallocNativeMpx;
         }
@@ -461,6 +472,8 @@ class Decoder {
           op = UOp::kFreeSgx;
         } else if (in.symbol == "asan") {
           op = UOp::kFreeAsan;
+        } else if (in.symbol == "scheme") {
+          op = UOp::kFreeScheme;
         }
         MicroOp& u = Emit(op);
         u.a = in.args[0];
@@ -509,6 +522,19 @@ class Decoder {
       }
       case IrOp::kSgxCheckRange: {
         MicroOp& u = Emit(UOp::kSgxCheckRange);
+        u.a = in.args[0];
+        u.b = in.args[1];
+        break;
+      }
+      case IrOp::kSchemeCheck: {
+        MicroOp& u = Emit(UOp::kSchemeCheck);
+        u.a = in.args[0];
+        u.imm = in.imm;
+        u.flag = in.imm2 != 0 ? 1 : 0;
+        break;
+      }
+      case IrOp::kSchemeCheckRange: {
+        MicroOp& u = Emit(UOp::kSchemeCheckRange);
         u.a = in.args[0];
         u.b = in.args[1];
         break;
@@ -789,6 +815,13 @@ const char* UOpName(UOp op) {
     case UOp::kGepMaskSgxCheckUpperStore: return "gep+mask+check.ub+store";
     case UOp::kCallAbs64: return "call.abs64";
     case UOp::kCallNop: return "call.nop";
+    case UOp::kAllocaScheme: return "alloca.scheme";
+    case UOp::kMallocScheme: return "malloc.scheme";
+    case UOp::kFreeScheme: return "free.scheme";
+    case UOp::kSchemeCheck: return "schemecheck";
+    case UOp::kSchemeCheckRange: return "schemecheck.range";
+    case UOp::kGepMaskSchemeCheckLoad: return "gep+mask+scheck+load";
+    case UOp::kGepMaskSchemeCheckStore: return "gep+mask+scheck+store";
     case UOp::kCount: break;
   }
   return "?";

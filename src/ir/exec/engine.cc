@@ -116,6 +116,9 @@ uint64_t Interpreter::RunDecoded(const DecodedFunction& df, Cpu& cpu,
         &&L_kGepMaskSgxCheckLoad, &&L_kGepMaskSgxCheckUpperLoad,
         &&L_kGepMaskSgxCheckStore, &&L_kGepMaskSgxCheckUpperStore,
         &&L_kCallAbs64, &&L_kCallNop,
+        &&L_kAllocaScheme, &&L_kMallocScheme, &&L_kFreeScheme,
+        &&L_kSchemeCheck, &&L_kSchemeCheckRange,
+        &&L_kGepMaskSchemeCheckLoad, &&L_kGepMaskSchemeCheckStore,
     };
     static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
                       static_cast<size_t>(UOp::kCount),
@@ -744,6 +747,85 @@ uint64_t Interpreter::RunDecoded(const DecodedFunction& df, Cpu& cpu,
       if (pc->dst != 0) {
         v[pc->dst] = 0;
       }
+    }
+    VMNEXT();
+
+    VMCASE(kAllocaScheme) {
+      SGXB_STEP();
+      SGXB_FLUSH();
+      v[pc->dst] = scheme_->IrAlloca(cpu, *stack_, static_cast<uint32_t>(pc->imm));
+    }
+    VMNEXT();
+    VMCASE(kMallocScheme) {
+      SGXB_STEP();
+      SGXB_FLUSH();
+      v[pc->dst] = scheme_->IrMalloc(cpu, static_cast<uint32_t>(v[pc->a]));
+    }
+    VMNEXT();
+    VMCASE(kFreeScheme) {
+      SGXB_STEP();
+      SGXB_FLUSH();
+      scheme_->IrFree(cpu, v[pc->a]);
+    }
+    VMNEXT();
+    VMCASE(kSchemeCheck) {
+      SGXB_STEP();
+      SGXB_FLUSH();
+      ++checks;
+      scheme_->IrCheck(cpu, v[pc->a], static_cast<uint32_t>(pc->imm),
+                       pc->flag != 0 ? AccessType::kWrite : AccessType::kRead);
+    }
+    VMNEXT();
+    VMCASE(kSchemeCheckRange) {
+      SGXB_STEP();
+      SGXB_FLUSH();
+      ++checks;
+      scheme_->IrCheckRange(cpu, v[pc->a], v[pc->b]);
+    }
+    VMNEXT();
+    VMCASE(kGepMaskSchemeCheckLoad) {
+      SGXB_STEP();
+      pend_alu += 2;
+      const uint64_t packed = static_cast<uint64_t>(pc->imm);
+      const uint64_t t =
+          v[pc->a] + v[pc->b] * (packed >> 32) + (packed & 0xffffffffULL);
+      v[pc->c] = t;
+      SGXB_STEP();
+      pend_alu += 2;
+      const uint64_t p = (v[pc->a] & 0xffffffff00000000ULL) | (t & 0xffffffffULL);
+      v[static_cast<uint32_t>(pc->imm2)] = p;
+      SGXB_STEP();
+      ++checks;
+      SGXB_FLUSH();
+      scheme_->IrCheck(cpu, p, pc->aux,
+                       pc->flag != 0 ? AccessType::kWrite : AccessType::kRead);
+      SGXB_STEP();
+      ++loads;
+      uint64_t raw = 0;
+      enclave_->LoadBytes(cpu, static_cast<uint32_t>(p), &raw, pc->aux);
+      v[pc->dst] = TruncateToType(pc->type, raw);
+    }
+    VMNEXT();
+    VMCASE(kGepMaskSchemeCheckStore) {
+      SGXB_STEP();
+      pend_alu += 2;
+      const uint64_t packed = static_cast<uint64_t>(pc->imm);
+      const uint64_t t =
+          v[pc->a] + v[pc->b] * (packed >> 32) + (packed & 0xffffffffULL);
+      v[pc->c] = t;
+      SGXB_STEP();
+      pend_alu += 2;
+      const uint64_t p = (v[pc->a] & 0xffffffff00000000ULL) | (t & 0xffffffffULL);
+      v[static_cast<uint32_t>(pc->imm2)] = p;
+      SGXB_STEP();
+      ++checks;
+      SGXB_FLUSH();
+      scheme_->IrCheck(cpu, p, pc->aux,
+                       pc->flag != 0 ? AccessType::kWrite : AccessType::kRead);
+      SGXB_STEP();
+      ++stores;
+      const uint64_t raw = TruncateToType(pc->type, v[pc->dst]);
+      enclave_->StoreBytes(cpu, static_cast<uint32_t>(p), &raw, pc->aux);
     }
     VMNEXT();
 

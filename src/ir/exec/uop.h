@@ -128,6 +128,18 @@ enum class UOp : uint8_t {
   // Calls (symbol resolved at decode time).
   kCallAbs64,  // dst, a
   kCallNop,    // dst (0 = no result)
+  // Registry-plugged scheme forms (symbol "scheme" / kSchemeCheck*), all
+  // dispatched through the attached IrSchemeRuntime. Appended at the end so
+  // existing uop values stay stable.
+  kAllocaScheme,      // dst, imm = byte size
+  kMallocScheme,      // dst, a = size slot
+  kFreeScheme,        // a = ptr slot
+  kSchemeCheck,       // a = ptr, imm = access size, flag = is-write
+  kSchemeCheckRange,  // a = ptr, b = extent slot
+  // Fused gep+mask+check+access, same encoding as kGepMaskSgxCheckLoad/Store
+  // but checking through the scheme runtime.
+  kGepMaskSchemeCheckLoad,
+  kGepMaskSchemeCheckStore,
   kCount
 };
 

@@ -172,6 +172,8 @@ uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
               const uint32_t base = stack_->Alloca(cpu, size + 2 * rz, 16);
               asan_->RegisterObject(cpu, base + rz, size, AsanRuntime::kShadowStackRedzone);
               values[in.id] = base + rz;
+            } else if (in.symbol == "scheme") {
+              values[in.id] = scheme_->IrAlloca(cpu, *stack_, size);
             } else {
               values[in.id] = stack_->Alloca(cpu, size);
               if (mpx_ != nullptr) {
@@ -186,6 +188,8 @@ uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
               values[in.id] = sgx_->Malloc(cpu, size);
             } else if (in.symbol == "asan") {
               values[in.id] = asan_->Malloc(cpu, size);
+            } else if (in.symbol == "scheme") {
+              values[in.id] = scheme_->IrMalloc(cpu, size);
             } else {
               values[in.id] = heap_->Alloc(cpu, size);
               if (mpx_ != nullptr) {
@@ -199,6 +203,8 @@ uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
               sgx_->Free(cpu, values[in.args[0]]);
             } else if (in.symbol == "asan") {
               asan_->Free(cpu, addr_of(values[in.args[0]]));
+            } else if (in.symbol == "scheme") {
+              scheme_->IrFree(cpu, values[in.args[0]]);
             } else {
               heap_->Free(cpu, addr_of(values[in.args[0]]));
             }
@@ -264,6 +270,17 @@ uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
             ++stats_.checks;
             mpx_->BndCheck(cpu, bounds_or_init(in.args[0]), addr_of(values[in.args[0]]),
                            static_cast<uint32_t>(in.imm));
+            break;
+          }
+          case IrOp::kSchemeCheck: {
+            ++stats_.checks;
+            scheme_->IrCheck(cpu, values[in.args[0]], static_cast<uint32_t>(in.imm),
+                             in.imm2 != 0 ? AccessType::kWrite : AccessType::kRead);
+            break;
+          }
+          case IrOp::kSchemeCheckRange: {
+            ++stats_.checks;
+            scheme_->IrCheckRange(cpu, values[in.args[0]], values[in.args[1]]);
             break;
           }
           case IrOp::kMpxLdx: {

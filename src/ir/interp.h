@@ -30,6 +30,7 @@
 #include "src/common/ir_engine.h"
 #include "src/ir/exec/decode_cache.h"
 #include "src/ir/ir.h"
+#include "src/ir/scheme_rt.h"
 #include "src/mpx/mpx_runtime.h"
 #include "src/runtime/stack.h"
 #include "src/sgxbounds/bounds_runtime.h"
@@ -52,6 +53,9 @@ class Interpreter {
   void AttachSgx(SgxBoundsRuntime* rt) { sgx_ = rt; }
   void AttachAsan(AsanRuntime* rt) { asan_ = rt; }
   void AttachMpx(MpxRuntime* rt) { mpx_ = rt; }
+  // Generic hook for registry-plugged schemes (kSchemeCheck/"scheme" opcodes
+  // emitted by RunSchemePass).
+  void AttachScheme(IrSchemeRuntime* rt) { scheme_ = rt; }
 
   // Selects the execution engine for subsequent Run() calls. kDefault
   // resolves to the process default (see src/common/ir_engine.h).
@@ -83,6 +87,7 @@ class Interpreter {
   SgxBoundsRuntime* sgx_ = nullptr;
   AsanRuntime* asan_ = nullptr;
   MpxRuntime* mpx_ = nullptr;
+  IrSchemeRuntime* scheme_ = nullptr;
   InterpStats stats_;
   IrEngine engine_ = IrEngine::kDefault;
   DecodeCache cache_;

@@ -99,6 +99,10 @@ const char* IrOpName(IrOp op) {
       return "mpx.bndldx";
     case IrOp::kMpxStx:
       return "mpx.bndstx";
+    case IrOp::kSchemeCheck:
+      return "scheme.check";
+    case IrOp::kSchemeCheckRange:
+      return "scheme.check.range";
     case IrOp::kCall:
       return "call";
   }

@@ -69,6 +69,12 @@ enum class IrOp : uint8_t {
   kMpxCheck,       // args: ptr; imm = access size (bounds from side table)
   kMpxLdx,         // args: loaded-ptr, slot-ptr   (attach bounds to value)
   kMpxStx,         // args: stored-ptr, slot-ptr   (write bounds table entry)
+  // Generic registry-scheme instrumentation: dispatched to the attached
+  // IrSchemeRuntime (Interpreter::AttachScheme). Emitted by RunSchemePass
+  // for schemes plugged in via src/policy/<scheme>/ (e.g. l4ptr); the four
+  // paper schemes keep their dedicated opcodes above.
+  kSchemeCheck,       // args: ptr; imm = access size, imm2 = is-write
+  kSchemeCheckRange,  // args: ptr, extent-in-bytes  (hoisted loop check)
   // Misc.
   kCall,  // symbol = runtime function; args passed through (see interp)
 };

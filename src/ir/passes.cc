@@ -164,7 +164,14 @@ std::vector<LoopInfo> FindCountedLoops(const IrFunction& fn) {
   return loops;
 }
 
-SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
+namespace {
+
+// Shared implementation of the tagged-pointer lowering (SS5.1 + SS4.4):
+// the SGXBounds pass and the generic registry-scheme pass differ only in
+// which check opcodes they emit and which allocation symbol they stamp.
+SgxPassStats RunTaggedPtrPassImpl(IrFunction& fn, const SgxPassOptions& options,
+                                  IrOp check_op, IrOp range_check_op,
+                                  const char* symbol) {
   SgxPassStats stats;
   const auto defs = BuildDefs(fn);
   const auto loops = FindCountedLoops(fn);
@@ -248,7 +255,7 @@ SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
         case IrOp::kMalloc:
         case IrOp::kAlloca:
         case IrOp::kFree:
-          instr.symbol = "sgx";
+          instr.symbol = symbol;
           out.push_back(instr);
           break;
         case IrOp::kGep: {
@@ -278,7 +285,7 @@ SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
             ++stats.checks_hoisted;
           } else {
             IrInstr check;
-            check.op = IrOp::kSgxCheck;
+            check.op = check_op;
             check.args = {ptr};
             check.imm = IrTypeSize(instr.type);
             check.imm2 = instr.op == IrOp::kStore ? 1 : 0;
@@ -323,13 +330,24 @@ SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
     add.args = {mul.id, c2.id};
     seq.push_back(add);
     IrInstr check;
-    check.op = IrOp::kSgxCheckRange;
+    check.op = range_check_op;
     check.args = {rc.base, add.id};
     seq.push_back(check);
     instrs.insert(instrs.end() - 1, seq.begin(), seq.end());
   }
 
   return stats;
+}
+
+}  // namespace
+
+SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
+  return RunTaggedPtrPassImpl(fn, options, IrOp::kSgxCheck, IrOp::kSgxCheckRange, "sgx");
+}
+
+SgxPassStats RunSchemePass(IrFunction& fn, const SgxPassOptions& options) {
+  return RunTaggedPtrPassImpl(fn, options, IrOp::kSchemeCheck, IrOp::kSchemeCheckRange,
+                              "scheme");
 }
 
 BaselinePassStats RunAsanPass(IrFunction& fn) {

@@ -42,6 +42,11 @@ struct SgxPassStats {
 
 SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options = {});
 
+// Same lowering for a registry-plugged tagged-pointer scheme: emits the
+// generic kSchemeCheck/kSchemeCheckRange opcodes and the "scheme" allocation
+// symbol, dispatched at run time to the attached IrSchemeRuntime.
+SgxPassStats RunSchemePass(IrFunction& fn, const SgxPassOptions& options = {});
+
 struct BaselinePassStats {
   uint32_t checks_inserted = 0;
   uint32_t ptr_loads_instrumented = 0;   // MPX bndldx

@@ -4,18 +4,22 @@
 // against), so loop bodies pay the per-access shadow load - the locality
 // cost the paper measures on matrixmul (SS6.4).
 
-#ifndef SGXBOUNDS_SRC_POLICY_ASAN_POLICY_H_
-#define SGXBOUNDS_SRC_POLICY_ASAN_POLICY_H_
+#ifndef SGXBOUNDS_SRC_POLICY_ASAN_ASAN_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_ASAN_ASAN_POLICY_H_
 
 #include "src/asan/asan_runtime.h"
 #include "src/fault/fault.h"
 #include "src/policy/policy.h"
+#include "src/policy/registry.h"
 
 namespace sgxb {
 
 class AsanPolicy {
  public:
   static constexpr PolicyKind kKind = PolicyKind::kAsan;
+
+  // Registry entry (defined in this scheme's scheme.cc).
+  static const SchemeDescriptor& Descriptor();
 
   struct Ptr {
     uint32_t addr = 0;
@@ -168,4 +172,4 @@ class AsanPolicy {
 
 }  // namespace sgxb
 
-#endif  // SGXBOUNDS_SRC_POLICY_ASAN_POLICY_H_
+#endif  // SGXBOUNDS_SRC_POLICY_ASAN_ASAN_POLICY_H_

@@ -1,0 +1,24 @@
+// ASan IR lowering: shadow-check instrumentation (kAsanCheck opcodes).
+
+#ifndef SGXBOUNDS_SRC_POLICY_ASAN_IR_LOWERING_H_
+#define SGXBOUNDS_SRC_POLICY_ASAN_IR_LOWERING_H_
+
+#include "src/ir/passes.h"
+#include "src/policy/asan/asan_policy.h"
+#include "src/policy/ir_lowering.h"
+
+namespace sgxb {
+
+template <>
+struct SchemeIrLowering<AsanPolicy> {
+  static void Apply(AsanPolicy& policy, Interpreter& interp, IrFunction& fn,
+                    const PolicyOptions& options) {
+    (void)options;
+    RunAsanPass(fn);
+    interp.AttachAsan(&policy.runtime());
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_ASAN_IR_LOWERING_H_

@@ -1,0 +1,31 @@
+// IR-lowering customization point of the scheme registry.
+//
+// The "ir" suite builds a mini-IR function and asks the scheme to instrument
+// it - the analog of the paper's LLVM pass. Each scheme specializes this
+// trait next to its policy (src/policy/<scheme>/ir_lowering.h, aggregated by
+// scheme_ir.h); the primary template is the uninstrumented default (native).
+
+#ifndef SGXBOUNDS_SRC_POLICY_IR_LOWERING_H_
+#define SGXBOUNDS_SRC_POLICY_IR_LOWERING_H_
+
+#include "src/ir/interp.h"
+#include "src/policy/policy.h"
+
+namespace sgxb {
+
+template <typename P>
+struct SchemeIrLowering {
+  // Runs the scheme's instrumentation pass over `fn` and attaches the
+  // scheme's runtime to `interp`. Default: leave the function bare.
+  static void Apply(P& policy, Interpreter& interp, IrFunction& fn,
+                    const PolicyOptions& options) {
+    (void)policy;
+    (void)interp;
+    (void)fn;
+    (void)options;
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_IR_LOWERING_H_

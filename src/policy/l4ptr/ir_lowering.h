@@ -1,0 +1,33 @@
+// l4ptr IR lowering: the generic scheme pass (kSchemeCheck opcodes, "scheme"
+// allocation symbol) with the runtime attached through the interpreter's
+// pluggable IrSchemeRuntime hook - no l4ptr-specific opcode exists anywhere
+// in src/ir.
+//
+// The pass placement logic (per-access checks, SS4.4 elision and hoisting)
+// is shared with SGXBounds via RunTaggedPtrPassImpl; only the emitted
+// opcodes and the runtime behind them differ.
+
+#ifndef SGXBOUNDS_SRC_POLICY_L4PTR_IR_LOWERING_H_
+#define SGXBOUNDS_SRC_POLICY_L4PTR_IR_LOWERING_H_
+
+#include "src/ir/passes.h"
+#include "src/policy/ir_lowering.h"
+#include "src/policy/l4ptr/l4ptr_policy.h"
+
+namespace sgxb {
+
+template <>
+struct SchemeIrLowering<L4PtrPolicy> {
+  static void Apply(L4PtrPolicy& policy, Interpreter& interp, IrFunction& fn,
+                    const PolicyOptions& options) {
+    SgxPassOptions opts;
+    opts.elide_safe = options.opt_safe_elision;
+    opts.hoist_loops = options.opt_hoist_checks;
+    RunSchemePass(fn, opts);
+    interp.AttachScheme(&policy.runtime());
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_L4PTR_IR_LOWERING_H_

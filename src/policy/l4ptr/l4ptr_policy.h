@@ -1,0 +1,184 @@
+// l4ptr as a workload policy: both bounds ride in the pointer's upper 32
+// bits, so checks are register-only (no LB footer load) while pointer
+// arithmetic and allocation pay for the power-of-two encoding. The SS4.4
+// optimizations map exactly as for SGXBounds: LoadField/StoreField elide
+// provably-safe checks, OpenSpan hoists one range check over a loop.
+//
+// The whole scheme lives in this directory; the rest of the repo sees it
+// only through the registry (scheme_list.h is the single registration line).
+
+#ifndef SGXBOUNDS_SRC_POLICY_L4PTR_L4PTR_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_L4PTR_L4PTR_POLICY_H_
+
+#include <cstring>
+
+#include "src/fault/fault.h"
+#include "src/policy/l4ptr/l4ptr_runtime.h"
+#include "src/policy/policy.h"
+#include "src/policy/registry.h"
+
+namespace sgxb {
+
+class L4PtrPolicy {
+ public:
+  static constexpr PolicyKind kKind = PolicyKind::kL4Ptr;
+
+  // Registry entry (defined in this scheme's scheme.cc).
+  static const SchemeDescriptor& Descriptor();
+
+  using Ptr = L4Ptr;
+
+  L4PtrPolicy(Enclave* enclave, Heap* heap, const PolicyOptions& options)
+      : enclave_(enclave), rt_(enclave, heap), options_(options) {}
+
+  Ptr Malloc(Cpu& cpu, uint32_t size) { return rt_.Malloc(cpu, size); }
+
+  Ptr AlignedAlloc(Cpu& cpu, uint32_t size, uint32_t align) {
+    return rt_.MallocAligned(cpu, size, align);
+  }
+  Ptr Calloc(Cpu& cpu, uint32_t count, uint32_t elem) { return rt_.Calloc(cpu, count, elem); }
+  void Free(Cpu& cpu, Ptr p) { rt_.Free(cpu, p); }
+
+  Ptr Offset(Cpu& cpu, Ptr p, int64_t delta) { return rt_.PtrAdd(cpu, p, delta); }
+
+  uint32_t AddrOf(Ptr p) const { return L4Addr(p); }
+  static Ptr FromAddr(uint32_t addr) { return addr; }  // untagged: no bounds
+
+  template <typename T>
+  T Load(Cpu& cpu, Ptr p) {
+    const uint32_t addr = rt_.CheckAccess(cpu, p, sizeof(T), AccessType::kRead);
+    return enclave_->Load<T>(cpu, addr);
+  }
+
+  template <typename T>
+  void Store(Cpu& cpu, Ptr p, T value) {
+    const uint32_t addr = rt_.CheckAccess(cpu, p, sizeof(T), AccessType::kWrite);
+    enclave_->Store<T>(cpu, addr, value);
+  }
+
+  // Checked access at a dynamic offset: tag-preserving add folds into
+  // addressing (one ALU op), then the register-only check.
+  template <typename T>
+  T LoadAt(Cpu& cpu, Ptr p, uint64_t off) {
+    cpu.Alu(1);
+    return Load<T>(cpu, L4Add(p, static_cast<int64_t>(off)));
+  }
+
+  template <typename T>
+  void StoreAt(Cpu& cpu, Ptr p, uint64_t off, T value) {
+    cpu.Alu(1);
+    Store<T>(cpu, L4Add(p, static_cast<int64_t>(off)), value);
+  }
+
+  // Provably-safe field access (SS4.4 "safe memory accesses"): elision emits
+  // a raw access on the untagged address.
+  template <typename T>
+  T LoadField(Cpu& cpu, Ptr p, uint32_t off) {
+    if (options_.opt_safe_elision) {
+      cpu.Alu(1);
+      return enclave_->Load<T>(cpu, L4Addr(p) + off);
+    }
+    return Load<T>(cpu, L4Add(p, off));
+  }
+
+  template <typename T>
+  void StoreField(Cpu& cpu, Ptr p, uint32_t off, T value) {
+    if (options_.opt_safe_elision) {
+      cpu.Alu(1);
+      enclave_->Store<T>(cpu, L4Addr(p) + off, value);
+      return;
+    }
+    Store<T>(cpu, L4Add(p, off), value);
+  }
+
+  // Pointer-in-memory: the tag rides in the 64-bit slot, so a plain 8-byte
+  // load/store moves pointer and bounds atomically - same property SGXBounds
+  // gets from its tagged representation (SS4.1).
+  Ptr LoadPtr(Cpu& cpu, Ptr slot) {
+    const uint32_t addr = rt_.CheckAccess(cpu, slot, kPtrSlotBytes, AccessType::kRead);
+    return enclave_->Load<uint64_t>(cpu, addr);
+  }
+
+  void StorePtr(Cpu& cpu, Ptr slot, Ptr value) {
+    const uint32_t addr = rt_.CheckAccess(cpu, slot, kPtrSlotBytes, AccessType::kWrite);
+    enclave_->Store<uint64_t>(cpu, addr, value);
+  }
+
+  // Loop span (SS4.4 check hoisting): one range check, unchecked body.
+  class Span {
+   public:
+    Span(L4PtrPolicy* policy, Ptr base, bool hoisted)
+        : policy_(policy), base_(base), hoisted_(hoisted) {}
+
+    template <typename T>
+    T Load(Cpu& cpu, uint64_t byte_off) {
+      if (hoisted_) {
+        cpu.Alu(1);
+        return policy_->enclave_->Load<T>(cpu,
+                                          L4Addr(base_) + static_cast<uint32_t>(byte_off));
+      }
+      return policy_->Load<T>(cpu, L4Add(base_, static_cast<int64_t>(byte_off)));
+    }
+
+    template <typename T>
+    void Store(Cpu& cpu, uint64_t byte_off, T value) {
+      if (hoisted_) {
+        cpu.Alu(1);
+        policy_->enclave_->Store<T>(cpu, L4Addr(base_) + static_cast<uint32_t>(byte_off),
+                                    value);
+        return;
+      }
+      policy_->Store<T>(cpu, L4Add(base_, static_cast<int64_t>(byte_off)), value);
+    }
+
+   private:
+    L4PtrPolicy* policy_;
+    Ptr base_;
+    bool hoisted_;
+  };
+
+  Span OpenSpan(Cpu& cpu, Ptr base, uint64_t extent_bytes) {
+    if (options_.opt_hoist_checks) {
+      rt_.CheckRange(cpu, base, extent_bytes);
+      return Span(this, base, /*hoisted=*/true);
+    }
+    return Span(this, base, /*hoisted=*/false);
+  }
+
+  void Memcpy(Cpu& cpu, Ptr dst, Ptr src, uint32_t n) {
+    if (n == 0) {
+      return;
+    }
+    // Instrumented-libc semantics: check both args once, then bulk move.
+    const uint32_t src_addr = rt_.CheckAccess(cpu, src, n, AccessType::kRead);
+    const uint32_t dst_addr = rt_.CheckAccess(cpu, dst, n, AccessType::kWrite);
+    cpu.MemAccess(src_addr, n, AccessClass::kAppLoad);
+    cpu.MemAccess(dst_addr, n, AccessClass::kAppStore);
+    std::memmove(enclave_->space().HostPtr(dst_addr), enclave_->space().HostPtr(src_addr), n);
+  }
+
+  void Memset(Cpu& cpu, Ptr dst, uint8_t value, uint32_t n) {
+    if (n == 0) {
+      return;
+    }
+    const uint32_t dst_addr = rt_.CheckAccess(cpu, dst, n, AccessType::kWrite);
+    cpu.MemAccess(dst_addr, n, AccessClass::kAppStore);
+    std::memset(enclave_->space().HostPtr(dst_addr), value, n);
+  }
+
+  // No in-memory metadata to corrupt: bounds live in pointer registers, so
+  // kMetadataFlip events are skipped (the descriptor claims no corruptor).
+  void AttachFaults(FaultInjector* faults) { (void)faults; }
+
+  Enclave* enclave() { return enclave_; }
+  L4PtrRuntime& runtime() { return rt_; }
+
+ private:
+  Enclave* enclave_;
+  L4PtrRuntime rt_;
+  PolicyOptions options_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_L4PTR_L4PTR_POLICY_H_

@@ -1,0 +1,25 @@
+// MPX IR lowering: bndcl/bndcu instrumentation plus bndldx/bndstx at
+// pointer-in-memory sites (kMpx* opcodes).
+
+#ifndef SGXBOUNDS_SRC_POLICY_MPX_IR_LOWERING_H_
+#define SGXBOUNDS_SRC_POLICY_MPX_IR_LOWERING_H_
+
+#include "src/ir/passes.h"
+#include "src/policy/ir_lowering.h"
+#include "src/policy/mpx/mpx_policy.h"
+
+namespace sgxb {
+
+template <>
+struct SchemeIrLowering<MpxPolicy> {
+  static void Apply(MpxPolicy& policy, Interpreter& interp, IrFunction& fn,
+                    const PolicyOptions& options) {
+    (void)options;
+    RunMpxPass(fn);
+    interp.AttachMpx(&policy.runtime());
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_MPX_IR_LOWERING_H_

@@ -4,18 +4,22 @@
 // the 4-register file still holds that slot's bounds. Allocation itself is
 // uninstrumented (bounds live in the disjoint tables).
 
-#ifndef SGXBOUNDS_SRC_POLICY_MPX_POLICY_H_
-#define SGXBOUNDS_SRC_POLICY_MPX_POLICY_H_
+#ifndef SGXBOUNDS_SRC_POLICY_MPX_MPX_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_MPX_MPX_POLICY_H_
 
 #include "src/fault/fault.h"
 #include "src/mpx/mpx_runtime.h"
 #include "src/policy/policy.h"
+#include "src/policy/registry.h"
 
 namespace sgxb {
 
 class MpxPolicy {
  public:
   static constexpr PolicyKind kKind = PolicyKind::kMpx;
+
+  // Registry entry (defined in this scheme's scheme.cc).
+  static const SchemeDescriptor& Descriptor();
 
   struct Ptr {
     uint32_t addr = 0;
@@ -179,6 +183,13 @@ class MpxPolicy {
         [this](Cpu& cpu, Rng& rng) { return rt_.CorruptBoundsTable(cpu, rng); });
   }
 
+  // Optional harness hook (run.h): Table 3's bounds-table count rides in the
+  // RunResult. Templated so this header needs no RunResult definition.
+  template <typename Result>
+  void CollectRunMetrics(Result& result) {
+    result.mpx_bt_count = rt_.bt_count();
+  }
+
   Enclave* enclave() { return enclave_; }
   MpxRuntime& runtime() { return rt_; }
 
@@ -190,4 +201,4 @@ class MpxPolicy {
 
 }  // namespace sgxb
 
-#endif  // SGXBOUNDS_SRC_POLICY_MPX_POLICY_H_
+#endif  // SGXBOUNDS_SRC_POLICY_MPX_MPX_POLICY_H_

@@ -2,11 +2,12 @@
 // allocation and direct accesses, charged only for the application's own
 // traffic and addressing arithmetic.
 
-#ifndef SGXBOUNDS_SRC_POLICY_NATIVE_POLICY_H_
-#define SGXBOUNDS_SRC_POLICY_NATIVE_POLICY_H_
+#ifndef SGXBOUNDS_SRC_POLICY_NATIVE_NATIVE_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_NATIVE_NATIVE_POLICY_H_
 
 #include "src/fault/fault.h"
 #include "src/policy/policy.h"
+#include "src/policy/registry.h"
 #include "src/runtime/heap.h"
 
 namespace sgxb {
@@ -14,6 +15,9 @@ namespace sgxb {
 class NativePolicy {
  public:
   static constexpr PolicyKind kKind = PolicyKind::kNative;
+
+  // Registry entry (defined in this scheme's scheme.cc).
+  static const SchemeDescriptor& Descriptor();
 
   struct Ptr {
     uint32_t addr = 0;
@@ -151,4 +155,4 @@ class NativePolicy {
 
 }  // namespace sgxb
 
-#endif  // SGXBOUNDS_SRC_POLICY_NATIVE_POLICY_H_
+#endif  // SGXBOUNDS_SRC_POLICY_NATIVE_NATIVE_POLICY_H_

@@ -35,8 +35,15 @@
 
 namespace sgxb {
 
-enum class PolicyKind : uint8_t { kNative, kAsan, kMpx, kSgxBounds };
+// Numeric values are trace-format-stable (TraceHeader.policy stores them);
+// new schemes append, existing values never move.
+enum class PolicyKind : uint8_t { kNative, kAsan, kMpx, kSgxBounds, kL4Ptr };
 
+// Number of registered PolicyKind values (kept in sync with the enum; the
+// scheme registry in registry.h statically checks every kind is described).
+inline constexpr uint32_t kPolicyKindCount = 5;
+
+// Display name from the scheme registry ("SGX", "ASan", "MPX", ...).
 const char* PolicyName(PolicyKind kind);
 
 // Pointer slots in guest memory are 8 bytes for every policy (x86-64 ABI).

@@ -19,11 +19,8 @@
 
 #include "src/common/rng.h"
 #include "src/fault/fault.h"
-#include "src/policy/asan_policy.h"
-#include "src/policy/mpx_policy.h"
-#include "src/policy/native_policy.h"
 #include "src/policy/recovery.h"
-#include "src/policy/sgxbounds_policy.h"
+#include "src/policy/scheme_list.h"
 #include "src/runtime/thread_pool.h"
 
 namespace sgxb {
@@ -155,8 +152,10 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
     Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed),
                options, &recovery};
     fn(env);
-    if constexpr (P::kKind == PolicyKind::kMpx) {
-      result.mpx_bt_count = policy.runtime().bt_count();
+    // Scheme-specific RunResult metrics (e.g. MPX's bounds-table count) are
+    // collected through an optional policy hook instead of naming schemes.
+    if constexpr (requires { policy.CollectRunMetrics(result); }) {
+      policy.CollectRunMetrics(result);
     }
   } catch (const SimTrap& trap) {
     result.crashed = true;
@@ -185,22 +184,25 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   return result;
 }
 
+// Dynamic kind -> concrete policy type: fold over the registered scheme
+// list instead of a switch, so a new scheme needs no edit here.
 template <typename Fn>
 RunResult RunPolicyKind(PolicyKind kind, const MachineSpec& spec, const PolicyOptions& options,
                         Fn&& fn) {
-  switch (kind) {
-    case PolicyKind::kNative:
-      return RunWithPolicy<NativePolicy>(spec, options, std::forward<Fn>(fn));
-    case PolicyKind::kAsan:
-      return RunWithPolicy<AsanPolicy>(spec, options, std::forward<Fn>(fn));
-    case PolicyKind::kMpx:
-      return RunWithPolicy<MpxPolicy>(spec, options, std::forward<Fn>(fn));
-    case PolicyKind::kSgxBounds:
-      return RunWithPolicy<SgxBoundsPolicy>(spec, options, std::forward<Fn>(fn));
-  }
-  return RunResult{};
+  RunResult result;
+  const bool found = SchemePolicies::ForEach([&]<typename P>() {
+    if (P::kKind != kind) {
+      return false;
+    }
+    result = RunWithPolicy<P>(spec, options, fn);
+    return true;
+  });
+  (void)found;
+  return result;
 }
 
+// The paper's four default schemes in presentation order (Figure 7 et al.);
+// plugged-in schemes are opt-in via --policies (registry.h PaperSchemes()).
 inline constexpr PolicyKind kAllPolicies[] = {PolicyKind::kNative, PolicyKind::kMpx,
                                               PolicyKind::kAsan, PolicyKind::kSgxBounds};
 

@@ -1,0 +1,18 @@
+// Aggregates every scheme's IR-lowering specialization. Consumers of the IR
+// pipeline (the "ir" suite) include this instead of naming schemes:
+//
+//   SchemeIrLowering<P>::Apply(env.policy, interp, fn, env.options);
+//
+// A scheme without an ir_lowering.h (native) gets the uninstrumented
+// default from the primary template.
+
+#ifndef SGXBOUNDS_SRC_POLICY_SCHEME_IR_H_
+#define SGXBOUNDS_SRC_POLICY_SCHEME_IR_H_
+
+#include "src/policy/asan/ir_lowering.h"
+#include "src/policy/ir_lowering.h"
+#include "src/policy/l4ptr/ir_lowering.h"
+#include "src/policy/mpx/ir_lowering.h"
+#include "src/policy/sgxbounds/ir_lowering.h"
+
+#endif  // SGXBOUNDS_SRC_POLICY_SCHEME_IR_H_

@@ -1,0 +1,28 @@
+// SGXBounds IR lowering: the dedicated tagged-pointer pass (kSgxCheck
+// opcodes, "sgx" allocation symbol) with the SS4.4 switches, runtime
+// attached via the interpreter's dedicated SGXBounds hook.
+
+#ifndef SGXBOUNDS_SRC_POLICY_SGXBOUNDS_IR_LOWERING_H_
+#define SGXBOUNDS_SRC_POLICY_SGXBOUNDS_IR_LOWERING_H_
+
+#include "src/ir/passes.h"
+#include "src/policy/ir_lowering.h"
+#include "src/policy/sgxbounds/sgxbounds_policy.h"
+
+namespace sgxb {
+
+template <>
+struct SchemeIrLowering<SgxBoundsPolicy> {
+  static void Apply(SgxBoundsPolicy& policy, Interpreter& interp, IrFunction& fn,
+                    const PolicyOptions& options) {
+    SgxPassOptions opts;
+    opts.elide_safe = options.opt_safe_elision;
+    opts.hoist_loops = options.opt_hoist_checks;
+    RunSgxBoundsPass(fn, opts);
+    interp.AttachSgx(&policy.runtime());
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_POLICY_SGXBOUNDS_IR_LOWERING_H_

@@ -3,11 +3,12 @@
 // (the tag rides in the 64-bit slot), and the SS4.4 optimizations map to
 // LoadField/StoreField (safe-access elision) and OpenSpan (check hoisting).
 
-#ifndef SGXBOUNDS_SRC_POLICY_SGXBOUNDS_POLICY_H_
-#define SGXBOUNDS_SRC_POLICY_SGXBOUNDS_POLICY_H_
+#ifndef SGXBOUNDS_SRC_POLICY_SGXBOUNDS_SGXBOUNDS_POLICY_H_
+#define SGXBOUNDS_SRC_POLICY_SGXBOUNDS_SGXBOUNDS_POLICY_H_
 
 #include "src/fault/fault.h"
 #include "src/policy/policy.h"
+#include "src/policy/registry.h"
 #include "src/sgxbounds/bounds_runtime.h"
 
 namespace sgxb {
@@ -15,6 +16,9 @@ namespace sgxb {
 class SgxBoundsPolicy {
  public:
   static constexpr PolicyKind kKind = PolicyKind::kSgxBounds;
+
+  // Registry entry (defined in this scheme's scheme.cc).
+  static const SchemeDescriptor& Descriptor();
 
   using Ptr = TaggedPtr;
 
@@ -178,4 +182,4 @@ class SgxBoundsPolicy {
 
 }  // namespace sgxb
 
-#endif  // SGXBOUNDS_SRC_POLICY_SGXBOUNDS_POLICY_H_
+#endif  // SGXBOUNDS_SRC_POLICY_SGXBOUNDS_SGXBOUNDS_POLICY_H_

@@ -1,0 +1,82 @@
+// The per-scheme surface of the RIPE evaluator (paper SS6.6, Table 4).
+//
+// ripe.cc owns the attack matrix and the machine (enclave, heap, stack, the
+// fake bss/data segments); how a memory-safety scheme participates in an
+// attack is captured by this interface and implemented next to each scheme
+// in src/policy/<scheme>/scheme.cc, reachable through the registry's
+// make_ripe_defense factory. Header-only so the policy library can implement
+// defenses without linking against the ripe library (which links policy).
+
+#ifndef SGXBOUNDS_SRC_RIPE_DEFENSE_H_
+#define SGXBOUNDS_SRC_RIPE_DEFENSE_H_
+
+#include <cstdint>
+
+#include "src/enclave/enclave.h"
+#include "src/runtime/heap.h"
+#include "src/runtime/stack.h"
+
+namespace sgxb {
+
+// The simulated process RIPE attacks run in: 512 MiB enclave, 128 MiB heap,
+// 1 MiB stack (one pushed frame), and two 64-page segments standing in for
+// the program's bss and data. Owned by ripe.cc; defenses hold the pointers.
+struct RipeMachine {
+  Enclave* enclave = nullptr;
+  Heap* heap = nullptr;
+  StackAllocator* stack = nullptr;
+  uint32_t bss_base = 0;
+  uint32_t data_base = 0;
+};
+
+// An allocated object with the scheme-specific handle attached. `handle` is
+// opaque to ripe.cc: a tagged pointer for SGXBounds/l4ptr, packed
+// (ub<<32)|lb register bounds for MPX, unused for ASan/native.
+struct RipeObj {
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  uint64_t handle = 0;
+};
+
+class RipeDefense {
+ public:
+  virtual ~RipeDefense() = default;
+
+  // Heap allocation through the scheme's allocator (metadata attached).
+  virtual RipeObj AllocateHeap(Cpu& cpu, uint32_t size) = 0;
+
+  // Attaches scheme metadata to a stack/bss/data object carved by ripe.cc.
+  virtual void RegisterNonHeap(Cpu& cpu, RipeObj& obj) = 0;
+
+  // Layout of carved (stack/bss/data) objects: alignment of each object's
+  // base, and the total bytes one object consumes in the segment - size plus
+  // whatever the scheme's instrumentation adds (SGXBounds footer, ASan
+  // redzone gap, l4ptr power-of-two padding).
+  virtual uint32_t CarveAlign() const { return 16; }
+  virtual uint32_t CarveFootprint(uint32_t size) const { return size; }
+
+  // One instrumented byte store at obj+offset, as the compiler would emit
+  // it. Returns false (prevention) instead of storing; may throw SimTrap.
+  virtual bool StoreByte(Cpu& cpu, const RipeObj& obj, uint32_t offset, uint8_t value) = 0;
+
+  // A libc-mediated copy of n attacker bytes into obj (memcpy/strcpy-like),
+  // modelling the scheme's real libc story (fortified wrapper, interceptor,
+  // or uninstrumented copy). Returns false when the wrapper refused.
+  virtual bool LibcCopyInto(Cpu& cpu, const RipeObj& obj, const uint8_t* payload,
+                            uint32_t n) = 0;
+
+  // SS8 extension point: narrow obj's metadata to the field [offset,
+  // offset+len). Returns false when the scheme has no narrowing support
+  // (the default), leaving the object untouched.
+  virtual bool NarrowTo(Cpu& cpu, RipeObj& obj, uint32_t offset, uint32_t len) {
+    (void)cpu;
+    (void)obj;
+    (void)offset;
+    (void)len;
+    return false;
+  }
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_RIPE_DEFENSE_H_

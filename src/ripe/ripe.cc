@@ -3,22 +3,9 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/units.h"
 
 namespace sgxb {
-
-const char* DefenseName(Defense defense) {
-  switch (defense) {
-    case Defense::kNone:
-      return "native";
-    case Defense::kMpx:
-      return "MPX";
-    case Defense::kAsan:
-      return "ASan";
-    case Defense::kSgxBounds:
-      return "SGXBounds";
-  }
-  return "?";
-}
 
 const std::vector<AttackScenario>& RipeScenarios() {
   static const std::vector<AttackScenario>* scenarios = [] {
@@ -71,9 +58,11 @@ namespace {
 constexpr uint32_t kBufBytes = 64;
 constexpr uint64_t kAttackerValue = 0x41414141deadc0deULL;  // "hijacked" marker
 
-// A per-run environment with all defenses' runtimes constructed on demand.
-struct DefenseContext {
-  explicit DefenseContext(Defense defense_in) : defense(defense_in) {
+// A per-run environment: the machine plus the scheme's defense, looked up
+// through the registry. Carving layout (stack/bss/data adjacency) is driven
+// by the defense's CarveAlign/CarveFootprint hooks.
+struct AttackContext {
+  explicit AttackContext(PolicyKind kind) {
     EnclaveConfig cfg;
     cfg.space_bytes = 512 * kMiB;
     enclave = std::make_unique<Enclave>(cfg);
@@ -81,183 +70,83 @@ struct DefenseContext {
     stack = std::make_unique<StackAllocator>(enclave.get(), 1 * kMiB);
     stack->PushFrame();  // the vulnerable function's frame
     // The bss/data segments of the "program".
-    bss_base = enclave->pages().ReserveLow(64 * kPageSize, "bss");
-    enclave->pages().Commit(nullptr, bss_base, 64 * kPageSize);
-    data_base = enclave->pages().ReserveLow(64 * kPageSize, "data");
-    enclave->pages().Commit(nullptr, data_base, 64 * kPageSize);
-    switch (defense) {
-      case Defense::kSgxBounds:
-        sgx = std::make_unique<SgxBoundsRuntime>(enclave.get(), heap.get());
-        libc = std::make_unique<FortifiedLibc>(sgx.get());
-        break;
-      case Defense::kAsan:
-        asan = std::make_unique<AsanRuntime>(enclave.get(), heap.get());
-        break;
-      case Defense::kMpx:
-        mpx = std::make_unique<MpxRuntime>(enclave.get());
-        break;
-      case Defense::kNone:
-        break;
-    }
+    machine.enclave = enclave.get();
+    machine.heap = heap.get();
+    machine.stack = stack.get();
+    machine.bss_base = enclave->pages().ReserveLow(64 * kPageSize, "bss");
+    enclave->pages().Commit(nullptr, machine.bss_base, 64 * kPageSize);
+    machine.data_base = enclave->pages().ReserveLow(64 * kPageSize, "data");
+    enclave->pages().Commit(nullptr, machine.data_base, 64 * kPageSize);
+    const SchemeDescriptor& scheme = SchemeOf(kind);
+    CHECK(scheme.make_ripe_defense != nullptr);
+    defense = scheme.make_ripe_defense(machine);
   }
 
   Cpu& cpu() { return enclave->main_cpu(); }
 
-  // An allocated object with the defense-specific handle attached.
-  struct Obj {
-    uint32_t addr = 0;
-    uint32_t size = 0;
-    TaggedPtr tagged = 0;  // SGXBounds handle
-    MpxBounds bounds;      // MPX register-held bounds
-  };
-
   // Allocates an object at `location` and registers it with the defense.
   // For kStack/kBss/kData, consecutive calls yield adjacent objects (the
   // attack layouts rely on that, like RIPE's real frames/segments do).
-  Obj Allocate(AttackLocation location, uint32_t size) {
-    Obj obj;
+  RipeObj Allocate(AttackLocation location, uint32_t size) {
+    RipeObj obj;
     obj.size = size;
     switch (location) {
       case AttackLocation::kHeap:
-        if (sgx != nullptr) {
-          obj.tagged = sgx->Malloc(cpu(), size);
-          obj.addr = ExtractPtr(obj.tagged);
-          return obj;
-        }
-        if (asan != nullptr) {
-          obj.addr = asan->Malloc(cpu(), size);
-          return obj;
-        }
-        obj.addr = heap->Alloc(cpu(), size);
-        break;
+        return defense->AllocateHeap(cpu(), size);
       case AttackLocation::kStack:
-        // ASan's stack instrumentation separates locals with redzones; the
-        // extra 32 bytes reproduce that gap (poisoned by RegisterNonHeap).
-        obj.addr = stack->Alloca(cpu(), size + FooterPad() + (asan != nullptr ? 32 : 0), 16);
+        obj.addr = stack->Alloca(cpu(), defense->CarveFootprint(size),
+                                 defense->CarveAlign());
         break;
       case AttackLocation::kBss:
-        obj.addr = SegmentCarve(&bss_cursor, bss_base, size);
+        obj.addr = SegmentCarve(&bss_cursor, machine.bss_base, size);
         break;
       case AttackLocation::kData:
-        obj.addr = SegmentCarve(&data_cursor, data_base, size);
+        obj.addr = SegmentCarve(&data_cursor, machine.data_base, size);
         break;
     }
-    RegisterNonHeap(obj, size);
+    defense->RegisterNonHeap(cpu(), obj);
     return obj;
   }
 
-  uint32_t FooterPad() const { return sgx != nullptr ? sgx->FooterBytes() : 0; }
-
   uint32_t SegmentCarve(uint32_t* cursor, uint32_t base, uint32_t size) {
-    const uint32_t addr = AlignUp(base + *cursor, 16);
-    *cursor = addr - base + size + FooterPad() + (asan != nullptr ? 32 : 0);
+    const uint32_t addr = AlignUp(base + *cursor, defense->CarveAlign());
+    *cursor = addr - base + defense->CarveFootprint(size);
     return addr;
   }
 
-  void RegisterNonHeap(Obj& obj, uint32_t size) {
-    if (sgx != nullptr) {
-      obj.tagged = sgx->SpecifyBounds(cpu(), obj.addr, obj.addr + size, ObjKind::kGlobal);
-    } else if (asan != nullptr) {
-      asan->RegisterObject(cpu(), obj.addr, size, AsanRuntime::kShadowGlobalRedzone);
-    } else if (mpx != nullptr) {
-      obj.bounds = mpx->BndMk(cpu(), obj.addr, size);
-    }
-  }
-
-  // One instrumented byte store through the defense at obj+offset.
-  // Returns false (prevention) instead of throwing so callers can classify.
-  bool StoreByte(const Obj& obj, uint32_t offset, uint8_t value) {
-    Cpu& c = cpu();
-    if (sgx != nullptr) {
-      const ResolvedAccess r =
-          sgx->CheckAccessAuto(c, TaggedAdd(obj.tagged, offset), 1, AccessType::kWrite);
-      (void)r;
-      enclave->Store<uint8_t>(c, obj.addr + offset, value);
-      return true;
-    }
-    if (asan != nullptr) {
-      asan->CheckAccess(c, obj.addr + offset, 1, /*is_write=*/true);
-      enclave->Store<uint8_t>(c, obj.addr + offset, value);
-      return true;
-    }
-    if (mpx != nullptr) {
-      mpx->BndCheck(c, obj.bounds, obj.addr + offset, 1);
-      enclave->Store<uint8_t>(c, obj.addr + offset, value);
-      return true;
-    }
-    enclave->Store<uint8_t>(c, obj.addr + offset, value);
-    return true;
-  }
-
-  // A libc-mediated copy of `n` attacker bytes into obj (memcpy/strcpy-like).
-  // Models each defense's real libc story:
-  //   SGXBounds: fortified wrapper -> EINVAL, copy refused (SS5.1);
-  //   ASan: interceptor checks the range -> report;
-  //   MPX: libc is NOT instrumented -> the copy just happens;
-  //   native: the copy just happens.
-  bool LibcCopyInto(const Obj& obj, const uint8_t* payload, uint32_t n) {
-    Cpu& c = cpu();
-    if (sgx != nullptr) {
-      // Stage the payload in an untagged scratch area (the attacker's
-      // request buffer), then call the wrapper.
-      const uint32_t scratch = heap->Alloc(c, n);
-      std::memcpy(enclave->space().HostPtr(scratch), payload, n);
-      const TaggedPtr src = MakeTagged(scratch, 0);
-      const LibcError err = libc->Memcpy(c, obj.tagged, src, n);
-      heap->Free(c, scratch);
-      return err == LibcError::kOk;
-    }
-    if (asan != nullptr) {
-      asan->CheckAccess(c, obj.addr, n, /*is_write=*/true);  // throws on overflow
-      c.MemAccess(obj.addr, n, AccessClass::kAppStore);
-      std::memcpy(enclave->space().HostPtr(obj.addr), payload, n);
-      return true;
-    }
-    // MPX and native: uninstrumented libc copies blindly.
-    c.MemAccess(obj.addr, n, AccessClass::kAppStore);
-    std::memcpy(enclave->space().HostPtr(obj.addr), payload, n);
-    return true;
-  }
-
-  Defense defense;
+  RipeMachine machine;
   std::unique_ptr<Enclave> enclave;
   std::unique_ptr<Heap> heap;
   std::unique_ptr<StackAllocator> stack;
-  std::unique_ptr<SgxBoundsRuntime> sgx;
-  std::unique_ptr<FortifiedLibc> libc;
-  std::unique_ptr<AsanRuntime> asan;
-  std::unique_ptr<MpxRuntime> mpx;
-  uint32_t bss_base = 0;
-  uint32_t data_base = 0;
+  std::unique_ptr<RipeDefense> defense;
   uint32_t bss_cursor = 0;
   uint32_t data_cursor = 0;
 };
 
 }  // namespace
 
-AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
+AttackOutcome RunAttack(const AttackScenario& scenario, PolicyKind kind,
                         bool narrow_bounds) {
   AttackOutcome outcome;
-  DefenseContext ctx(defense);
+  AttackContext ctx(kind);
 
   try {
-    DefenseContext::Obj buf;
+    RipeObj buf;
     uint32_t target_addr;  // where the victim slot lives
 
     if (scenario.intra_object) {
       // One struct: { char buf[64]; uint64 victim; } - a single allocation.
       buf = ctx.Allocate(scenario.location, kBufBytes + 8);
       target_addr = buf.addr + kBufBytes;
-      if (narrow_bounds && ctx.sgx != nullptr) {
+      if (narrow_bounds && ctx.defense->NarrowTo(ctx.cpu(), buf, 0, kBufBytes)) {
         // SS8 extension: &obj.buf is narrowed to the 64-byte field.
-        buf.tagged = ctx.sgx->NarrowBounds(ctx.cpu(), buf.tagged, 0, kBufBytes);
         buf.size = kBufBytes;
       }
       // The attacker overflows the *inner* buffer, staying inside the object.
     } else {
       // Two adjacent objects: the vulnerable buffer, then the victim.
       buf = ctx.Allocate(scenario.location, kBufBytes);
-      const DefenseContext::Obj victim = ctx.Allocate(scenario.location, 8);
+      const RipeObj victim = ctx.Allocate(scenario.location, 8);
       target_addr = victim.addr;
     }
 
@@ -273,7 +162,7 @@ AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
         for (uint32_t i = 0; i < overflow_len; ++i) {
           const uint8_t byte =
               reinterpret_cast<const uint8_t*>(&kAttackerValue)[(i - (overflow_len - 8)) % 8];
-          ctx.StoreByte(buf, i, i < overflow_len - 8 ? 0x41 : byte);
+          ctx.defense->StoreByte(ctx.cpu(), buf, i, i < overflow_len - 8 ? 0x41 : byte);
         }
         break;
       }
@@ -289,7 +178,7 @@ AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
             }
           }
         }
-        if (!ctx.LibcCopyInto(buf, payload.data(), overflow_len)) {
+        if (!ctx.defense->LibcCopyInto(ctx.cpu(), buf, payload.data(), overflow_len)) {
           outcome.prevented = true;
           outcome.detail = "libc wrapper returned EINVAL";
           return outcome;
@@ -314,11 +203,11 @@ AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
   return outcome;
 }
 
-RipeSummary RunRipeSuite(Defense defense, std::vector<AttackOutcome>* outcomes,
+RipeSummary RunRipeSuite(PolicyKind kind, std::vector<AttackOutcome>* outcomes,
                          bool narrow_bounds) {
   RipeSummary summary;
   for (const auto& scenario : RipeScenarios()) {
-    const AttackOutcome outcome = RunAttack(scenario, defense, narrow_bounds);
+    const AttackOutcome outcome = RunAttack(scenario, kind, narrow_bounds);
     summary.total += 1;
     summary.prevented += outcome.prevented ? 1 : 0;
     summary.succeeded += outcome.succeeded ? 1 : 0;

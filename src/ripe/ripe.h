@@ -29,15 +29,10 @@
 #include <string>
 #include <vector>
 
-#include "src/asan/asan_runtime.h"
-#include "src/mpx/mpx_runtime.h"
-#include "src/runtime/stack.h"
-#include "src/sgxbounds/libc.h"
+#include "src/policy/registry.h"
+#include "src/ripe/defense.h"
 
 namespace sgxb {
-
-enum class Defense : uint8_t { kNone, kMpx, kAsan, kSgxBounds };
-const char* DefenseName(Defense defense);
 
 enum class AttackLocation : uint8_t { kStack, kHeap, kBss, kData };
 enum class AttackTechnique : uint8_t { kDirectLoop, kLibcMemcpy, kLibcStrcpy };
@@ -60,11 +55,13 @@ struct AttackOutcome {
   std::string detail;
 };
 
-// Runs one scenario under one defense on a fresh simulated enclave.
-// `narrow_bounds` enables the SS8 SGXBounds extension: pointers into struct
-// fields are narrowed to the field (SgxBoundsRuntime::NarrowBounds), which
-// catches the intra-object overflows Table 4's defenses all miss.
-AttackOutcome RunAttack(const AttackScenario& scenario, Defense defense,
+// Runs one scenario under one scheme's defense (looked up in the registry:
+// SchemeOf(kind).make_ripe_defense) on a fresh simulated enclave.
+// `narrow_bounds` enables the SS8 extension for schemes that support it:
+// pointers into struct fields are narrowed to the field (RipeDefense::
+// NarrowTo), which catches the intra-object overflows Table 4's defenses
+// all miss; schemes without narrowing ignore the flag.
+AttackOutcome RunAttack(const AttackScenario& scenario, PolicyKind kind,
                         bool narrow_bounds = false);
 
 struct RipeSummary {
@@ -73,8 +70,8 @@ struct RipeSummary {
   int total = 0;
 };
 
-// Runs the full matrix for a defense.
-RipeSummary RunRipeSuite(Defense defense, std::vector<AttackOutcome>* outcomes = nullptr,
+// Runs the full matrix for a scheme.
+RipeSummary RunRipeSuite(PolicyKind kind, std::vector<AttackOutcome>* outcomes = nullptr,
                          bool narrow_bounds = false);
 
 }  // namespace sgxb

@@ -21,32 +21,22 @@
 
 #include "src/ir/builder.h"
 #include "src/ir/interp.h"
-#include "src/ir/passes.h"
+#include "src/policy/scheme_ir.h"
 #include "src/workloads/workload.h"
 
 namespace sgxb {
 namespace {
 
 // Instruments `fn` for the policy, attaches the policy's runtime, and runs
-// the function on the selected engine. Returns the kernel's checksum.
+// the function on the selected engine. Returns the kernel's checksum. The
+// scheme's pass and runtime attachment come from its IR-lowering hook
+// (src/policy/<scheme>/ir_lowering.h) - no scheme is named here.
 template <typename P>
 uint64_t RunIrKernel(Env<P>& env, IrFunction fn) {
   StackAllocator stack(&env.enclave, 1 * kMiB, "ir-stack");
   Interpreter interp(&env.enclave, &env.heap, &stack);
   interp.set_engine(env.options.ir_engine);
-  if constexpr (P::kKind == PolicyKind::kSgxBounds) {
-    SgxPassOptions opts;
-    opts.elide_safe = env.options.opt_safe_elision;
-    opts.hoist_loops = env.options.opt_hoist_checks;
-    RunSgxBoundsPass(fn, opts);
-    interp.AttachSgx(&env.policy.runtime());
-  } else if constexpr (P::kKind == PolicyKind::kAsan) {
-    RunAsanPass(fn);
-    interp.AttachAsan(&env.policy.runtime());
-  } else if constexpr (P::kKind == PolicyKind::kMpx) {
-    RunMpxPass(fn);
-    interp.AttachMpx(&env.policy.runtime());
-  }
+  SchemeIrLowering<P>::Apply(env.policy, interp, fn, env.options);
   return interp.Run(fn, env.cpu, {}, /*max_steps=*/UINT64_MAX);
 }
 

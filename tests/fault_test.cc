@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 
 #include "src/apps/contained_service.h"
@@ -360,18 +361,26 @@ TEST(MetadataFlip, LandsInSchemeMetadataOrIsCountedSkipped) {
 // --- overlay exhaustion plumbing --------------------------------------------------
 
 TEST(OverlayExhaust, PolicyOptionPlumbsThroughToBoundlessMemory) {
-  EnclaveConfig cfg;
-  cfg.space_bytes = 64 * kMiB;
-  Enclave enclave(cfg);
-  Heap heap(&enclave, 16 * kMiB);
-  PolicyOptions options;
-  options.overlay_exhaust = OverlayExhaustPolicy::kFailFast;
-  SgxBoundsPolicy policy(&enclave, &heap, options);
-  EXPECT_EQ(policy.runtime().boundless().exhaust_policy(), OverlayExhaustPolicy::kFailFast);
-  PolicyOptions defaults;
-  SgxBoundsPolicy policy2(&enclave, &heap, defaults);
-  EXPECT_EQ(policy2.runtime().boundless().exhaust_policy(),
-            OverlayExhaustPolicy::kEvictOldest);
+  // Probe through the harness: the scheme with a boundless-memory overlay
+  // (SGXBounds) must see the configured exhaust policy inside a run.
+  auto observed = [](const PolicyOptions& options) {
+    std::optional<OverlayExhaustPolicy> got;
+    MachineSpec spec;
+    spec.space_bytes = 64 * kMiB;
+    spec.heap_reserve = 16 * kMiB;
+    const RunResult r =
+        RunPolicyKind(PolicyKind::kSgxBounds, spec, options, [&](auto& env) {
+          if constexpr (requires { env.policy.runtime().boundless().exhaust_policy(); }) {
+            got = env.policy.runtime().boundless().exhaust_policy();
+          }
+        });
+    EXPECT_FALSE(r.crashed) << r.trap_message;
+    return got;
+  };
+  PolicyOptions fail_fast;
+  fail_fast.overlay_exhaust = OverlayExhaustPolicy::kFailFast;
+  EXPECT_EQ(observed(fail_fast), OverlayExhaustPolicy::kFailFast);
+  EXPECT_EQ(observed(PolicyOptions{}), OverlayExhaustPolicy::kEvictOldest);
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 // Tests for the RIPE reproduction: the Table 4 detection matrix must hold
-// exactly, and each scenario class must behave per its mechanism.
+// exactly, and each scenario class must behave per its mechanism. Defenses
+// are dispatched through the scheme registry (SchemeOf(kind)
+// .make_ripe_defense), so every registered scheme is also checked against
+// its own declared expectation.
 
 #include <gtest/gtest.h>
 
+#include "src/policy/registry.h"
 #include "src/ripe/ripe.h"
 
 namespace sgxb {
@@ -19,66 +23,90 @@ TEST(RipeTest, SixteenScenarios) {
 }
 
 TEST(RipeTest, NativePreventsNothing) {
-  const RipeSummary summary = RunRipeSuite(Defense::kNone);
+  const RipeSummary summary = RunRipeSuite(PolicyKind::kNative);
   EXPECT_EQ(summary.prevented, 0);
   EXPECT_EQ(summary.succeeded, 16);
 }
 
 TEST(RipeTest, Table4MpxPreventsTwo) {
-  const RipeSummary summary = RunRipeSuite(Defense::kMpx);
+  const RipeSummary summary = RunRipeSuite(PolicyKind::kMpx);
   EXPECT_EQ(summary.prevented, 2);
 }
 
 TEST(RipeTest, Table4AsanPreventsEight) {
-  const RipeSummary summary = RunRipeSuite(Defense::kAsan);
+  const RipeSummary summary = RunRipeSuite(PolicyKind::kAsan);
   EXPECT_EQ(summary.prevented, 8);
 }
 
 TEST(RipeTest, Table4SgxBoundsPreventsEight) {
-  const RipeSummary summary = RunRipeSuite(Defense::kSgxBounds);
+  const RipeSummary summary = RunRipeSuite(PolicyKind::kSgxBounds);
   EXPECT_EQ(summary.prevented, 8);
 }
 
+// Every registered scheme - including plugged-in ones like l4ptr - must
+// prevent exactly what its descriptor declares. This is the registry-level
+// Table 4: a scheme whose defense drifts from its claim fails here.
+TEST(RipeTest, EverySchemeMatchesItsDeclaredExpectation) {
+  for (const SchemeDescriptor* d : AllSchemes()) {
+    const RipeSummary summary = RunRipeSuite(d->kind);
+    EXPECT_EQ(summary.prevented, d->ripe_expected_prevented) << d->id;
+    EXPECT_EQ(summary.total, 16) << d->id;
+  }
+}
+
 TEST(RipeTest, PreventedAttacksNeverSucceed) {
-  for (const Defense d :
-       {Defense::kNone, Defense::kMpx, Defense::kAsan, Defense::kSgxBounds}) {
+  for (const SchemeDescriptor* d : AllSchemes()) {
     std::vector<AttackOutcome> outcomes;
-    RunRipeSuite(d, &outcomes);
+    RunRipeSuite(d->kind, &outcomes);
     for (const auto& outcome : outcomes) {
-      EXPECT_FALSE(outcome.prevented && outcome.succeeded);
+      EXPECT_FALSE(outcome.prevented && outcome.succeeded) << d->id;
     }
   }
 }
 
 TEST(RipeTest, IntraObjectEscapesEveryDefense) {
   // SS6.6: in-struct overflows escape object-granularity bounds checking.
-  for (const Defense d : {Defense::kMpx, Defense::kAsan, Defense::kSgxBounds}) {
+  // True for every registered scheme (they are all object-granularity).
+  for (const SchemeDescriptor* d : AllSchemes()) {
+    if (!d->caps.detects_oob_write) {
+      continue;  // native prevents nothing, covered above
+    }
     for (const auto& scenario : RipeScenarios()) {
       if (!scenario.intra_object) {
         continue;
       }
-      const AttackOutcome outcome = RunAttack(scenario, d);
-      EXPECT_FALSE(outcome.prevented) << DefenseName(d) << " / " << scenario.name;
-      EXPECT_TRUE(outcome.succeeded) << DefenseName(d) << " / " << scenario.name;
+      const AttackOutcome outcome = RunAttack(scenario, d->kind);
+      EXPECT_FALSE(outcome.prevented) << d->id << " / " << scenario.name;
+      EXPECT_TRUE(outcome.succeeded) << d->id << " / " << scenario.name;
     }
   }
 }
 
 TEST(RipeTest, InterObjectCaughtByAsanAndSgxBounds) {
-  for (const Defense d : {Defense::kAsan, Defense::kSgxBounds}) {
+  for (const PolicyKind kind : {PolicyKind::kAsan, PolicyKind::kSgxBounds}) {
     for (const auto& scenario : RipeScenarios()) {
       if (scenario.intra_object) {
         continue;
       }
-      const AttackOutcome outcome = RunAttack(scenario, d);
-      EXPECT_TRUE(outcome.prevented) << DefenseName(d) << " / " << scenario.name;
+      const AttackOutcome outcome = RunAttack(scenario, kind);
+      EXPECT_TRUE(outcome.prevented) << PolicyName(kind) << " / " << scenario.name;
     }
+  }
+}
+
+TEST(RipeTest, InterObjectCaughtByL4Ptr) {
+  // The fifth scheme carries both bounds in the pointer tag: direct stores
+  // and the fortified libc both see them, so all 8 inter-object attacks are
+  // prevented without any in-memory metadata.
+  for (const auto& scenario : RipeScenarios()) {
+    const AttackOutcome outcome = RunAttack(scenario, PolicyKind::kL4Ptr);
+    EXPECT_EQ(outcome.prevented, !scenario.intra_object) << scenario.name;
   }
 }
 
 TEST(RipeTest, MpxCatchesOnlyDirectStackSmashes) {
   for (const auto& scenario : RipeScenarios()) {
-    const AttackOutcome outcome = RunAttack(scenario, Defense::kMpx);
+    const AttackOutcome outcome = RunAttack(scenario, PolicyKind::kMpx);
     const bool expect_prevented = !scenario.intra_object &&
                                   scenario.technique == AttackTechnique::kDirectLoop &&
                                   scenario.location == AttackLocation::kStack;
@@ -93,14 +121,9 @@ TEST(RipeTest, LibcMediatedAttacksBypassMpx) {
     if (scenario.technique == AttackTechnique::kDirectLoop) {
       continue;
     }
-    const AttackOutcome outcome = RunAttack(scenario, Defense::kMpx);
+    const AttackOutcome outcome = RunAttack(scenario, PolicyKind::kMpx);
     EXPECT_TRUE(outcome.succeeded) << scenario.name;
   }
-}
-
-TEST(RipeTest, DefenseNames) {
-  EXPECT_STREQ(DefenseName(Defense::kSgxBounds), "SGXBounds");
-  EXPECT_STREQ(DefenseName(Defense::kNone), "native");
 }
 
 TEST(RipeTest, NarrowingExtensionCatchesIntraObject) {
@@ -108,14 +131,16 @@ TEST(RipeTest, NarrowingExtensionCatchesIntraObject) {
   // prevents all 16 attacks (the forward in-struct overflows now trip the
   // narrowed upper bound).
   const RipeSummary summary =
-      RunRipeSuite(Defense::kSgxBounds, nullptr, /*narrow_bounds=*/true);
+      RunRipeSuite(PolicyKind::kSgxBounds, nullptr, /*narrow_bounds=*/true);
   EXPECT_EQ(summary.prevented, 16);
   EXPECT_EQ(summary.succeeded, 0);
 }
 
 TEST(RipeTest, NarrowingDoesNotAffectOtherDefenses) {
-  EXPECT_EQ(RunRipeSuite(Defense::kMpx, nullptr, true).prevented, 2);
-  EXPECT_EQ(RunRipeSuite(Defense::kAsan, nullptr, true).prevented, 8);
+  EXPECT_EQ(RunRipeSuite(PolicyKind::kMpx, nullptr, true).prevented, 2);
+  EXPECT_EQ(RunRipeSuite(PolicyKind::kAsan, nullptr, true).prevented, 8);
+  // NarrowTo is a no-op for l4ptr's defense too.
+  EXPECT_EQ(RunRipeSuite(PolicyKind::kL4Ptr, nullptr, true).prevented, 8);
 }
 
 }  // namespace
