@@ -15,14 +15,19 @@
 #include <cstdlib>
 
 #include "src/trace/record.h"
+#include "src/trace/sweep.h"
 
 namespace {
 
 // EPC sweep (the working-set pressure axis): cycles and fault counts per EPC
 // size, one table per workload. `--mode=live` re-executes the workload per
 // point; `--mode=replay` executes once, records the trace, and re-simulates
-// every point through EpcSweeper. Both print identical series — asserted by
-// tests/trace_test.cc — so replay is purely a wall-clock win.
+// every point through EpcSweeper; `--mode=sweep` also executes once but
+// routes the whole (workload x EPC) grid through the SweepEngine, which
+// decodes each trace once, amortizes one capture per trace, and work-steals
+// the grid across --bench_threads. All three print identical series —
+// asserted by tests/trace_test.cc — so replay/sweep are purely wall-clock
+// wins.
 void RunEpcSweep(const std::vector<const sgxb::WorkloadInfo*>& workloads,
                  const std::vector<uint64_t>& epc_mibs, const std::string& mode,
                  sgxb::SizeClass size, sgxb::PolicyKind kind, uint32_t threads) {
@@ -44,6 +49,37 @@ void RunEpcSweep(const std::vector<const sgxb::WorkloadInfo*>& workloads,
         all_points[i].push_back(ToRunResult(sweeper.ReplayAt(mib * kMiB), rec.trace));
       }
     });
+  } else if (mode == "sweep") {
+    // Record each workload once, then hand every (workload, EPC) cell to the
+    // sweep engine as one batch.
+    std::vector<RecordedRun> recs(workloads.size());
+    ParallelFor(workloads.size(), ResolveBenchThreads(), [&](size_t i) {
+      recs[i] = RecordWorkloadRun(*workloads[i], kind, MachineSpec{}, PolicyOptions{}, cfg);
+    });
+    std::vector<DecodedTrace> decoded;
+    decoded.reserve(recs.size());
+    for (const RecordedRun& rec : recs) {
+      decoded.emplace_back(rec.trace);
+    }
+    std::vector<SweepRequest> grid;
+    for (const DecodedTrace& d : decoded) {
+      for (uint64_t mib : epc_mibs) {
+        SweepRequest req;
+        req.trace = &d;
+        req.config = SimConfigFromHeader(d.header());
+        req.config.epc_bytes = mib * kMiB;
+        grid.push_back(req);
+      }
+    }
+    SweepOptions opt;
+    opt.threads = ResolveBenchThreads();
+    SweepEngine engine(opt);
+    const std::vector<ReplayResult> swept = engine.Run(grid);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      for (size_t j = 0; j < epc_mibs.size(); ++j) {
+        all_points[i].push_back(ToRunResult(swept[i * epc_mibs.size() + j], decoded[i]));
+      }
+    }
   } else {
     std::vector<BenchJob> jobs;
     for (const WorkloadInfo* w : workloads) {
@@ -105,7 +141,9 @@ int main(int argc, char** argv) {
   std::string sweep_size = "S";
   std::string sweep_policy = "sgxbounds";
   parser.AddInt("threads", &threads, "worker threads");
-  parser.AddChoice("mode", &mode, {"live", "replay"}, "EPC sweep execution");
+  parser.AddChoice("mode", &mode, {"live", "replay", "sweep"},
+                   "EPC sweep execution: live re-executes per point, replay records "
+                   "once per workload, sweep batches the grid through the SweepEngine");
   parser.AddString("epc_mibs", &epc_mibs_csv,
                    "comma-separated EPC sizes in MiB; when set, runs the EPC sweep "
                    "instead of the working-set grid");

@@ -202,6 +202,97 @@ int Replay(const std::string& path, FlagParser& parser, int argc, char** argv) {
   return 0;
 }
 
+const char* EventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAccess:
+      return "access";
+    case TraceEventKind::kAccessRun:
+      return "access_run";
+    case TraceEventKind::kCpuDelta:
+      return "cpu_delta";
+    case TraceEventKind::kCommit:
+      return "commit";
+    case TraceEventKind::kDecommit:
+      return "decommit";
+    case TraceEventKind::kParallel:
+      return "parallel";
+    case TraceEventKind::kMarker:
+      return "marker";
+    case TraceEventKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+// Per-kind histogram of the encoded stream: counts, encoded bytes (via
+// TraceReader::byte_offset deltas), and how many individual memory accesses
+// each kind expands to — the run/loop encodings are where the compression
+// comes from, and this table shows exactly how much each buys.
+void PrintEventMix(const Trace& trace) {
+  constexpr size_t kKinds = 8;
+  uint64_t counts[kKinds] = {};
+  uint64_t bytes[kKinds] = {};
+  uint64_t expanded[kKinds] = {};
+  TraceReader reader(trace);
+  TraceEvent ev;
+  size_t prev = 0;
+  while (reader.Next(&ev)) {
+    const size_t k = static_cast<size_t>(ev.kind) & (kKinds - 1);
+    ++counts[k];
+    bytes[k] += reader.byte_offset() - prev;
+    prev = reader.byte_offset();
+    switch (ev.kind) {
+      case TraceEventKind::kAccess:
+        expanded[k] += 1;
+        break;
+      case TraceEventKind::kAccessRun:
+        expanded[k] += ev.count;
+        break;
+      case TraceEventKind::kControl:
+        if (static_cast<ControlSub>(ev.sub) == ControlSub::kLoopRun) {
+          expanded[k] += ev.count * ev.period;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::printf("-- event mix --\n");
+  Table mix({"kind", "events", "bytes", "b/event", "accesses"});
+  uint64_t total_events = 0, total_bytes = 0, total_accesses = 0;
+  for (size_t k = 0; k < kKinds; ++k) {
+    if (counts[k] == 0) {
+      continue;
+    }
+    total_events += counts[k];
+    total_bytes += bytes[k];
+    total_accesses += expanded[k];
+    mix.AddRow({EventKindName(static_cast<TraceEventKind>(k)), std::to_string(counts[k]),
+                std::to_string(bytes[k]),
+                FormatDouble(static_cast<double>(bytes[k]) / counts[k], 1),
+                std::to_string(expanded[k])});
+  }
+  mix.AddSeparator();
+  mix.AddRow({"total", std::to_string(total_events), std::to_string(total_bytes),
+              total_events == 0
+                  ? "-"
+                  : FormatDouble(static_cast<double>(total_bytes) / total_events, 1),
+              std::to_string(total_accesses)});
+  mix.Print();
+  if (total_accesses > 0 && total_bytes > 0) {
+    // Baseline for the ratio: the most compact conceivable per-access
+    // encoding (one minimal 2-byte kAccess event per access, no runs).
+    std::printf("compression:   %" PRIu64 " accesses in %" PRIu64
+                " encoded bytes — %sx vs one 2-byte event per access\n",
+                total_accesses, total_bytes,
+                FormatDouble(static_cast<double>(total_accesses) * 2 /
+                                 static_cast<double>(total_bytes),
+                             1)
+                    .c_str());
+  }
+}
+
 int Info(const std::string& path, FlagParser& parser, int argc, char** argv) {
   uint64_t events = 0;
   parser.AddUint("events", &events, "also print the first N decoded events");
@@ -216,6 +307,7 @@ int Info(const std::string& path, FlagParser& parser, int argc, char** argv) {
   std::printf("file:          %s\n", path.c_str());
   PrintHeader(trace.header);
   PrintSummary(trace.summary, trace.events.size());
+  PrintEventMix(trace);
   if (events > 0) {
     TraceReader reader(trace);
     TraceEvent ev;

@@ -49,6 +49,17 @@ struct CostModel {
   uint32_t syscall_native = 800;
 };
 
+// Field-wise equality, used by the sweep engine's memoization key
+// (src/trace/sweep.h). Keep in sync with the field list above.
+inline bool operator==(const CostModel& a, const CostModel& b) {
+  return a.alu == b.alu && a.branch == b.branch && a.fp == b.fp && a.call == b.call &&
+         a.l1_hit == b.l1_hit && a.l2_hit == b.l2_hit && a.l3_hit == b.l3_hit &&
+         a.dram == b.dram && a.mee_line == b.mee_line && a.epc_fault == b.epc_fault &&
+         a.minor_fault == b.minor_fault && a.syscall_exit == b.syscall_exit &&
+         a.syscall_native == b.syscall_native;
+}
+inline bool operator!=(const CostModel& a, const CostModel& b) { return !(a == b); }
+
 }  // namespace sgxb
 
 #endif  // SGXBOUNDS_SRC_SIM_COST_MODEL_H_

@@ -40,6 +40,17 @@ struct SimConfig {
   CostModel costs;
 };
 
+// Field-wise equality, used by the sweep engine's memoization key
+// (src/trace/sweep.h): two equal configs replay to identical counters, so
+// comparing full configs (rather than hashes) makes memo hits collision-proof.
+inline bool operator==(const SimConfig& a, const SimConfig& b) {
+  return a.l1_bytes == b.l1_bytes && a.l1_ways == b.l1_ways && a.l2_bytes == b.l2_bytes &&
+         a.l2_ways == b.l2_ways && a.l3_bytes == b.l3_bytes && a.l3_ways == b.l3_ways &&
+         a.epc_bytes == b.epc_bytes && a.enclave_mode == b.enclave_mode &&
+         a.costs == b.costs;
+}
+inline bool operator!=(const SimConfig& a, const SimConfig& b) { return !(a == b); }
+
 class MemorySystem {
  public:
   explicit MemorySystem(const SimConfig& config);
@@ -71,7 +82,9 @@ class MemorySystem {
 
   const SimConfig& config() const { return config_; }
   Cache& l3() { return l3_; }
+  const Cache& l3() const { return l3_; }
   EpcSim& epc() { return epc_; }
+  const EpcSim& epc() const { return epc_; }
   bool enclave_mode() const { return config_.enclave_mode; }
   const CostModel& costs() const { return config_.costs; }
 

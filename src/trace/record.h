@@ -36,17 +36,28 @@ inline RecordedRun RecordWorkloadRun(const WorkloadInfo& info, PolicyKind kind,
 
 // Presents a replay outcome in live-run clothing so the figure drivers'
 // table printers work unchanged on replayed data.
-inline RunResult ToRunResult(const ReplayResult& replay, const Trace& trace) {
+inline RunResult ToRunResult(const ReplayResult& replay, const TraceHeader& header,
+                             const TraceSummary& summary) {
   RunResult out;
-  out.kind = static_cast<PolicyKind>(trace.header.policy);
+  out.kind = static_cast<PolicyKind>(header.policy);
   out.cycles = replay.cycles;
   out.peak_vm_bytes = replay.peak_vm_bytes;
   out.counters = replay.counters;
   out.crashed = replay.crashed;
   out.trap = static_cast<TrapKind>(replay.trap_kind);
-  out.trap_message = trace.summary.trap_message;
+  out.trap_message = summary.trap_message;
   out.mpx_bt_count = replay.mpx_bt_count;
   return out;
+}
+
+inline RunResult ToRunResult(const ReplayResult& replay, const Trace& trace) {
+  return ToRunResult(replay, trace.header, trace.summary);
+}
+
+// DecodedTrace carries the same header/summary; used by the sweep-backed
+// figure modes (src/trace/sweep.h).
+inline RunResult ToRunResult(const ReplayResult& replay, const DecodedTrace& trace) {
+  return ToRunResult(replay, trace.header(), trace.summary());
 }
 
 }  // namespace sgxb

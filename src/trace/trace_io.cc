@@ -4,6 +4,14 @@
 #include <cstring>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SGXB_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace sgxb {
 
 namespace {
@@ -111,6 +119,81 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
+// Parses a serialized trace image in place. On success *events_off /
+// *events_len locate the event blob inside `data` — nothing is copied, so
+// both the heap loader and the mmap loader share one parser.
+bool ParseTraceImage(const uint8_t* data, size_t size, const std::string& path,
+                     TraceHeader* header, TraceSummary* summary, size_t* events_off,
+                     size_t* events_len, std::string* error) {
+  Cursor in(data, data + size);
+  if (in.remaining() < sizeof kTraceMagic ||
+      std::memcmp(in.pos(), kTraceMagic, sizeof kTraceMagic) != 0) {
+    return Fail(error, "not a .sgxtrace file (bad magic): " + path);
+  }
+  in.Skip(sizeof kTraceMagic);
+
+  TraceHeader& h = *header;
+  h = TraceHeader{};
+  h.version = in.Get32();
+  if (h.version != kTraceVersion) {
+    return Fail(error, "unsupported trace version " + std::to_string(h.version) +
+                           " (expected " + std::to_string(kTraceVersion) + ")");
+  }
+  h.policy = in.Get8();
+  h.enclave_mode = in.Get8();
+  h.threads = in.Get32();
+  h.seed = in.Get64();
+  h.space_bytes = in.Get64();
+  h.heap_reserve = in.Get64();
+  h.l1_bytes = in.Get64();
+  h.l1_ways = in.Get32();
+  h.l2_bytes = in.Get64();
+  h.l2_ways = in.Get32();
+  h.l3_bytes = in.Get64();
+  h.l3_ways = in.Get32();
+  h.epc_bytes = in.Get64();
+  DeserializeCosts(in, &h.costs);
+  h.cost_table_id = in.Get64();
+  h.workload = in.GetString();
+  h.note = in.GetString();
+
+  const uint64_t nbytes = in.Get64();
+  if (!in.ok() || in.remaining() < nbytes) {
+    return Fail(error, "truncated trace file: " + path);
+  }
+  *events_off = static_cast<size_t>(in.pos() - data);
+  *events_len = static_cast<size_t>(nbytes);
+  in.Skip(static_cast<size_t>(nbytes));
+
+  TraceSummary& s = *summary;
+  s = TraceSummary{};
+  s.event_count = in.Get64();
+  s.stream_hash = in.Get64();
+  s.cpu_count = in.Get32();
+  s.truncated = in.Get8();
+  s.crashed = in.Get8();
+  s.trap_kind = in.Get8();
+  s.live_cycles = in.Get64();
+  s.peak_vm_bytes = in.Get64();
+  s.mpx_bt_count = in.Get32();
+  s.trap_message = in.GetString();
+  const uint32_t footer = in.Get32();
+  if (!in.ok() || footer != kTraceFooterMagic) {
+    return Fail(error, "corrupt trace file (bad footer): " + path);
+  }
+
+  // Integrity: for complete traces the retained bytes are the whole stream,
+  // so their hash must match the summary. Truncated prefixes carry the
+  // full-stream hash, which the prefix cannot reproduce; skip those.
+  if (s.truncated == 0) {
+    const uint64_t hash = FnvUpdate(kFnvOffset, data + *events_off, *events_len);
+    if (hash != s.stream_hash) {
+      return Fail(error, "trace stream hash mismatch (corrupt events): " + path);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveTrace(const Trace& trace, const std::string& path, std::string* error) {
@@ -181,72 +264,94 @@ bool LoadTrace(const std::string& path, Trace* trace, std::string* error) {
     return Fail(error, "short read: " + path);
   }
 
-  Cursor in(raw.data(), raw.data() + raw.size());
-  if (in.remaining() < sizeof kTraceMagic ||
-      std::memcmp(in.pos(), kTraceMagic, sizeof kTraceMagic) != 0) {
-    return Fail(error, "not a .sgxtrace file (bad magic): " + path);
-  }
-  in.Skip(sizeof kTraceMagic);
-
   *trace = Trace{};
-  TraceHeader& h = trace->header;
-  h.version = in.Get32();
-  if (h.version != kTraceVersion) {
-    return Fail(error, "unsupported trace version " + std::to_string(h.version) +
-                           " (expected " + std::to_string(kTraceVersion) + ")");
+  size_t events_off = 0, events_len = 0;
+  if (!ParseTraceImage(raw.data(), raw.size(), path, &trace->header, &trace->summary,
+                       &events_off, &events_len, error)) {
+    return false;
   }
-  h.policy = in.Get8();
-  h.enclave_mode = in.Get8();
-  h.threads = in.Get32();
-  h.seed = in.Get64();
-  h.space_bytes = in.Get64();
-  h.heap_reserve = in.Get64();
-  h.l1_bytes = in.Get64();
-  h.l1_ways = in.Get32();
-  h.l2_bytes = in.Get64();
-  h.l2_ways = in.Get32();
-  h.l3_bytes = in.Get64();
-  h.l3_ways = in.Get32();
-  h.epc_bytes = in.Get64();
-  DeserializeCosts(in, &h.costs);
-  h.cost_table_id = in.Get64();
-  h.workload = in.GetString();
-  h.note = in.GetString();
+  trace->events.assign(raw.data() + events_off, raw.data() + events_off + events_len);
+  return true;
+}
 
-  const uint64_t nbytes = in.Get64();
-  if (!in.ok() || in.remaining() < nbytes) {
-    return Fail(error, "truncated trace file: " + path);
+MappedTrace::~MappedTrace() { Unmap(); }
+
+void MappedTrace::Unmap() {
+#if SGXB_TRACE_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    munmap(map_base_, map_size_);
   }
-  trace->events.assign(in.pos(), in.pos() + nbytes);
-  in.Skip(static_cast<size_t>(nbytes));
+#endif
+  map_base_ = nullptr;
+  map_size_ = 0;
+  events_begin_ = nullptr;
+  events_size_ = 0;
+  fallback_.clear();
+}
 
-  TraceSummary& s = trace->summary;
-  s.event_count = in.Get64();
-  s.stream_hash = in.Get64();
-  s.cpu_count = in.Get32();
-  s.truncated = in.Get8();
-  s.crashed = in.Get8();
-  s.trap_kind = in.Get8();
-  s.live_cycles = in.Get64();
-  s.peak_vm_bytes = in.Get64();
-  s.mpx_bt_count = in.Get32();
-  s.trap_message = in.GetString();
-  const uint32_t footer = in.Get32();
-  if (!in.ok() || footer != kTraceFooterMagic) {
-    return Fail(error, "corrupt trace file (bad footer): " + path);
+bool MappedTrace::Load(const std::string& path, std::string* error) {
+  Unmap();
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+#if SGXB_TRACE_HAVE_MMAP
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Fail(error, "cannot open: " + path);
   }
-
-  // Integrity: for complete traces the retained bytes are the whole stream,
-  // so their hash must match the summary. Truncated prefixes carry the
-  // full-stream hash, which the prefix cannot reproduce; skip those.
-  if (s.truncated == 0) {
-    const uint64_t hash =
-        FnvUpdate(kFnvOffset, trace->events.data(), trace->events.size());
-    if (hash != s.stream_hash) {
-      return Fail(error, "trace stream hash mismatch (corrupt events): " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0 || st.st_size < 0) {
+    close(fd);
+    return Fail(error, "cannot stat: " + path);
+  }
+  map_size_ = static_cast<size_t>(st.st_size);
+  if (map_size_ > 0) {
+    map_base_ = mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map_base_ == MAP_FAILED) {
+      map_base_ = nullptr;
+      close(fd);
+      return Fail(error, "mmap failed: " + path);
     }
   }
+  close(fd);
+  data = static_cast<const uint8_t*>(map_base_);
+  size = map_size_;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Fail(error, "cannot open: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long fsize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  fallback_.resize(fsize > 0 ? static_cast<size_t>(fsize) : 0);
+  const size_t read =
+      fallback_.empty() ? 0 : std::fread(fallback_.data(), 1, fallback_.size(), f);
+  std::fclose(f);
+  if (read != fallback_.size()) {
+    Unmap();
+    return Fail(error, "short read: " + path);
+  }
+  data = fallback_.data();
+  size = fallback_.size();
+#endif
+
+  size_t events_off = 0, events_len = 0;
+  if (!ParseTraceImage(data, size, path, &header_, &summary_, &events_off, &events_len,
+                       error)) {
+    Unmap();
+    return false;
+  }
+  events_begin_ = data + events_off;
+  events_size_ = events_len;
   return true;
+}
+
+Trace MappedTrace::Copy() const {
+  Trace out;
+  out.header = header_;
+  out.summary = summary_;
+  out.events.assign(events_begin(), events_end());
+  return out;
 }
 
 }  // namespace sgxb

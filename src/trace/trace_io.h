@@ -9,6 +9,7 @@
 #ifndef SGXBOUNDS_SRC_TRACE_TRACE_IO_H_
 #define SGXBOUNDS_SRC_TRACE_TRACE_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "src/trace/trace_format.h"
@@ -18,6 +19,46 @@ namespace sgxb {
 // Returns true on success; on failure fills *error.
 bool SaveTrace(const Trace& trace, const std::string& path, std::string* error);
 bool LoadTrace(const std::string& path, Trace* trace, std::string* error);
+
+// Zero-copy load: maps the file read-only and parses header/summary in
+// place; the event bytes stay a view into the mapping instead of a heap
+// copy, so a multi-GB trace opens in microseconds and the pages fault in
+// lazily as the decoder walks them (integrity hashing still touches them
+// all once). The view is valid for the lifetime of this object; feed it
+// straight to DecodedTrace, which reads the bytes exactly once. Falls back
+// to a heap read on platforms without mmap.
+class MappedTrace {
+ public:
+  MappedTrace() = default;
+  ~MappedTrace();
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+
+  // Loads `path`; on failure fills *error and leaves the object empty.
+  bool Load(const std::string& path, std::string* error);
+
+  bool loaded() const { return events_begin_ != nullptr; }
+  const TraceHeader& header() const { return header_; }
+  const TraceSummary& summary() const { return summary_; }
+  const uint8_t* events_begin() const { return events_begin_; }
+  const uint8_t* events_end() const { return events_begin_ + events_size_; }
+  size_t events_size() const { return events_size_; }
+
+  // Materializes a heap-owned Trace (for APIs that mutate or outlive the
+  // mapping). Copies the event bytes.
+  Trace Copy() const;
+
+ private:
+  void Unmap();
+
+  TraceHeader header_;
+  TraceSummary summary_;
+  const uint8_t* events_begin_ = nullptr;
+  size_t events_size_ = 0;
+  void* map_base_ = nullptr;  // non-null only when backed by mmap
+  size_t map_size_ = 0;
+  std::vector<uint8_t> fallback_;  // heap copy when mmap is unavailable
+};
 
 }  // namespace sgxb
 

@@ -60,8 +60,11 @@ std::string FormatTraceEvent(const TraceEvent& ev);
 class TraceReader {
  public:
   explicit TraceReader(const Trace& trace)
-      : p_(trace.events.data()), end_(trace.events.data() + trace.events.size()) {}
-  TraceReader(const uint8_t* begin, const uint8_t* end) : p_(begin), end_(end) {}
+      : p_(trace.events.data()),
+        begin_(trace.events.data()),
+        end_(trace.events.data() + trace.events.size()) {}
+  TraceReader(const uint8_t* begin, const uint8_t* end)
+      : p_(begin), begin_(begin), end_(end) {}
 
   // Decodes the next event into *ev. Returns false at end-of-stream (after
   // the kControl/kEnd event or when the buffer is exhausted, e.g. for
@@ -70,11 +73,15 @@ class TraceReader {
 
   // Events decoded so far.
   uint64_t position() const { return position_; }
+  // Encoded bytes consumed so far (per-kind size attribution in trace_tool
+  // info and decode accounting in DecodedTrace).
+  size_t byte_offset() const { return static_cast<size_t>(p_ - begin_); }
   // True once the explicit end-of-stream event has been consumed.
   bool saw_end() const { return saw_end_; }
 
  private:
   const uint8_t* p_;
+  const uint8_t* begin_;
   const uint8_t* end_;
   uint64_t position_ = 0;
   bool saw_end_ = false;

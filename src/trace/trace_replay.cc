@@ -1,10 +1,10 @@
 #include "src/trace/trace_replay.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
-
-#include "src/trace/trace_reader.h"
 
 namespace sgxb {
 
@@ -50,36 +50,67 @@ struct Region {
 
 }  // namespace
 
-// Capture sink for EpcSweeper: accumulates the EPC-independent replay
-// structure while the structural replay runs. A "segment" is everything the
-// current cpu did between two structural boundaries; its cycles are stored
-// fault-free (the base run's fault charges subtracted) so any EPC size can
-// re-price them.
+// Prices every configuration-dependent component of a segment under `cfg`
+// (resid rides along unchanged: it is the configuration-independent
+// remainder). `faults` is the EPC fault count the segment's miss slice
+// produced under cfg's EPC size; ignored outside the enclave.
+uint64_t ConfigSweeper::SegCounts::Price(const SimConfig& cfg, uint64_t faults) const {
+  const CostModel& c = cfg.costs;
+  uint64_t cyc = alu * c.alu + branches * c.branch + fp * c.fp + calls * c.call +
+                 syscalls * (cfg.enclave_mode ? c.syscall_exit : c.syscall_native) +
+                 l1_hits * c.l1_hit + l2_hits * c.l2_hit + l3_hits * c.l3_hit +
+                 dram * c.dram + minor_faults * c.minor_fault + resid;
+  if (cfg.enclave_mode) {
+    cyc += dram * c.mee_line + faults * c.epc_fault;
+  }
+  return cyc;
+}
+
+// Capture sink for ConfigSweeper: accumulates the cache-geometry-independent
+// replay structure while the structural replay runs. A "segment" is
+// everything the current cpu did between two structural boundaries; it is
+// stored as priced-event COUNTS (plus the config-independent cycle
+// remainder), so any EPC size, cost table or enclave mode can re-price it.
 struct SweepCapture {
-  explicit SweepCapture(EpcSweeper* sweeper, uint64_t fault_cost)
-      : sweeper_(sweeper), fault_cost_(fault_cost) {}
+  explicit SweepCapture(ConfigSweeper* sweeper) : sweeper_(sweeper) {}
 
   void CloseSegment(uint32_t cpu_id, const Cpu& cpu) {
     Grow(cpu_id);
-    const uint64_t cycles = cpu.cycles() - last_cycles_[cpu_id];
-    const uint64_t faults = cpu.counters().epc_faults - last_faults_[cpu_id];
-    const uint32_t misses =
-        static_cast<uint32_t>(sweeper_->miss_pages_.size() - miss_mark_);
-    if (cycles != 0 || misses != 0) {
-      EpcSweeper::Op op;
-      op.type = EpcSweeper::kSegment;
+    const PerfCounters& now = cpu.counters();
+    const PerfCounters& was = last_[cpu_id];
+    ConfigSweeper::SegCounts s;
+    s.alu = now.alu_ops - was.alu_ops;
+    s.branches = now.branches - was.branches;
+    s.fp = now.fp_ops - was.fp_ops;
+    s.calls = now.calls - was.calls;
+    s.syscalls = now.syscalls - was.syscalls;
+    s.l1_hits = (now.l1_accesses - was.l1_accesses) - (now.l1_misses - was.l1_misses);
+    s.l2_hits = (now.l1_misses - was.l1_misses) - (now.l2_misses - was.l2_misses);
+    s.l3_hits = (now.llc_accesses - was.llc_accesses) - (now.llc_misses - was.llc_misses);
+    s.dram = now.llc_misses - was.llc_misses;
+    s.minor_faults = now.minor_faults - was.minor_faults;
+    s.misses = static_cast<uint32_t>(sweeper_->miss_pages_.size() - miss_mark_);
+    const uint64_t cycles = now.cycles - was.cycles;
+    const uint64_t faults = now.epc_faults - was.epc_faults;
+    // Everything priced is derived from counters; the remainder is the
+    // segment's raw (config-independent) charges. Exact by construction.
+    s.resid = cycles - s.Price(sweeper_->config_, faults);
+    if (cycles != 0 || s.misses != 0 ||
+        (s.alu | s.branches | s.fp | s.calls | s.syscalls | s.l1_hits | s.l2_hits |
+         s.l3_hits | s.dram | s.minor_faults) != 0) {
+      ConfigSweeper::Op op;
+      op.type = ConfigSweeper::kSegment;
       op.cpu = cpu_id;
-      op.misses = misses;
-      op.value = cycles - faults * fault_cost_;
+      op.seg = static_cast<uint32_t>(sweeper_->segs_.size());
+      sweeper_->segs_.push_back(s);
       sweeper_->ops_.push_back(op);
     }
-    last_cycles_[cpu_id] = cpu.cycles();
-    last_faults_[cpu_id] = cpu.counters().epc_faults;
+    last_[cpu_id] = now;
     miss_mark_ = sweeper_->miss_pages_.size();
   }
 
-  void Push(EpcSweeper::OpType type, uint32_t cpu, uint64_t value) {
-    EpcSweeper::Op op;
+  void Push(ConfigSweeper::OpType type, uint32_t cpu, uint64_t value) {
+    ConfigSweeper::Op op;
     op.type = type;
     op.cpu = cpu;
     op.value = value;
@@ -88,41 +119,37 @@ struct SweepCapture {
 
   std::vector<uint32_t>* miss_log() { return &sweeper_->miss_pages_; }
   void PushDecommit(uint32_t first_page, uint64_t count) {
-    Push(EpcSweeper::kDecommit, 0, static_cast<uint64_t>(first_page) | count << 32);
+    Push(ConfigSweeper::kDecommit, 0, static_cast<uint64_t>(first_page) | count << 32);
   }
-  void PushParallelBegin(uint32_t caller) { Push(EpcSweeper::kParallelBegin, caller, 0); }
-  void PushWorkerEnd(uint32_t cpu) { Push(EpcSweeper::kWorkerEnd, cpu, 0); }
+  void PushParallelBegin(uint32_t caller) { Push(ConfigSweeper::kParallelBegin, caller, 0); }
+  void PushWorkerEnd(uint32_t cpu) { Push(ConfigSweeper::kWorkerEnd, cpu, 0); }
   void PushParallelEnd(uint32_t caller, uint64_t spawn) {
-    Push(EpcSweeper::kParallelEnd, caller, spawn);
+    Push(ConfigSweeper::kParallelEnd, caller, spawn);
   }
 
   // After the structural replay applies a parallel-region charge to the
   // caller, rebaseline it so the charge is not double-counted in the
-  // caller's next segment (ReplayAt re-derives it from worker cycles).
+  // caller's next segment (Replay re-derives it from worker cycles).
   void Rebaseline(uint32_t cpu_id, const Cpu& cpu) {
     Grow(cpu_id);
-    last_cycles_[cpu_id] = cpu.cycles();
-    last_faults_[cpu_id] = cpu.counters().epc_faults;
+    last_[cpu_id] = cpu.counters();
   }
 
   void Grow(uint32_t cpu_id) {
-    if (last_cycles_.size() <= cpu_id) {
-      last_cycles_.resize(cpu_id + 1, 0);
-      last_faults_.resize(cpu_id + 1, 0);
+    if (last_.size() <= cpu_id) {
+      last_.resize(cpu_id + 1);
     }
   }
 
-  EpcSweeper* sweeper_;
-  uint64_t fault_cost_;
-  std::vector<uint64_t> last_cycles_;
-  std::vector<uint64_t> last_faults_;
+  ConfigSweeper* sweeper_;
+  std::vector<PerfCounters> last_;
   size_t miss_mark_ = 0;
 };
 
 namespace {
 
-ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
-                             SweepCapture* capture) {
+ReplayResult ReplayDecodedImpl(const DecodedTrace& trace, const SimConfig& config,
+                               SweepCapture* capture) {
   MemorySystem memsys(config);
   if (capture != nullptr) {
     memsys.set_miss_log(capture->miss_log());
@@ -139,9 +166,7 @@ ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
   std::vector<Region> regions;
   std::vector<uint32_t> region_callers;
 
-  TraceReader reader(trace);
-  TraceEvent ev;
-  while (reader.Next(&ev)) {
+  for (const DecodedEvent& ev : trace.events()) {
     switch (ev.kind) {
       case TraceEventKind::kAccess:
         cur->MemAccess(ev.addr, ev.size, static_cast<AccessClass>(ev.klass));
@@ -151,7 +176,7 @@ ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
                           static_cast<AccessClass>(ev.klass));
         break;
       case TraceEventKind::kCpuDelta:
-        ApplyDelta(*cur, ev.delta, config);
+        ApplyDelta(*cur, trace.delta(ev.aux), config);
         break;
       case TraceEventKind::kCommit:
         cur->CommitPages(ev.page, static_cast<uint32_t>(ev.count));
@@ -229,9 +254,10 @@ ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
           // Re-execute the periodic pattern access by access, in recorded
           // order; each phase goes through the same MemAccess(/Run) paths a
           // live run takes, so all counters stay bit-identical.
+          const LoopPhase* phases = trace.phases(ev.aux);
           for (uint64_t n = 0; n < ev.count; ++n) {
             for (uint32_t j = 0; j < ev.period; ++j) {
-              const LoopPhase& ph = ev.phases[j];
+              const LoopPhase& ph = phases[j];
               const uint32_t a = static_cast<uint32_t>(
                   static_cast<int64_t>(ph.addr) +
                   ph.iter_delta * static_cast<int64_t>(n));
@@ -258,28 +284,53 @@ ReplayResult ReplayTraceImpl(const Trace& trace, const SimConfig& config,
     result.counters += cpu->counters();
   }
   result.cpu_count = static_cast<uint32_t>(cpus.size());
-  result.events_replayed = reader.position();
-  result.peak_vm_bytes = trace.summary.peak_vm_bytes;
-  result.mpx_bt_count = trace.summary.mpx_bt_count;
-  result.crashed = trace.summary.crashed != 0;
-  result.trap_kind = trace.summary.trap_kind;
+  result.events_replayed = trace.event_count();
+  result.peak_vm_bytes = trace.summary().peak_vm_bytes;
+  result.mpx_bt_count = trace.summary().mpx_bt_count;
+  result.crashed = trace.summary().crashed != 0;
+  result.trap_kind = trace.summary().trap_kind;
   return result;
 }
 
 }  // namespace
 
+ReplayResult ReplayDecoded(const DecodedTrace& trace, const SimConfig& config) {
+  return ReplayDecodedImpl(trace, config, nullptr);
+}
+
 ReplayResult ReplayTrace(const Trace& trace, const SimConfig& config) {
-  return ReplayTraceImpl(trace, config, nullptr);
+  return ReplayDecodedImpl(DecodedTrace(trace), config, nullptr);
 }
 
-EpcSweeper::EpcSweeper(const Trace& trace, const SimConfig& base) : config_(base) {
-  SweepCapture capture(this, base.costs.epc_fault);
-  base_ = ReplayTraceImpl(trace, base, &capture);
+ConfigSweeper::ConfigSweeper(const DecodedTrace& trace, const SimConfig& base)
+    : config_(base) {
+  SweepCapture capture(this);
+  base_ = ReplayDecodedImpl(trace, base, &capture);
 }
 
-ReplayResult EpcSweeper::ReplayAt(uint64_t epc_bytes) const {
-  EpcSim epc(epc_bytes);
-  const uint64_t fault_cost = config_.costs.epc_fault;
+ConfigSweeper::ConfigSweeper(const Trace& trace, const SimConfig& base)
+    : ConfigSweeper(DecodedTrace(trace), base) {}
+
+bool ConfigSweeper::CaptureCovers(const SimConfig& base, const SimConfig& cfg) {
+  // Cache geometry shapes the hit/miss pattern the capture froze.
+  if (base.l1_bytes != cfg.l1_bytes || base.l1_ways != cfg.l1_ways ||
+      base.l2_bytes != cfg.l2_bytes || base.l2_ways != cfg.l2_ways ||
+      base.l3_bytes != cfg.l3_bytes || base.l3_ways != cfg.l3_ways) {
+    return false;
+  }
+  // An out-of-enclave capture has no EPC page stream to re-simulate from.
+  return base.enclave_mode || !cfg.enclave_mode;
+}
+
+ReplayResult ConfigSweeper::Replay(const SimConfig& cfg) const {
+  if (!Covers(cfg)) {
+    std::fprintf(stderr,
+                 "ConfigSweeper::Replay: config not covered by the capture "
+                 "(cache geometry differs, or enclave replay from an "
+                 "out-of-enclave capture); use a full replay instead\n");
+    std::abort();
+  }
+  EpcSim epc(cfg.epc_bytes);
   std::vector<uint64_t> cycles(std::max(base_.cpu_count, 1u), 0);
   std::vector<uint64_t> faults(cycles.size(), 0);
   struct Region2 {
@@ -291,13 +342,18 @@ ReplayResult EpcSweeper::ReplayAt(uint64_t epc_bytes) const {
   for (const Op& op : ops_) {
     switch (op.type) {
       case kSegment: {
+        const SegCounts& s = segs_[op.seg];
         uint64_t f = 0;
-        const size_t end = mi + op.misses;
-        for (; mi < end; ++mi) {
-          f += epc.Touch(miss_pages_[mi]) ? 1 : 0;
+        if (cfg.enclave_mode) {
+          const size_t end = mi + s.misses;
+          for (; mi < end; ++mi) {
+            f += epc.Touch(miss_pages_[mi]) ? 1 : 0;
+          }
+        } else {
+          mi += s.misses;  // keep the stream aligned for later segments
         }
         faults[op.cpu] += f;
-        cycles[op.cpu] += op.value + f * fault_cost;
+        cycles[op.cpu] += s.Price(cfg, f);
         break;
       }
       case kParallelBegin:
@@ -316,10 +372,12 @@ ReplayResult EpcSweeper::ReplayAt(uint64_t epc_bytes) const {
         }
         break;
       case kDecommit: {
-        const uint32_t first = static_cast<uint32_t>(op.value);
-        const uint64_t count = op.value >> 32;
-        for (uint64_t i = 0; i < count; ++i) {
-          epc.Invalidate(first + static_cast<uint32_t>(i));
+        if (cfg.enclave_mode) {
+          const uint32_t first = static_cast<uint32_t>(op.value);
+          const uint64_t count = op.value >> 32;
+          for (uint64_t i = 0; i < count; ++i) {
+            epc.Invalidate(first + static_cast<uint32_t>(i));
+          }
         }
         break;
       }

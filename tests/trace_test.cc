@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/trace/record.h"
+#include "src/trace/sweep.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_reader.h"
 #include "src/trace/trace_replay.h"
@@ -247,6 +248,187 @@ TEST(TraceRecorder, EventLimitRetainsDecodablePrefix) {
     ++decoded;
   }
   EXPECT_EQ(decoded, 512u);
+}
+
+// The decode-once substrate: replaying a DecodedTrace equals streaming
+// replay, and the mmap-backed zero-copy load path produces the exact same
+// decode as the heap loader.
+TEST(DecodedTrace, MatchesStreamingReplayAndMappedLoad) {
+  const RecordedRun rec = Record("matrixmul", PolicyKind::kSgxBounds, SizeClass::kXS);
+  const DecodedTrace decoded(rec.trace);
+  EXPECT_EQ(decoded.event_count(), rec.trace.summary.event_count);
+  EXPECT_EQ(decoded.stream_hash(), rec.trace.summary.stream_hash);
+
+  SimConfig cfg = SimConfigFromHeader(rec.trace.header);
+  cfg.epc_bytes = 16 * kMiB;
+  const ReplayResult streamed = ReplayTrace(rec.trace, cfg);
+  const ReplayResult from_decode = ReplayDecoded(decoded, cfg);
+  EXPECT_EQ(from_decode.cycles, streamed.cycles);
+  ExpectCountersEqual(from_decode.counters, streamed.counters, "decoded replay");
+
+  const std::string path = ::testing::TempDir() + "trace_mapped.sgxtrace";
+  std::string error;
+  ASSERT_TRUE(SaveTrace(rec.trace, path, &error)) << error;
+  MappedTrace mapped;
+  ASSERT_TRUE(mapped.Load(path, &error)) << error;
+  const DecodedTrace from_map(mapped.header(), mapped.summary(), mapped.events_begin(),
+                              mapped.events_end());
+  std::remove(path.c_str());
+  EXPECT_EQ(from_map.stream_hash(), decoded.stream_hash());
+  EXPECT_EQ(from_map.event_count(), decoded.event_count());
+  const ReplayResult from_map_replay = ReplayDecoded(from_map, cfg);
+  EXPECT_EQ(from_map_replay.cycles, streamed.cycles);
+  ExpectCountersEqual(from_map_replay.counters, streamed.counters, "mmap replay");
+}
+
+// The generalized capture axes: one enclave-ON capture must re-price cost
+// tables and enclave mode (not just EPC size) bit-identically to a full
+// replay, and must refuse configs with a different cache geometry.
+TEST(ConfigSweeper, RepricesCostTableAndEnclaveAxes) {
+  const RecordedRun rec = Record("kmeans", PolicyKind::kSgxBounds, SizeClass::kXS);
+  const DecodedTrace decoded(rec.trace);
+  const SimConfig base = SimConfigFromHeader(rec.trace.header);
+  const ConfigSweeper sweeper(decoded, base);
+
+  std::vector<SimConfig> cases;
+  {
+    SimConfig pricier = base;  // scale the SGX-pressure prices
+    pricier.costs.dram = 300;
+    pricier.costs.mee_line = 540;
+    pricier.costs.epc_fault = 90000;
+    cases.push_back(pricier);
+  }
+  {
+    SimConfig native = base;  // enclave off from an enclave-ON capture
+    native.enclave_mode = false;
+    cases.push_back(native);
+  }
+  {
+    SimConfig both = base;  // cross-axis: native pricing + cheaper compute
+    both.enclave_mode = false;
+    both.costs.alu = 2;
+    both.costs.syscall_native = 1600;
+    both.epc_bytes = 8 * kMiB;  // irrelevant outside the enclave; must not leak
+    cases.push_back(both);
+  }
+  for (size_t i = 0; i < cases.size(); ++i) {
+    ASSERT_TRUE(sweeper.Covers(cases[i])) << "case " << i;
+    const ReplayResult full = ReplayDecoded(decoded, cases[i]);
+    const ReplayResult swept = sweeper.Replay(cases[i]);
+    EXPECT_EQ(swept.cycles, full.cycles) << "case " << i;
+    ExpectCountersEqual(swept.counters, full.counters,
+                        "capture axis case " + std::to_string(i));
+  }
+
+  SimConfig other_geometry = base;
+  other_geometry.l3_bytes = base.l3_bytes / 2;
+  EXPECT_FALSE(sweeper.Covers(other_geometry))
+      << "cache geometry changes hit/miss outcomes; capture must not claim it";
+}
+
+// The parallel sweep engine over a sampled 4-axis grid (EPC size, cost
+// table, enclave mode, L3 geometry) must be bit-identical to a sequential
+// full replay of every config — including the geometry points, which cannot
+// use the capture shortcut.
+TEST(SweepEngine, MatchesSequentialReplayOnSampledGrid) {
+  const RecordedRun rec = Record("kmeans", PolicyKind::kSgxBounds, SizeClass::kXS);
+  const DecodedTrace decoded(rec.trace);
+  const SimConfig base = SimConfigFromHeader(rec.trace.header);
+
+  std::vector<SweepRequest> grid;
+  for (uint64_t epc_mib : {8, 32, 94}) {
+    for (uint32_t dram : {150, 300}) {
+      for (bool enclave : {true, false}) {
+        for (uint64_t l3_div : {1, 2}) {
+          SweepRequest req;
+          req.trace = &decoded;
+          req.config = base;
+          req.config.epc_bytes = epc_mib * kMiB;
+          req.config.costs.dram = dram;
+          req.config.enclave_mode = enclave;
+          req.config.l3_bytes = base.l3_bytes / l3_div;
+          grid.push_back(req);
+        }
+      }
+    }
+  }
+
+  SweepOptions opt;
+  opt.threads = 4;
+  SweepEngine engine(opt);
+  const std::vector<ReplayResult> swept = engine.Run(grid);
+  ASSERT_EQ(swept.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ReplayResult full = ReplayDecoded(decoded, grid[i].config);
+    EXPECT_EQ(swept[i].cycles, full.cycles) << "request " << i;
+    ExpectCountersEqual(swept[i].counters, full.counters,
+                        "sweep request " + std::to_string(i));
+  }
+  EXPECT_EQ(engine.stats().requests, grid.size());
+  EXPECT_EQ(engine.stats().memo_hits + engine.stats().capture_replays +
+                engine.stats().full_replays,
+            grid.size());
+}
+
+// --bench_threads must never change results: the same grid swept on 1, 4 and
+// 16 threads produces identical ReplayResults AND identical stats (the
+// dedup/memo accounting is resolved before dispatch, not by racing workers).
+TEST(SweepEngine, ThreadCountInvariance) {
+  const RecordedRun rec = Record("wordcount", PolicyKind::kSgxBounds, SizeClass::kXS);
+  const DecodedTrace decoded(rec.trace);
+  const SimConfig base = SimConfigFromHeader(rec.trace.header);
+
+  std::vector<SweepRequest> grid;
+  for (uint64_t epc_mib : {8, 16, 24, 32, 48, 64, 94, 128}) {
+    for (bool enclave : {true, false}) {
+      SweepRequest req;
+      req.trace = &decoded;
+      req.config = base;
+      req.config.epc_bytes = epc_mib * kMiB;
+      req.config.enclave_mode = enclave;
+      grid.push_back(req);
+    }
+  }
+  grid.push_back(grid.front());  // an in-batch duplicate must also be stable
+
+  std::vector<std::vector<ReplayResult>> per_threads;
+  std::vector<SweepStats> per_stats;
+  for (uint32_t threads : {1u, 4u, 16u}) {
+    SweepOptions opt;
+    opt.threads = threads;
+    SweepEngine engine(opt);
+    per_threads.push_back(engine.Run(grid));
+    per_stats.push_back(engine.stats());
+  }
+  for (size_t t = 1; t < per_threads.size(); ++t) {
+    ASSERT_EQ(per_threads[t].size(), per_threads[0].size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(per_threads[t][i].cycles, per_threads[0][i].cycles)
+          << "threads variant " << t << ", request " << i;
+      ExpectCountersEqual(per_threads[t][i].counters, per_threads[0][i].counters,
+                          "threads variant " + std::to_string(t) + " request " +
+                              std::to_string(i));
+    }
+    EXPECT_EQ(per_stats[t].memo_hits, per_stats[0].memo_hits);
+    EXPECT_EQ(per_stats[t].captures_built, per_stats[0].captures_built);
+    EXPECT_EQ(per_stats[t].capture_replays, per_stats[0].capture_replays);
+    EXPECT_EQ(per_stats[t].full_replays, per_stats[0].full_replays);
+  }
+
+  // Re-running the same grid on the same engine must answer from the memo.
+  SweepOptions opt;
+  opt.threads = 4;
+  SweepEngine engine(opt);
+  const std::vector<ReplayResult> first = engine.Run(grid);
+  const uint64_t replays_after_first =
+      engine.stats().capture_replays + engine.stats().full_replays;
+  const std::vector<ReplayResult> second = engine.Run(grid);
+  EXPECT_EQ(engine.stats().capture_replays + engine.stats().full_replays,
+            replays_after_first)
+      << "second pass should be pure memo hits";
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(second[i].cycles, first[i].cycles) << "memoized request " << i;
+  }
 }
 
 }  // namespace
