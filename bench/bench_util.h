@@ -157,12 +157,12 @@ inline void WriteBenchJsonLocked() {
 // ids are not comparable.
 inline void PrintReproHeader(const char* binary, const MachineSpec& spec) {
   JsonState().binary = binary;
-  const SimConfig defaults;
   std::printf(
       "[repro] %s: trace_version=%u cost_table=%016llx epc=%llu MiB enclave=%s "
       "seed=%llu sim_threads=%u bench_threads=%u\n",
-      binary, kTraceVersion,
-      static_cast<unsigned long long>(CostTableId(defaults.costs)),
+      binary,
+      spec.costs.TransitionsEnabled() ? kTraceVersionTransitions : kTraceVersion,
+      static_cast<unsigned long long>(CostTableId(spec.costs)),
       static_cast<unsigned long long>(spec.epc_bytes / kMiB),
       spec.enclave_mode ? "on" : "off", static_cast<unsigned long long>(spec.seed),
       spec.threads, ResolveBenchThreads());

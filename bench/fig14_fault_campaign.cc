@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   uint64_t value_bytes = 64;
   int64_t events = 6;
   std::string faults_spec;
+  std::string fault_class = "all";
   bool json = false;
   std::string json_out = "BENCH_fig14_fault_campaign.json";
   parser.AddUint("seed", &seed, "base campaign seed; all randomness derives from it");
@@ -108,6 +109,10 @@ int main(int argc, char** argv) {
   parser.AddString("faults", &faults_spec,
                    "explicit fault plan spec (see src/fault/fault.h); replaces the "
                    "generated campaign classes with this single plan");
+  parser.AddChoice("fault_class", &fault_class,
+                   {"all", "none", "alloc_fail", "wild_write", "epc_storm",
+                    "metadata_flip", "mixed"},
+                   "restrict the generated campaigns to one fault class");
   parser.AddBool("json", &json, "also write the full per-run matrix to --json_out");
   parser.AddString("json_out", &json_out, "JSON output path");
   parser.AddInt("bench_threads", &BenchThreadsFlag(),
@@ -155,6 +160,9 @@ int main(int argc, char** argv) {
     }
   } else {
     for (int cls = 0; cls < kClassCount; ++cls) {
+      if (fault_class != "all" && fault_class != kClassNames[cls]) {
+        continue;
+      }
       for (uint32_t c = 0; c < (cls == kClassNone ? 1u : n_campaigns); ++c) {
         int plan_index = -1;
         if (cls != kClassNone) {
@@ -203,6 +211,9 @@ int main(int argc, char** argv) {
   }
   Table matrix(matrix_head);
   for (int cls = custom ? kClassCount : 0; cls < total_classes; ++cls) {
+    if (cls < kClassCount && fault_class != "all" && fault_class != kClassNames[cls]) {
+      continue;
+    }
     std::vector<std::string> row = {class_name(cls)};
     for (PolicyKind kind : policies) {
       std::vector<Outcome> outcomes;

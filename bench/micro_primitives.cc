@@ -104,6 +104,36 @@ void BM_HeapAllocFree(benchmark::State& state) {
 }
 BENCHMARK(BM_HeapAllocFree);
 
+// The farm records one histogram Add per served request (src/farm), so the
+// sketch insert is a fleet-simulation hot path alongside the check paths.
+void BM_LatencyHistogramAdd(benchmark::State& state) {
+  LatencyHistogram h;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.Add(x & 0xffffffu);
+  }
+  benchmark::DoNotOptimize(h.Digest());
+}
+BENCHMARK(BM_LatencyHistogramAdd);
+
+void BM_LatencyHistogramQuantile(benchmark::State& state) {
+  LatencyHistogram h;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 100000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.Add(x & 0xffffffu);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.P999());
+  }
+}
+BENCHMARK(BM_LatencyHistogramQuantile);
+
 // --- interpreter dispatch ---------------------------------------------------------
 //
 // Pure-ALU counted loop (no memory traffic): isolates per-instruction

@@ -21,7 +21,13 @@ int main(int argc, char** argv) {
   bool no_enclave = false;
   bool list = false;
   bool no_opts = false;
-  parser.AddString("workload", &workload, "workload name (see --list)");
+  // Strict choice: an unknown name dies at parse time listing every
+  // registered spelling, instead of running the default workload.
+  std::vector<std::string> workload_choices;
+  for (const WorkloadInfo* w : WorkloadRegistry::Instance().All()) {
+    workload_choices.push_back(w->name);
+  }
+  parser.AddChoice("workload", &workload, workload_choices, "workload name (see --list)");
   parser.AddChoice("policy", &policy, PolicyChoices(), "memory-safety scheme");
   parser.AddChoice("size", &size, SizeClassChoices(), "input size class");
   parser.AddInt("threads", &threads, "worker threads");

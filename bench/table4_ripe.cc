@@ -14,13 +14,34 @@
 #include "src/common/table.h"
 #include "src/ripe/ripe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgxb;
+  FlagParser parser;
+  std::string policies = "all";
+  {
+    std::string help = "comma-separated schemes to test (";
+    for (const SchemeDescriptor* d : AllSchemes()) {
+      help += d->id;
+      help += "|";
+    }
+    help += "paper|all)";
+    parser.AddString("policies", &policies, help);
+  }
+  parser.Parse(argc, argv);
+  std::string error;
+  const std::vector<PolicyKind> kinds = ParsePolicyList(policies, &error);
+  if (kinds.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::vector<const SchemeDescriptor*> schemes;
+  for (const PolicyKind kind : kinds) {
+    schemes.push_back(&SchemeOf(kind));
+  }
+
   PrintReproHeader("table4_ripe", MachineSpec{});
   std::printf("Table 4: RIPE attack matrix (16 attacks surviving under SGX)\n");
   std::printf("paper expectation: MPX 2/16, ASan 8/16, SGXBounds 8/16\n\n");
-
-  const std::vector<const SchemeDescriptor*>& schemes = AllSchemes();
 
   std::vector<std::string> head{"attack"};
   for (const SchemeDescriptor* d : schemes) {

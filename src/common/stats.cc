@@ -34,6 +34,116 @@ double RunningStat::stddev() const {
   return std::sqrt(m2_ / static_cast<double>(count_ - 1));
 }
 
+uint32_t LatencyHistogram::BucketOf(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  // floor(log_gamma(v)) + 1; bucket i >= 1 holds (gamma^(i-1), gamma^i].
+  const double lg = std::log(static_cast<double>(value)) / std::log(kGamma);
+  uint32_t b = static_cast<uint32_t>(std::max(0.0, std::ceil(lg)));
+  // Guard against floating-point edge cases at exact powers of gamma: the
+  // invariant is value <= gamma^b and value > gamma^(b-1).
+  while (static_cast<double>(value) > std::pow(kGamma, b)) {
+    ++b;
+  }
+  while (b > 0 && static_cast<double>(value) <= std::pow(kGamma, b - 1)) {
+    --b;
+  }
+  return b + 1;
+}
+
+double LatencyHistogram::BucketRep(uint32_t bucket) {
+  if (bucket == 0) {
+    return 0.0;
+  }
+  // Stored index `bucket` holds (gamma^(bucket-2), gamma^(bucket-1)]; the
+  // harmonic midpoint 2*gamma^(bucket-1)/(gamma+1) keeps the relative
+  // distance to any value in the bucket at most (gamma - 1) / (gamma + 1).
+  return 2.0 * std::pow(kGamma, bucket - 1) / (kGamma + 1.0);
+}
+
+void LatencyHistogram::Add(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const uint32_t b = BucketOf(value);
+  if (buckets_.size() <= b) {
+    buckets_.resize(b + 1, 0);
+  }
+  buckets_[b] += count;
+  if (total_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double rep = BucketRep(static_cast<uint32_t>(i));
+      return std::min(static_cast<double>(max_),
+                      std::max(static_cast<double>(min_), rep));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+uint64_t LatencyHistogram::Digest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix64 = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      mix64(i);
+      mix64(buckets_[i]);
+    }
+  }
+  mix64(total_);
+  mix64(min_);
+  mix64(max_);
+  return h;
+}
+
 double GeoMean(const std::vector<double>& values) {
   if (values.empty()) {
     return 0.0;

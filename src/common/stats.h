@@ -32,6 +32,53 @@ class RunningStat {
   double m2_ = 0.0;
 };
 
+// Mergeable log-bucket latency histogram (DDSketch-flavoured): values map to
+// geometrically spaced buckets with exact integer counts, so any quantile
+// comes back with bounded relative error (<= `kGamma - 1` ≈ 2%) and two
+// histograms recorded independently merge into exactly the histogram of the
+// combined stream — which is what lets the farm accumulate per-shard request
+// latencies host-parallel and still report deterministic fleet p50/p99/p999.
+//
+// Values are nonnegative integers (simulated cycles). Zero gets its own
+// exact bucket; everything else lands in bucket floor(log_gamma(v)).
+class LatencyHistogram {
+ public:
+  // Bucket boundaries grow by kGamma per bucket: relative quantile error is
+  // at most (kGamma - 1) / (kGamma + 1) one-sided, < 2% reported value.
+  static constexpr double kGamma = 1.04;
+
+  void Add(uint64_t value, uint64_t count = 1);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return total_; }
+  uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  uint64_t max() const { return total_ == 0 ? 0 : max_; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+
+  // q in [0, 1]. Returns the representative value (geometric bucket
+  // midpoint, clamped to observed min/max) of the bucket holding the
+  // ceil(q * count)-th smallest sample; 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
+
+  // FNV-1a over (bucket index, count) pairs + totals: the digest the farm
+  // smoke test pins across worker-thread counts.
+  uint64_t Digest() const;
+
+ private:
+  static uint32_t BucketOf(uint64_t value);
+  static double BucketRep(uint32_t bucket);
+
+  std::vector<uint64_t> buckets_;  // [0] = exact zeros; [i] = gamma^(i-1)..gamma^i
+  uint64_t total_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
 // Geometric mean of strictly positive values; returns 0 for an empty input.
 double GeoMean(const std::vector<double>& values);
 

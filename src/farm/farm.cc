@@ -1,0 +1,289 @@
+#include "src/farm/farm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <queue>
+
+#include "src/apps/httpd.h"
+#include "src/apps/kvstore.h"
+#include "src/apps/memcached.h"
+#include "src/apps/nginx_app.h"
+#include "src/common/host_parallel.h"
+#include "src/farm/ring.h"
+#include "src/runtime/syscall_shim.h"
+
+namespace sgxb {
+
+namespace {
+
+constexpr const char* kAppNames[] = {"kvstore", "memcached", "httpd", "nginx",
+                                     "netserver"};
+constexpr size_t kAppCount = sizeof kAppNames / sizeof kAppNames[0];
+
+// Per-shard phase-A output, written into a shard-indexed slot.
+struct ShardOut {
+  RunResult run;
+  std::vector<uint64_t> service_cycles;  // parallel to the shard's subsequence
+  std::vector<uint8_t> served_flags;     // 1 = served, 0 = dropped/trapped
+  uint64_t served = 0;
+  uint64_t dropped = 0;
+};
+
+// Executes one shard's routed subsequence against its app instance. `mine`
+// holds global request indices in arrival order; per-request op mixes are
+// derived from (key, global index) so they do not depend on the shard count.
+template <typename P>
+void ServeShard(Env<P>& env, const FarmConfig& cfg, const std::vector<FarmRequest>& reqs,
+                const std::vector<uint32_t>& mine, ShardOut* out) {
+  SyscallShim shim(&env.enclave);
+  std::optional<KvStore<P>> kv;
+  std::optional<Memcached<P>> mc;
+  std::optional<Httpd<P>> httpd;
+  std::optional<NginxApp<P>> nginx;
+  typename P::Ptr echo_buf{};
+  std::vector<uint32_t> conns;
+  const std::string get_req = "GET / HTTP/1.1\r\nHost: enclave\r\n\r\n";
+  constexpr uint32_t kEchoBytes = 4096;
+  switch (cfg.app) {
+    case FarmApp::kKvStore:
+      kv.emplace(&env.policy, &env.cpu);
+      break;
+    case FarmApp::kMemcached:
+      mc.emplace(&env.policy, &env.cpu, &shim, /*buckets=*/1 << 10);
+      break;
+    case FarmApp::kHttpd: {
+      httpd.emplace(&env.policy, &env.cpu, &shim);
+      // Connection state is ~1 MiB each (paper Fig. 13b); cap the per-shard
+      // pool so fleet-size sweeps stay inside the 32-bit arena.
+      const uint32_t n = std::min<uint32_t>(std::max(1u, cfg.load.clients), 16);
+      for (uint32_t c = 0; c < n; ++c) {
+        conns.push_back(httpd->OpenConnection());
+      }
+      break;
+    }
+    case FarmApp::kNginx:
+      nginx.emplace(&env.policy, &env.cpu, &shim);
+      break;
+    case FarmApp::kNetserver:
+      echo_buf = env.policy.Malloc(env.cpu, kEchoBytes);
+      break;
+  }
+
+  out->service_cycles.resize(mine.size());
+  out->served_flags.resize(mine.size());
+  char wire[64];
+  std::vector<uint8_t> payload(64, 0x5a);
+  for (size_t i = 0; i < mine.size(); ++i) {
+    const uint32_t gid = mine[i];
+    const FarmRequest& rq = reqs[gid];
+    // Shard-count-invariant op selector: a pure function of the request.
+    const uint64_t op =
+        ConsistentHashRing::Mix64(rq.key + 0x100000001b3ull * (gid + 1)) & 7u;
+    const uint64_t before = env.cpu.cycles();
+    env.cpu.Ecall();  // request dispatch crosses into the shard's enclave
+    bool served = false;
+    switch (cfg.app) {
+      case FarmApp::kKvStore:
+        if (op < 3) {
+          served = env.Serve([&] { kv->Insert(rq.key, 64); });
+        } else if (op < 7) {
+          uint64_t word = 0;
+          served = env.Serve([&] { kv->Get(rq.key, &word); });
+        } else {
+          served = env.Serve([&] { kv->Update(rq.key, rq.key ^ gid); });
+        }
+        break;
+      case FarmApp::kMemcached:
+        if (op < 7) {
+          std::snprintf(wire, sizeof wire, "G %llu\n",
+                        static_cast<unsigned long long>(rq.key));
+        } else {
+          std::snprintf(wire, sizeof wire, "S %llu 128\n",
+                        static_cast<unsigned long long>(rq.key));
+        }
+        served = env.Serve([&] { mc->ServeRequest(wire); });
+        break;
+      case FarmApp::kHttpd: {
+        const uint32_t cid = conns[rq.client % conns.size()];
+        served = env.Serve([&] { httpd->ServeGet(cid, get_req); });
+        break;
+      }
+      case FarmApp::kNginx:
+        served = env.Serve([&] { nginx->ServeGet(get_req); });
+        break;
+      case FarmApp::kNetserver:
+        // Minimal echo: receive a 64-byte datagram into the enclave buffer,
+        // touch it, send it back. The syscall pair is what makes this app
+        // the cleanest probe of the OCALL transition axis.
+        served = env.Serve([&] {
+          const uint32_t addr = env.policy.AddrOf(echo_buf);
+          shim.Recv(env.cpu, addr, payload, 0, kEchoBytes);
+          env.cpu.MemAccess(addr, 64, AccessClass::kAppLoad);
+          env.cpu.Alu(64);
+          shim.Send(env.cpu, addr, 64);
+        });
+        break;
+    }
+    out->service_cycles[i] = env.cpu.cycles() - before;
+    out->served_flags[i] = served ? 1 : 0;
+    served ? ++out->served : ++out->dropped;
+  }
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* FarmAppName(FarmApp app) {
+  const size_t i = static_cast<size_t>(app);
+  return i < kAppCount ? kAppNames[i] : "?";
+}
+
+bool ParseFarmApp(const std::string& name, FarmApp* out) {
+  for (size_t i = 0; i < kAppCount; ++i) {
+    if (name == kAppNames[i]) {
+      *out = static_cast<FarmApp>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> FarmAppChoices() {
+  return std::vector<std::string>(kAppNames, kAppNames + kAppCount);
+}
+
+FarmResult RunFarm(const FarmConfig& cfg) {
+  CHECK_GT(cfg.shards, 0u);
+  const ConsistentHashRing ring(cfg.shards, cfg.vnodes);
+  const std::vector<FarmRequest> reqs = GenerateRequests(cfg.load);
+
+  // Route the stream: per shard, global indices in arrival order.
+  std::vector<std::vector<uint32_t>> routed(cfg.shards);
+  std::vector<uint32_t> shard_of(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const uint32_t s = ring.Route(reqs[i].key);
+    shard_of[i] = s;
+    routed[s].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Phase A: measure service demands, one independent simulation per shard.
+  std::vector<ShardOut> outs(cfg.shards);
+  const uint32_t threads =
+      cfg.host_threads == 0 ? HostHardwareThreads() : cfg.host_threads;
+  ParallelForWorkStealing(cfg.shards, threads, [&](size_t s) {
+    MachineSpec spec = cfg.machine;
+    spec.seed = cfg.machine.seed + 1000003ull * s;  // per-shard env rng stream
+    outs[s].run = RunPolicyKind(cfg.policy, spec, cfg.options, [&](auto& env) {
+      ServeShard(env, cfg, reqs, routed[s], &outs[s]);
+    });
+  });
+
+  // Flatten phase-A outputs back to global request order.
+  std::vector<uint64_t> svc(reqs.size(), 0);
+  std::vector<uint8_t> ok(reqs.size(), 0);
+  {
+    std::vector<size_t> next(cfg.shards, 0);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      const uint32_t s = shard_of[i];
+      const size_t j = next[s]++;
+      // A shard that trapped mid-stream leaves its tail unmeasured; those
+      // requests count as dropped with zero demand.
+      if (j < outs[s].service_cycles.size()) {
+        svc[i] = outs[s].service_cycles[j];
+        ok[i] = outs[s].served_flags[j];
+      }
+    }
+  }
+
+  // Phase B: deterministic discrete-event queueing over measured demands.
+  FarmResult result;
+  std::vector<uint64_t> free_at(cfg.shards, 0);
+  uint64_t makespan = 0;
+  if (cfg.open_loop) {
+    const std::vector<uint64_t> arrivals =
+        PoissonArrivals(reqs.size(), cfg.offered_rps, cfg.ghz, cfg.load.seed);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      const uint32_t s = shard_of[i];
+      const uint64_t start = std::max(arrivals[i], free_at[s]);
+      const uint64_t done = start + svc[i];
+      free_at[s] = done;
+      makespan = std::max(makespan, done);
+      if (ok[i] != 0) {
+        result.latency.Add(done - arrivals[i]);
+      }
+    }
+  } else {
+    // Closed loop: each client has one outstanding request; its next request
+    // is issued `think_cycles` after the previous completion. Ties break on
+    // client id, so the schedule is a pure function of the inputs.
+    const uint32_t clients = std::max(1u, cfg.load.clients);
+    std::vector<std::vector<uint32_t>> per_client(clients);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      per_client[reqs[i].client % clients].push_back(static_cast<uint32_t>(i));
+    }
+    using Ready = std::pair<uint64_t, uint32_t>;  // (time, client)
+    std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> pq;
+    std::vector<size_t> cursor(clients, 0);
+    for (uint32_t c = 0; c < clients; ++c) {
+      if (!per_client[c].empty()) {
+        pq.push({0, c});
+      }
+    }
+    while (!pq.empty()) {
+      const auto [ready, c] = pq.top();
+      pq.pop();
+      const uint32_t i = per_client[c][cursor[c]++];
+      const uint32_t s = shard_of[i];
+      const uint64_t start = std::max(ready, free_at[s]);
+      const uint64_t done = start + svc[i];
+      free_at[s] = done;
+      makespan = std::max(makespan, done);
+      if (ok[i] != 0) {
+        result.latency.Add(done - ready);
+      }
+      if (cursor[c] < per_client[c].size()) {
+        pq.push({done + cfg.think_cycles, c});
+      }
+    }
+  }
+
+  result.makespan_cycles = makespan;
+  result.shards.resize(cfg.shards);
+  uint64_t digest = 1469598103934665603ull;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    FarmShardStats& st = result.shards[s];
+    st.requests = routed[s].size();
+    st.served = outs[s].served;
+    st.dropped = outs[s].dropped + (routed[s].size() - outs[s].service_cycles.size());
+    st.cycles = outs[s].run.cycles;
+    st.counters = outs[s].run.counters;
+    st.crashed = outs[s].run.crashed;
+    result.served += st.served;
+    result.dropped += st.dropped;
+    result.totals += st.counters;
+    digest = FnvMix(digest, st.served);
+    digest = FnvMix(digest, st.dropped);
+    digest = FnvMix(digest, st.cycles);
+    digest = FnvMix(digest, st.counters.ecalls);
+    digest = FnvMix(digest, st.counters.ocalls);
+    digest = FnvMix(digest, st.counters.transition_cycles);
+  }
+  if (makespan > 0) {
+    result.throughput_rps = static_cast<double>(result.served) /
+                            (static_cast<double>(makespan) / (cfg.ghz * 1e9));
+  }
+  digest = FnvMix(digest, result.latency.Digest());
+  digest = FnvMix(digest, makespan);
+  result.digest = digest;
+  return result;
+}
+
+}  // namespace sgxb

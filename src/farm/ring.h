@@ -1,0 +1,80 @@
+// Consistent-hash request routing for the enclave farm.
+//
+// Every (shard, virtual-node) pair owns a point on a 64-bit ring; a request
+// key routes to the shard owning the first point at or after the key's hash
+// (wrapping). Point positions depend only on the pair — never on the shard
+// count — so growing a farm from n to n+1 shards moves ~1/(n+1) of the key
+// space and leaves everything else where it was (the property the farm's
+// warm 32-bit arenas care about, and what ring_test pins).
+//
+// Routing is pure and stateless after construction: the farm can hand one
+// ring to every host worker thread and partition a request stream
+// deterministically regardless of the worker count.
+
+#ifndef SGXBOUNDS_SRC_FARM_RING_H_
+#define SGXBOUNDS_SRC_FARM_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace sgxb {
+
+class ConsistentHashRing {
+ public:
+  // splitmix64 finalizer: the ring's only hash. Also used to spread request
+  // keys before routing so sequential key spaces don't alias one shard.
+  static uint64_t Mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  explicit ConsistentHashRing(uint32_t shards, uint32_t vnodes_per_shard = 64)
+      : shards_(shards) {
+    CHECK_GT(shards, 0u);
+    CHECK_GT(vnodes_per_shard, 0u);
+    points_.reserve(static_cast<size_t>(shards) * vnodes_per_shard);
+    for (uint32_t s = 0; s < shards; ++s) {
+      for (uint32_t v = 0; v < vnodes_per_shard; ++v) {
+        // Position depends only on (s, v): stable under shard add/remove.
+        const uint64_t pos =
+            Mix64((static_cast<uint64_t>(s) << 32) | (v + 1));
+        points_.push_back(Point{pos, s});
+      }
+    }
+    std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+      return a.pos != b.pos ? a.pos < b.pos : a.shard < b.shard;
+    });
+  }
+
+  uint32_t shards() const { return shards_; }
+  size_t points() const { return points_.size(); }
+
+  // Shard owning `key`. O(log points).
+  uint32_t Route(uint64_t key) const {
+    const uint64_t h = Mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, uint64_t v) { return p.pos < v; });
+    if (it == points_.end()) {
+      it = points_.begin();  // wrap
+    }
+    return it->shard;
+  }
+
+ private:
+  struct Point {
+    uint64_t pos;
+    uint32_t shard;
+  };
+  std::vector<Point> points_;
+  uint32_t shards_;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_FARM_RING_H_

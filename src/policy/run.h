@@ -37,6 +37,10 @@ struct MachineSpec {
   uint64_t heap_reserve = 3 * kGiB;
   uint32_t threads = 1;
   uint64_t seed = 42;
+  // Cost table for the simulated machine. Defaults leave every axis at the
+  // calibrated values with enclave transitions off; call
+  // costs.EnableTransitions() to charge ECALL/OCALL world switches.
+  CostModel costs;
   // Optional: record this run's event stream (src/trace). The recorder must
   // outlive the run; the harness calls BeginRun/Finalize around the body.
   TraceRecorder* trace = nullptr;
@@ -108,6 +112,7 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   EnclaveConfig cfg;
   cfg.sim.enclave_mode = spec.enclave_mode;
   cfg.sim.epc_bytes = spec.epc_bytes;
+  cfg.sim.costs = spec.costs;
   cfg.space_bytes = spec.space_bytes;
   Enclave enclave(cfg);
   if (spec.trace != nullptr) {
@@ -127,6 +132,9 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
     machine.l3_ways = sim.l3_ways;
     machine.epc_bytes = sim.epc_bytes;
     machine.costs = sim.costs;
+    if (sim.costs.TransitionsEnabled()) {
+      machine.version = kTraceVersionTransitions;
+    }
     spec.trace->BeginRun(machine);
     enclave.AttachTrace(spec.trace);
   }

@@ -47,6 +47,35 @@ struct CostModel {
   // asynchronous syscalls; copies are charged separately as memory traffic).
   uint32_t syscall_exit = 3000;
   uint32_t syscall_native = 800;
+
+  // Enclave transition costs (EENTER/EEXIT world switches, after Open
+  // Enclave's calls.c/hostcalls.c split). All-zero by default: the axis is
+  // off and every existing trace, counter and cost-table id is unchanged.
+  // When enabled (EnableTransitions), an ECALL charges `ecall` cycles and
+  // every enclave-mode syscall additionally pays an OCALL: `ocall` cycles in
+  // synchronous mode, or `switchless_ocall` when `switchless` is set (the
+  // request is handed to a spinning host worker without leaving the enclave).
+  uint32_t ecall = 0;
+  uint32_t ocall = 0;
+  uint32_t switchless_ocall = 0;
+  uint32_t switchless = 0;  // 0 = synchronous OCALLs, 1 = switchless
+
+  bool TransitionsEnabled() const {
+    return (ecall | ocall | switchless_ocall) != 0;
+  }
+  uint64_t OcallCost() const { return switchless != 0 ? switchless_ocall : ocall; }
+
+  // Turns the transition axis on with calibrated defaults: ~7600 cycles per
+  // ECALL and ~8400 per synchronous OCALL (SDK-measured EENTER/EEXIT round
+  // trips incl. register scrubbing and stack switch), ~620 cycles for a
+  // switchless OCALL (HotCalls-style shared-memory handoff).
+  CostModel& EnableTransitions(bool use_switchless = false) {
+    ecall = 7600;
+    ocall = 8400;
+    switchless_ocall = 620;
+    switchless = use_switchless ? 1 : 0;
+    return *this;
+  }
 };
 
 // Field-wise equality, used by the sweep engine's memoization key
@@ -56,7 +85,8 @@ inline bool operator==(const CostModel& a, const CostModel& b) {
          a.l1_hit == b.l1_hit && a.l2_hit == b.l2_hit && a.l3_hit == b.l3_hit &&
          a.dram == b.dram && a.mee_line == b.mee_line && a.epc_fault == b.epc_fault &&
          a.minor_fault == b.minor_fault && a.syscall_exit == b.syscall_exit &&
-         a.syscall_native == b.syscall_native;
+         a.syscall_native == b.syscall_native && a.ecall == b.ecall && a.ocall == b.ocall &&
+         a.switchless_ocall == b.switchless_ocall && a.switchless == b.switchless;
 }
 inline bool operator!=(const CostModel& a, const CostModel& b) { return !(a == b); }
 

@@ -208,11 +208,35 @@ class Cpu {
   void MemAccessRun(uint32_t addr, uint32_t size, int64_t stride, uint64_t count,
                     AccessClass klass);
 
-  // Syscall boundary crossing (SS2.1: SCONE syscall interface).
+  // Syscall boundary crossing (SS2.1: SCONE syscall interface). When the
+  // transition axis is on (CostModel::TransitionsEnabled()), an enclave-mode
+  // syscall additionally pays an OCALL world switch — synchronous EEXIT/EENTER
+  // or a switchless handoff, per CostModel::OcallCost().
   void Syscall() {
     ++counters_.syscalls;
     counters_.cycles += memory_->enclave_mode() ? costs_->syscall_exit
                                                 : costs_->syscall_native;
+    if (memory_->enclave_mode() && costs_->TransitionsEnabled()) {
+      ++counters_.ocalls;
+      const uint64_t cost = costs_->OcallCost();
+      counters_.transition_cycles += cost;
+      counters_.cycles += cost;
+    }
+  }
+
+  // ECALL world switch (host -> enclave request dispatch). Always recorded in
+  // the trace as a structural event; counted and charged only when this
+  // machine models an enclave and the transition axis is on, so default
+  // configurations are bit-identical with or without Ecall call sites.
+  void Ecall() {
+    if (trace_ != nullptr) {
+      trace_->OnEcall(trace_id_);
+    }
+    if (memory_->enclave_mode() && costs_->TransitionsEnabled()) {
+      ++counters_.ecalls;
+      counters_.transition_cycles += costs_->ecall;
+      counters_.cycles += costs_->ecall;
+    }
   }
 
   PerfCounters& counters() { return counters_; }

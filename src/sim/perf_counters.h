@@ -45,6 +45,14 @@ struct PerfCounters {
   uint64_t bounds_checks = 0;
   uint64_t bounds_violations = 0;
 
+  // Enclave transitions (zero unless CostModel::TransitionsEnabled()).
+  // `ocalls` mirrors enclave-mode syscalls when the axis is on;
+  // `transition_cycles` is the slice of `cycles` attributable to world
+  // switches, so transition overhead is separable in every table.
+  uint64_t ecalls = 0;
+  uint64_t ocalls = 0;
+  uint64_t transition_cycles = 0;
+
   uint64_t instructions() const { return alu_ops + branches + fp_ops + loads + stores; }
   uint64_t page_faults() const { return epc_faults + minor_faults; }
 
@@ -61,7 +69,8 @@ struct PerfCounters {
            l2_misses == other.l2_misses && llc_accesses == other.llc_accesses &&
            llc_misses == other.llc_misses && epc_faults == other.epc_faults &&
            minor_faults == other.minor_faults && bounds_checks == other.bounds_checks &&
-           bounds_violations == other.bounds_violations;
+           bounds_violations == other.bounds_violations && ecalls == other.ecalls &&
+           ocalls == other.ocalls && transition_cycles == other.transition_cycles;
   }
   bool operator!=(const PerfCounters& other) const { return !(*this == other); }
 
@@ -85,6 +94,9 @@ struct PerfCounters {
     minor_faults += other.minor_faults;
     bounds_checks += other.bounds_checks;
     bounds_violations += other.bounds_violations;
+    ecalls += other.ecalls;
+    ocalls += other.ocalls;
+    transition_cycles += other.transition_cycles;
     return *this;
   }
 };

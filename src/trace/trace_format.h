@@ -32,6 +32,11 @@
 namespace sgxb {
 
 inline constexpr uint32_t kTraceVersion = 1;
+// Version 2 streams are byte-identical to version 1 except the header cost
+// table carries four extra fields (ecall/ocall/switchless_ocall/switchless).
+// Recordings use v2 only when the transition axis is on, so every
+// transitions-off trace — including the checked-in goldens — stays v1.
+inline constexpr uint32_t kTraceVersionTransitions = 2;
 inline constexpr char kTraceMagic[8] = {'S', 'G', 'X', 'T', 'R', 'A', 'C', 'E'};
 inline constexpr uint32_t kTraceFooterMagic = 0x53545246u;  // "FRTS"
 
@@ -74,6 +79,11 @@ enum class ControlSub : uint8_t {
   // address step, [zigzag intra-run stride + varint intra-run count when
   // has-run], [varint size when size-tag 0].
   kLoopRun = 2,
+  // Aggregated ECALL count for the current cpu since its last kEcall event
+  // (operand: varint count). Structural like syscalls-in-deltas: the count is
+  // config-independent, and replay prices it only when the replay config is
+  // enclave-mode with the transition axis enabled.
+  kEcall = 3,
 };
 
 // Phase count cap for kLoopRun events (covers the patterns real
@@ -188,6 +198,20 @@ inline uint64_t CostTableId(const CostModel& c) {
     bytes[2] = static_cast<uint8_t>(f >> 16);
     bytes[3] = static_cast<uint8_t>(f >> 24);
     h = FnvUpdate(h, bytes, 4);
+  }
+  // The transition fields join the hash only when the axis is on: every
+  // transitions-off table (including the default) keeps its pre-transition
+  // id, which the golden-trace regression pins.
+  if (c.TransitionsEnabled()) {
+    const uint32_t extra[] = {c.ecall, c.ocall, c.switchless_ocall, c.switchless};
+    for (uint32_t f : extra) {
+      uint8_t bytes[4];
+      bytes[0] = static_cast<uint8_t>(f);
+      bytes[1] = static_cast<uint8_t>(f >> 8);
+      bytes[2] = static_cast<uint8_t>(f >> 16);
+      bytes[3] = static_cast<uint8_t>(f >> 24);
+      h = FnvUpdate(h, bytes, 4);
+    }
   }
   return h;
 }

@@ -92,7 +92,10 @@ class Cursor {
   bool ok_ = true;
 };
 
-void SerializeCosts(std::vector<uint8_t>& out, const CostModel& c) {
+// Version 1 carries the 13 pre-transition cost fields; version 2 appends the
+// four transition fields. v1 files therefore stay byte-identical and load
+// with transitions off.
+void SerializeCosts(std::vector<uint8_t>& out, const CostModel& c, uint32_t version) {
   const uint32_t fields[] = {c.alu,       c.branch,     c.fp,          c.call,
                              c.l1_hit,    c.l2_hit,     c.l3_hit,      c.dram,
                              c.mee_line,  c.epc_fault,  c.minor_fault, c.syscall_exit,
@@ -100,15 +103,29 @@ void SerializeCosts(std::vector<uint8_t>& out, const CostModel& c) {
   for (uint32_t f : fields) {
     Put32(out, f);
   }
+  if (version >= kTraceVersionTransitions) {
+    Put32(out, c.ecall);
+    Put32(out, c.ocall);
+    Put32(out, c.switchless_ocall);
+    Put32(out, c.switchless);
+  }
 }
 
-void DeserializeCosts(Cursor& in, CostModel* c) {
+void DeserializeCosts(Cursor& in, CostModel* c, uint32_t version) {
   uint32_t* fields[] = {&c->alu,       &c->branch,     &c->fp,          &c->call,
                         &c->l1_hit,    &c->l2_hit,     &c->l3_hit,      &c->dram,
                         &c->mee_line,  &c->epc_fault,  &c->minor_fault, &c->syscall_exit,
                         &c->syscall_native};
   for (uint32_t* f : fields) {
     *f = in.Get32();
+  }
+  if (version >= kTraceVersionTransitions) {
+    c->ecall = in.Get32();
+    c->ocall = in.Get32();
+    c->switchless_ocall = in.Get32();
+    c->switchless = in.Get32();
+  } else {
+    c->ecall = c->ocall = c->switchless_ocall = c->switchless = 0;
   }
 }
 
@@ -135,9 +152,10 @@ bool ParseTraceImage(const uint8_t* data, size_t size, const std::string& path,
   TraceHeader& h = *header;
   h = TraceHeader{};
   h.version = in.Get32();
-  if (h.version != kTraceVersion) {
+  if (h.version != kTraceVersion && h.version != kTraceVersionTransitions) {
     return Fail(error, "unsupported trace version " + std::to_string(h.version) +
-                           " (expected " + std::to_string(kTraceVersion) + ")");
+                           " (expected " + std::to_string(kTraceVersion) + " or " +
+                           std::to_string(kTraceVersionTransitions) + ")");
   }
   h.policy = in.Get8();
   h.enclave_mode = in.Get8();
@@ -152,7 +170,7 @@ bool ParseTraceImage(const uint8_t* data, size_t size, const std::string& path,
   h.l3_bytes = in.Get64();
   h.l3_ways = in.Get32();
   h.epc_bytes = in.Get64();
-  DeserializeCosts(in, &h.costs);
+  DeserializeCosts(in, &h.costs, h.version);
   h.cost_table_id = in.Get64();
   h.workload = in.GetString();
   h.note = in.GetString();
@@ -216,7 +234,7 @@ bool SaveTrace(const Trace& trace, const std::string& path, std::string* error) 
   Put64(out, h.l3_bytes);
   Put32(out, h.l3_ways);
   Put64(out, h.epc_bytes);
-  SerializeCosts(out, h.costs);
+  SerializeCosts(out, h.costs, trace.header.version);
   Put64(out, h.cost_table_id);
   PutString(out, h.workload);
   PutString(out, h.note);

@@ -128,6 +128,9 @@ std::string FormatTraceEvent(const TraceEvent& ev) {
           }
           return out;
         }
+        case ControlSub::kEcall:
+          std::snprintf(buf, sizeof buf, "ecall cpu=%u count=%" PRIu64, ev.cpu, ev.count);
+          break;
         default:
           std::snprintf(buf, sizeof buf, "control sub=%u", ev.sub);
           break;
@@ -283,6 +286,9 @@ bool TraceReader::Next(TraceEvent* ev) {
               lastp.stride * static_cast<int64_t>(lastp.count - 1));
           break;
         }
+        case ControlSub::kEcall:
+          ev->count = GetVarint(&p_, end_);
+          break;
       }
       break;
     }

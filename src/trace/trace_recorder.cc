@@ -16,7 +16,9 @@ void TraceRecorder::BeginRun(const TraceHeader& machine_fields) {
   std::string workload = std::move(trace_.header.workload);
   std::string note = std::move(trace_.header.note);
   trace_.header = machine_fields;
-  trace_.header.version = kTraceVersion;
+  trace_.header.version = trace_.header.costs.TransitionsEnabled()
+                              ? kTraceVersionTransitions
+                              : kTraceVersion;
   trace_.header.cost_table_id = CostTableId(trace_.header.costs);
   if (!workload.empty()) {
     trace_.header.workload = std::move(workload);
@@ -235,7 +237,7 @@ void TraceRecorder::FlushCpuDeltas(uint32_t cpu) {
   d.bounds_checks = c.bounds_checks - track.snap.bounds_checks;
   d.bounds_violations = c.bounds_violations - track.snap.bounds_violations;
   d.raw_cycles = track.pending_raw;
-  if (d.Empty()) {
+  if (d.Empty() && track.pending_ecalls == 0) {
     return;
   }
   track.snap = {c.alu_ops,  c.branches,      c.fp_ops,
@@ -243,24 +245,34 @@ void TraceRecorder::FlushCpuDeltas(uint32_t cpu) {
                 c.bounds_violations};
   track.pending_raw = 0;
 
-  uint8_t mask = 0;
-  const uint64_t fields[8] = {d.alu,      d.branches,      d.fp,
-                              d.calls,    d.syscalls,      d.bounds_checks,
-                              d.bounds_violations, d.raw_cycles};
-  for (int i = 0; i < 8; ++i) {
-    if (fields[i] != 0) {
-      mask |= static_cast<uint8_t>(1u << i);
+  if (!d.Empty()) {
+    uint8_t mask = 0;
+    const uint64_t fields[8] = {d.alu,      d.branches,      d.fp,
+                                d.calls,    d.syscalls,      d.bounds_checks,
+                                d.bounds_violations, d.raw_cycles};
+    for (int i = 0; i < 8; ++i) {
+      if (fields[i] != 0) {
+        mask |= static_cast<uint8_t>(1u << i);
+      }
     }
-  }
-  scratch_.clear();
-  scratch_.push_back(static_cast<uint8_t>(TraceEventKind::kCpuDelta));
-  scratch_.push_back(mask);
-  for (int i = 0; i < 8; ++i) {
-    if (fields[i] != 0) {
-      PutVarint(scratch_, fields[i]);
+    scratch_.clear();
+    scratch_.push_back(static_cast<uint8_t>(TraceEventKind::kCpuDelta));
+    scratch_.push_back(mask);
+    for (int i = 0; i < 8; ++i) {
+      if (fields[i] != 0) {
+        PutVarint(scratch_, fields[i]);
+      }
     }
+    EmitEvent(scratch_);
   }
-  EmitEvent(scratch_);
+  if (track.pending_ecalls != 0) {
+    scratch_.clear();
+    scratch_.push_back(static_cast<uint8_t>(TraceEventKind::kControl) |
+                       static_cast<uint8_t>(ControlSub::kEcall) << 3);
+    PutVarint(scratch_, track.pending_ecalls);
+    EmitEvent(scratch_);
+    track.pending_ecalls = 0;
+  }
 }
 
 void TraceRecorder::OnCommit(uint32_t cpu, uint32_t first_page, uint32_t count) {
@@ -380,7 +392,7 @@ void TraceRecorder::Finalize(const Outcome& outcome) {
                        c.syscalls != track.snap.syscalls ||
                        c.bounds_checks != track.snap.bounds_checks ||
                        c.bounds_violations != track.snap.bounds_violations ||
-                       track.pending_raw != 0;
+                       track.pending_raw != 0 || track.pending_ecalls != 0;
     if (dirty) {
       SwitchTo(cpu);
       FlushCpuDeltas(cpu);

@@ -92,6 +92,11 @@ class TraceRecorder {
 
   void OnRawCharge(uint32_t cpu, uint64_t cycles) { tracks_[cpu].pending_raw += cycles; }
 
+  // ECALL tap (Cpu::Ecall). Counts are order-independent within a thread, so
+  // they aggregate like compute deltas and flush as one kEcall control event
+  // per flush point.
+  void OnEcall(uint32_t cpu) { ++tracks_[cpu].pending_ecalls; }
+
   // --- structural events ---
 
   void OnCommit(uint32_t cpu, uint32_t first_page, uint32_t count);
@@ -130,6 +135,7 @@ class TraceRecorder {
     const PerfCounters* counters = nullptr;
     CounterSnap snap;
     uint64_t pending_raw = 0;
+    uint64_t pending_ecalls = 0;
   };
 
   // One access event awaiting emission: a single access (count 1) or an

@@ -41,6 +41,14 @@ void ApplyDelta(Cpu& cpu, const CpuDelta& d, const SimConfig& cfg) {
               d.calls * costs.call +
               d.syscalls * (cfg.enclave_mode ? costs.syscall_exit : costs.syscall_native) +
               d.raw_cycles;
+  // Mirror of Cpu::Syscall's OCALL arm: every enclave-mode syscall is an
+  // OCALL when the replay config's transition axis is on.
+  if (cfg.enclave_mode && costs.TransitionsEnabled()) {
+    c.ocalls += d.syscalls;
+    const uint64_t oc = d.syscalls * costs.OcallCost();
+    c.transition_cycles += oc;
+    c.cycles += oc;
+  }
 }
 
 struct Region {
@@ -62,6 +70,9 @@ uint64_t ConfigSweeper::SegCounts::Price(const SimConfig& cfg, uint64_t faults) 
                  dram * c.dram + minor_faults * c.minor_fault + resid;
   if (cfg.enclave_mode) {
     cyc += dram * c.mee_line + faults * c.epc_fault;
+    if (c.TransitionsEnabled()) {
+      cyc += ecalls * c.ecall + syscalls * c.OcallCost();
+    }
   }
   return cyc;
 }
@@ -89,6 +100,7 @@ struct SweepCapture {
     s.l3_hits = (now.llc_accesses - was.llc_accesses) - (now.llc_misses - was.llc_misses);
     s.dram = now.llc_misses - was.llc_misses;
     s.minor_faults = now.minor_faults - was.minor_faults;
+    s.ecalls = TakePendingEcalls(cpu_id);
     s.misses = static_cast<uint32_t>(sweeper_->miss_pages_.size() - miss_mark_);
     const uint64_t cycles = now.cycles - was.cycles;
     const uint64_t faults = now.epc_faults - was.epc_faults;
@@ -97,7 +109,7 @@ struct SweepCapture {
     s.resid = cycles - s.Price(sweeper_->config_, faults);
     if (cycles != 0 || s.misses != 0 ||
         (s.alu | s.branches | s.fp | s.calls | s.syscalls | s.l1_hits | s.l2_hits |
-         s.l3_hits | s.dram | s.minor_faults) != 0) {
+         s.l3_hits | s.dram | s.minor_faults | s.ecalls) != 0) {
       ConfigSweeper::Op op;
       op.type = ConfigSweeper::kSegment;
       op.cpu = cpu_id;
@@ -141,8 +153,28 @@ struct SweepCapture {
     }
   }
 
+  // ECALL counts are event-derived (not counter diffs): the structural
+  // replay's counters only see them when the base config charges them, but a
+  // capture must reprice them under any config.
+  void AddEcalls(uint32_t cpu_id, uint64_t n) {
+    if (pending_ecalls_.size() <= cpu_id) {
+      pending_ecalls_.resize(cpu_id + 1, 0);
+    }
+    pending_ecalls_[cpu_id] += n;
+    sweeper_->total_ecalls_ += n;
+  }
+  uint64_t TakePendingEcalls(uint32_t cpu_id) {
+    if (pending_ecalls_.size() <= cpu_id) {
+      return 0;
+    }
+    const uint64_t n = pending_ecalls_[cpu_id];
+    pending_ecalls_[cpu_id] = 0;
+    return n;
+  }
+
   ConfigSweeper* sweeper_;
   std::vector<PerfCounters> last_;
+  std::vector<uint64_t> pending_ecalls_;
   size_t miss_mark_ = 0;
 };
 
@@ -250,6 +282,19 @@ ReplayResult ReplayDecodedImpl(const DecodedTrace& trace, const SimConfig& confi
           }
           cur = &cpu_at(ev.cpu);
           cur_id = ev.cpu;
+        } else if (static_cast<ControlSub>(ev.sub) == ControlSub::kEcall) {
+          if (capture != nullptr) {
+            capture->AddEcalls(cur_id, ev.count);
+          }
+          // Same gate as Cpu::Ecall: free unless the replay config models an
+          // enclave with the transition axis on.
+          if (config.enclave_mode && config.costs.TransitionsEnabled()) {
+            PerfCounters& c = cur->counters();
+            c.ecalls += ev.count;
+            const uint64_t cyc = ev.count * config.costs.ecall;
+            c.transition_cycles += cyc;
+            c.cycles += cyc;
+          }
         } else if (static_cast<ControlSub>(ev.sub) == ControlSub::kLoopRun) {
           // Re-execute the periodic pattern access by access, in recorded
           // order; each phase goes through the same MemAccess(/Run) paths a
@@ -393,6 +438,18 @@ ReplayResult ConfigSweeper::Replay(const SimConfig& cfg) const {
   }
   result.counters.cycles = total_cycles;
   result.counters.epc_faults = total_faults;
+  // Transition counters depend on the target config's gate, not the base's.
+  if (cfg.enclave_mode && cfg.costs.TransitionsEnabled()) {
+    result.counters.ecalls = total_ecalls_;
+    result.counters.ocalls = result.counters.syscalls;
+    result.counters.transition_cycles =
+        total_ecalls_ * cfg.costs.ecall +
+        result.counters.syscalls * cfg.costs.OcallCost();
+  } else {
+    result.counters.ecalls = 0;
+    result.counters.ocalls = 0;
+    result.counters.transition_cycles = 0;
+  }
   return result;
 }
 

@@ -121,6 +121,7 @@ class ConfigSweeper {
     uint64_t alu = 0, branches = 0, fp = 0, calls = 0, syscalls = 0;
     uint64_t l1_hits = 0, l2_hits = 0, l3_hits = 0, dram = 0;
     uint64_t minor_faults = 0;
+    uint64_t ecalls = 0;
     uint64_t resid = 0;
     uint32_t misses = 0;  // miss-stream entries consumed by this segment
 
@@ -131,6 +132,7 @@ class ConfigSweeper {
 
   SimConfig config_;
   ReplayResult base_;
+  uint64_t total_ecalls_ = 0;  // event-derived; repriced under any config
   std::vector<uint32_t> miss_pages_;  // EPC page per enclave LLC miss, in order
   std::vector<SegCounts> segs_;
   std::vector<Op> ops_;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/flags.h"
@@ -176,6 +177,71 @@ TEST(FlagsTest, ParsesTypedFlags) {
   EXPECT_EQ(name, "fig7");
   ASSERT_EQ(positional.size(), 1u);
   EXPECT_EQ(positional[0], "pos");
+}
+
+TEST(LatencyHistogramTest, EmptyAndExactZeroBucket) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Add(0, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogramTest, QuantileRelativeErrorWithinTwoPercent) {
+  // Lognormal-ish latency stream from the house PRNG; exact quantiles via
+  // Percentile, sketched quantiles must land within the advertised 2%.
+  Rng rng(7);
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = 100 + rng.NextBounded(1000) * rng.NextBounded(1000);
+    h.Add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    // Exact order statistic at the sketch's own rank definition
+    // (ceil(q * count)-th smallest); the sketch may only add bucket error.
+    const size_t rank = static_cast<size_t>(std::ceil(q * samples.size()));
+    const double want = static_cast<double>(samples[rank == 0 ? 0 : rank - 1]);
+    const double got = h.Quantile(q);
+    EXPECT_NEAR(got, want, want * 0.02) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesClampedToObservedRange) {
+  LatencyHistogram h;
+  h.Add(1000);
+  h.Add(1001);
+  EXPECT_GE(h.Quantile(0.0), 1000.0);
+  EXPECT_LE(h.Quantile(1.0), 1001.0);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedStream) {
+  Rng rng(11);
+  LatencyHistogram whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextBounded(1u << 20);
+    whole.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_EQ(left.Digest(), whole.Digest());
+  EXPECT_EQ(left.P99(), whole.P99());
+}
+
+TEST(LatencyHistogramTest, AddWithCountMatchesRepeatedAdd) {
+  LatencyHistogram a, b;
+  a.Add(777, 42);
+  for (int i = 0; i < 42; ++i) {
+    b.Add(777);
+  }
+  EXPECT_EQ(a.Digest(), b.Digest());
 }
 
 TEST(UnitsTest, AlignAndPageHelpers) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/syscall_shim.h"
 #include "src/trace/record.h"
 #include "src/trace/sweep.h"
 #include "src/trace/trace_io.h"
@@ -48,6 +49,9 @@ void ExpectCountersEqual(const PerfCounters& a, const PerfCounters& b,
       {"minor_faults", &PerfCounters::minor_faults},
       {"bounds_checks", &PerfCounters::bounds_checks},
       {"bounds_violations", &PerfCounters::bounds_violations},
+      {"ecalls", &PerfCounters::ecalls},
+      {"ocalls", &PerfCounters::ocalls},
+      {"transition_cycles", &PerfCounters::transition_cycles},
   };
   for (const Field& f : kFields) {
     EXPECT_EQ(a.*f.member, b.*f.member) << what << ": field " << f.name;
@@ -123,6 +127,69 @@ TEST(TraceReplay, SaveLoadRoundTripPreservesReplay) {
   const ReplayResult replay = ReplayTrace(loaded);
   EXPECT_EQ(replay.cycles, rec.live.cycles);
   ExpectCountersEqual(replay.counters, rec.live.counters, "round-trip");
+}
+
+// The ECALL/OCALL transition axis: a live run with transitions enabled
+// writes a v2 trace whose replay reproduces the new counters bit-for-bit,
+// and the extra cost-table fields survive a save/load round trip.
+TEST(TraceReplay, TransitionCostsReplayBitIdentical) {
+  TraceRecorder recorder("transitions/manual", "");
+  MachineSpec spec;
+  spec.costs.EnableTransitions();
+  spec.trace = &recorder;
+  constexpr uint32_t kRequests = 50;
+  const RunResult live =
+      RunPolicyKind(PolicyKind::kSgxBounds, spec, PolicyOptions{}, [&](auto& env) {
+        SyscallShim shim(&env.enclave);
+        auto buf = env.policy.Malloc(env.cpu, 4096);
+        const std::vector<uint8_t> payload(64, 0x5a);
+        for (uint32_t i = 0; i < kRequests; ++i) {
+          env.cpu.Ecall();
+          const uint32_t addr = env.policy.AddrOf(buf);
+          shim.Recv(env.cpu, addr, payload, 0, 4096);
+          env.cpu.MemAccess(addr, 64, AccessClass::kAppLoad);
+          shim.Send(env.cpu, addr, 64);
+        }
+      });
+  ASSERT_FALSE(live.crashed);
+  EXPECT_EQ(live.counters.ecalls, kRequests);
+  EXPECT_EQ(live.counters.ocalls, 2 * kRequests);  // recv + send per request
+  EXPECT_EQ(live.counters.transition_cycles,
+            live.counters.ecalls * spec.costs.ecall +
+                live.counters.ocalls * spec.costs.OcallCost());
+
+  const Trace trace = recorder.TakeTrace();
+  EXPECT_EQ(trace.header.version, kTraceVersionTransitions);
+
+  const ReplayResult replay = ReplayTrace(trace);
+  EXPECT_EQ(replay.cycles, live.cycles);
+  ExpectCountersEqual(replay.counters, live.counters, "transitions");
+
+  const std::string path = ::testing::TempDir() + "trace_transitions.sgxtrace";
+  std::string error;
+  ASSERT_TRUE(SaveTrace(trace, path, &error)) << error;
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.header.version, kTraceVersionTransitions);
+  EXPECT_TRUE(loaded.header.costs == trace.header.costs);
+  const ReplayResult roundtrip = ReplayTrace(loaded);
+  ExpectCountersEqual(roundtrip.counters, live.counters, "transitions round-trip");
+}
+
+// With transitions DISABLED (every pre-existing configuration), the new
+// counters stay zero live and replayed, and the trace stays version 1 —
+// the gate that keeps all older results and golden traces bit-stable.
+TEST(TraceReplay, TransitionsOffLeavesTracesAtV1) {
+  const RecordedRun rec = Record("matrixmul", PolicyKind::kSgxBounds, SizeClass::kXS);
+  EXPECT_EQ(rec.trace.header.version, kTraceVersion);
+  EXPECT_EQ(rec.live.counters.ecalls, 0u);
+  EXPECT_EQ(rec.live.counters.ocalls, 0u);
+  EXPECT_EQ(rec.live.counters.transition_cycles, 0u);
+  const ReplayResult replay = ReplayTrace(rec.trace);
+  EXPECT_EQ(replay.counters.ecalls, 0u);
+  EXPECT_EQ(replay.counters.ocalls, 0u);
+  EXPECT_EQ(replay.counters.transition_cycles, 0u);
 }
 
 // The sweeper's shortcut (EPC faults never change cache behaviour) must be
