@@ -63,7 +63,7 @@ inline void AddBenchDriverFlags(FlagParser& parser) {
       "ir_engine",
       [](const std::string& value) { return ParseIrEngine(value, &DefaultIrEngine()); },
       "IR execution engine for interpreter-driven workloads",
-      IrEngineName(DefaultIrEngine()), {"reference", "threaded"});
+      IrEngineName(DefaultIrEngine()), {"reference", "threaded", "jit"});
 }
 
 inline uint32_t ResolveBenchThreads() {
@@ -91,6 +91,10 @@ struct BenchJsonState {
   std::string binary = "bench";
   std::vector<BenchJsonRow> rows;
   double total_ms = 0;
+  // Optional driver-provided summary block (pre-rendered JSON object),
+  // emitted as "summary": {...} - see bench/ir_engine.cc for the per-
+  // (workload, policy) speedup_vs_reference geomeans.
+  std::string summary_json;
 };
 
 inline BenchJsonState& JsonState() {
@@ -132,6 +136,9 @@ inline void WriteBenchJsonLocked() {
                BenchThreadsFlag() <= 0 ? HostHardwareThreads()
                                        : static_cast<uint32_t>(BenchThreadsFlag()));
   std::fprintf(f, "  \"selftime_total_seconds\": %.3f,\n", s.total_ms / 1000.0);
+  if (!s.summary_json.empty()) {
+    std::fprintf(f, "  \"summary\": %s,\n", s.summary_json.c_str());
+  }
   std::fprintf(f, "  \"rows\": [");
   for (size_t i = 0; i < s.rows.size(); ++i) {
     const BenchJsonRow& row = s.rows[i];
@@ -149,6 +156,17 @@ inline void WriteBenchJsonLocked() {
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
+}
+
+// Installs/refreshes the summary block and rewrites the JSON file (no-op
+// without --json, like the row path).
+inline void SetBenchJsonSummary(std::string summary_json) {
+  BenchJsonState& s = JsonState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.summary_json = std::move(summary_json);
+  if (JsonFlag()) {
+    WriteBenchJsonLocked();
+  }
 }
 
 // Reproducibility banner: printed first by every figure/table binary so two
@@ -200,6 +218,26 @@ inline std::vector<RunResult> RunBenchJobs(const std::vector<BenchJob>& jobs,
   if (SelftimeFlag()) {
     std::fprintf(stderr, "[selftime] %s total: %.1f ms (%u host threads)\n", tag,
                  jobs.size() > 0 ? total_ms : 0.0, threads);
+    // Decode/compile cache statistics for the IR execution engines, when any
+    // interpreter ran in this batch (process-wide, cumulative).
+    const IrExecStatsSnapshot ir = SnapshotIrExecStats();
+    if (ir.decode_hits + ir.decode_misses > 0) {
+      std::fprintf(stderr,
+                   "[selftime] ir-exec caches: decode %llu hits / %llu misses",
+                   static_cast<unsigned long long>(ir.decode_hits),
+                   static_cast<unsigned long long>(ir.decode_misses));
+      if (ir.jit_hits + ir.jit_compiles + ir.jit_noexec_fallbacks > 0) {
+        std::fprintf(stderr,
+                     "; jit %llu hits / %llu compiles (%llu bytes, %.2f ms, "
+                     "%llu noexec fallbacks)",
+                     static_cast<unsigned long long>(ir.jit_hits),
+                     static_cast<unsigned long long>(ir.jit_compiles),
+                     static_cast<unsigned long long>(ir.jit_compiled_bytes),
+                     ir.jit_compile_ns / 1e6,
+                     static_cast<unsigned long long>(ir.jit_noexec_fallbacks));
+      }
+      std::fprintf(stderr, "\n");
+    }
   }
   {
     BenchJsonState& s = JsonState();

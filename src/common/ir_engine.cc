@@ -16,6 +16,10 @@ bool ParseIrEngine(const std::string& text, IrEngine* out) {
     *out = IrEngine::kThreaded;
     return true;
   }
+  if (text == "jit") {
+    *out = IrEngine::kJit;
+    return true;
+  }
   return false;
 }
 
@@ -27,8 +31,15 @@ const char* IrEngineName(IrEngine engine) {
       return "reference";
     case IrEngine::kThreaded:
       return "threaded";
+    case IrEngine::kJit:
+      return "jit";
   }
   return "?";
+}
+
+IrExecStats& GlobalIrExecStats() {
+  static IrExecStats stats;
+  return stats;
 }
 
 }  // namespace sgxb

@@ -14,6 +14,7 @@
 #include <string>
 #include <tuple>
 
+#include "src/common/ir_engine.h"
 #include "src/ir/exec/decoder.h"
 
 namespace sgxb {
@@ -25,11 +26,13 @@ class DecodeCache {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++misses_;
+      GlobalIrExecStats().decode_misses.fetch_add(1, std::memory_order_relaxed);
       it = entries_
                .emplace(key, std::make_unique<DecodedFunction>(DecodeFunction(fn, options)))
                .first;
     } else {
       ++hits_;
+      GlobalIrExecStats().decode_hits.fetch_add(1, std::memory_order_relaxed);
     }
     return *it->second;
   }

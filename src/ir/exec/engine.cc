@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/ir/eval.h"
+#include "src/ir/exec/flush.h"
 #include "src/ir/exec/uop.h"
 #include "src/ir/interp.h"
 
@@ -49,25 +50,7 @@ uint64_t Interpreter::RunDecoded(const DecodedFunction& df, Cpu& cpu,
   uint64_t pend_branch = 0;
   uint64_t pend_call = 0;
 
-#define SGXB_FLUSH()                                                 \
-  do {                                                               \
-    while (pend_alu > 0) {                                           \
-      const uint32_t n =                                             \
-          pend_alu > 0x40000000 ? 0x40000000u : static_cast<uint32_t>(pend_alu); \
-      cpu.Alu(n);                                                    \
-      pend_alu -= n;                                                 \
-    }                                                                \
-    while (pend_branch > 0) {                                        \
-      const uint32_t n = pend_branch > 0x40000000                    \
-                             ? 0x40000000u                           \
-                             : static_cast<uint32_t>(pend_branch);   \
-      cpu.Branch(n);                                                 \
-      pend_branch -= n;                                              \
-    }                                                                \
-    for (; pend_call > 0; --pend_call) {                             \
-      cpu.Call();                                                    \
-    }                                                                \
-  } while (0)
+#define SGXB_FLUSH() FlushPending(cpu, pend_alu, pend_branch, pend_call)
 
 #define SGXB_STEP()                                                                  \
   do {                                                                               \

@@ -1,0 +1,41 @@
+// Batched pure-compute charge flushing, shared by the direct-threaded engine
+// (engine.cc) and the JIT helper thunks (jit/runtime.cc).
+//
+// Both engines accumulate Alu/Branch/Call charges in plain counters and flush
+// them just before every observable point (memory access, runtime call, trap,
+// return). Keeping the flush in one function is what guarantees the two
+// engines charge the Cpu in exactly the same chunk sequence - any cycle stamp
+// the simulation records is identical to the reference interpreter's, which
+// charges per instruction.
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_FLUSH_H_
+#define SGXBOUNDS_SRC_IR_EXEC_FLUSH_H_
+
+#include <cstdint>
+
+#include "src/sim/machine.h"
+
+namespace sgxb {
+
+inline void FlushPending(Cpu& cpu, uint64_t& pend_alu, uint64_t& pend_branch,
+                         uint64_t& pend_call) {
+  while (pend_alu > 0) {
+    const uint32_t n =
+        pend_alu > 0x40000000 ? 0x40000000u : static_cast<uint32_t>(pend_alu);
+    cpu.Alu(n);
+    pend_alu -= n;
+  }
+  while (pend_branch > 0) {
+    const uint32_t n =
+        pend_branch > 0x40000000 ? 0x40000000u : static_cast<uint32_t>(pend_branch);
+    cpu.Branch(n);
+    pend_branch -= n;
+  }
+  for (; pend_call > 0; --pend_call) {
+    cpu.Call();
+  }
+}
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_FLUSH_H_

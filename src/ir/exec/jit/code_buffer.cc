@@ -1,0 +1,92 @@
+#include "src/ir/exec/jit/code_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(_WIN32)
+// No mmap: the probe fails and every caller falls back to the threaded
+// engine. Kept compiling so the tree builds on non-POSIX hosts.
+#else
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace sgxb {
+namespace jit {
+
+namespace {
+
+constexpr size_t kPage = 4096;
+
+size_t RoundUpToPage(size_t n) { return (n + kPage - 1) & ~(kPage - 1); }
+
+bool ForcedNoExec() {
+  const char* env = std::getenv("SGXB_IR_FORCE_NOEXEC");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+#if !defined(_WIN32)
+bool ProbeExecOnce() {
+  void* p = mmap(nullptr, kPage, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return false;
+  }
+  const bool ok = mprotect(p, kPage, PROT_READ | PROT_EXEC) == 0;
+  munmap(p, kPage);
+  return ok;
+}
+#endif
+
+}  // namespace
+
+bool JitExecutableAvailable() {
+  if (ForcedNoExec()) {
+    return false;
+  }
+#if defined(_WIN32)
+  return false;
+#else
+  static const bool available = ProbeExecOnce();
+  return available;
+#endif
+}
+
+bool ExecCodeBuffer::Install(const uint8_t* bytes, size_t n) {
+#if defined(_WIN32)
+  (void)bytes;
+  (void)n;
+  return false;
+#else
+  if (n == 0 || !JitExecutableAvailable()) {
+    return false;
+  }
+  const size_t size = RoundUpToPage(n);
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return false;
+  }
+  std::memcpy(p, bytes, n);
+  if (mprotect(p, size, PROT_READ | PROT_EXEC) != 0) {
+    munmap(p, size);
+    return false;
+  }
+  base_ = p;
+  size_ = size;
+  return true;
+#endif
+}
+
+void ExecCodeBuffer::Release() {
+#if !defined(_WIN32)
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+  }
+#endif
+  base_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace jit
+}  // namespace sgxb

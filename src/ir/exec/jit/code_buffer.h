@@ -1,0 +1,63 @@
+// W^X executable code buffer for the template JIT.
+//
+// Discipline: code is assembled into plain heap memory, copied into a fresh
+// RW anonymous mapping, and the mapping is flipped to RX (never RWX) before
+// the entry pointer is handed out. One mapping per compiled function,
+// unmapped on destruction.
+//
+// JitExecutableAvailable() answers "can this process execute generated
+// code": a cached one-page mmap/mprotect probe, overridable per-call by the
+// SGXB_IR_FORCE_NOEXEC environment knob (any non-empty value other than "0")
+// so tests and hardened deployments can force the threaded-engine fallback.
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_JIT_CODE_BUFFER_H_
+#define SGXBOUNDS_SRC_IR_EXEC_JIT_CODE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb {
+namespace jit {
+
+class ExecCodeBuffer {
+ public:
+  ExecCodeBuffer() = default;
+  ~ExecCodeBuffer() { Release(); }
+  ExecCodeBuffer(const ExecCodeBuffer&) = delete;
+  ExecCodeBuffer& operator=(const ExecCodeBuffer&) = delete;
+  ExecCodeBuffer(ExecCodeBuffer&& other) noexcept
+      : base_(other.base_), size_(other.size_) {
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  ExecCodeBuffer& operator=(ExecCodeBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      base_ = other.base_;
+      size_ = other.size_;
+      other.base_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  // Maps RW, copies `n` bytes, seals to RX. Returns false (leaving the
+  // buffer empty) if the mapping or the permission flip fails.
+  bool Install(const uint8_t* bytes, size_t n);
+
+  const void* entry() const { return base_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Release();
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+bool JitExecutableAvailable();
+
+}  // namespace jit
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_JIT_CODE_BUFFER_H_

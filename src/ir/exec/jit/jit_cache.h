@@ -1,0 +1,59 @@
+// Memoizes CompileDecodedFunction results per (function, instrumentation)
+// pair, keyed exactly like the decode cache: the structural hash changes
+// whenever a pass re-instruments the body, so a stale compilation can never
+// execute. A failed compilation (executable memory unavailable) is cached
+// too - as a null entry - so the per-function fallback to the threaded
+// engine doesn't retry mmap on every call.
+
+#ifndef SGXBOUNDS_SRC_IR_EXEC_JIT_JIT_CACHE_H_
+#define SGXBOUNDS_SRC_IR_EXEC_JIT_JIT_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/common/ir_engine.h"
+#include "src/ir/exec/decoder.h"
+#include "src/ir/exec/jit/compiler.h"
+
+namespace sgxb {
+
+class JitCache {
+ public:
+  // Returns the compiled program, or nullptr when native code is unavailable
+  // for this function (caller falls back to RunDecoded).
+  const jit::JitProgram* Get(const IrFunction& fn, const DecodedFunction& df,
+                             const DecodeOptions& options) {
+    const Key key{HashIrFunction(fn), fn.name, options.track_mpx, options.fuse};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      it = entries_
+               .emplace(key, std::make_unique<jit::JitProgram>(
+                                 jit::CompileDecodedFunction(df)))
+               .first;
+      compiled_bytes_ += it->second->native_bytes;
+    } else {
+      ++hits_;
+      GlobalIrExecStats().jit_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second->ok() ? it->second.get() : nullptr;
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t compiled_bytes() const { return compiled_bytes_; }
+
+ private:
+  using Key = std::tuple<uint64_t, std::string, bool, bool>;
+  std::map<Key, std::unique_ptr<jit::JitProgram>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t compiled_bytes_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_IR_EXEC_JIT_JIT_CACHE_H_

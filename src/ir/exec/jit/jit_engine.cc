@@ -1,0 +1,81 @@
+// Interpreter::RunJit - the C++ wrapper around one native execution.
+//
+// Mirrors RunDecoded's structure exactly: slot/side-table setup, stack frame
+// push, hot counters seeded from stats_, and the same three exits -
+//   kRet      -> flush pending charges, write stats back, pop, return;
+//   trap      -> same bookkeeping, then rethrow (the helper parked the
+//                exception; generated code cannot be unwound through);
+//   steplimit -> same bookkeeping, then the interpreters' exact SimTrap.
+
+#include <exception>
+
+#include "src/common/check.h"
+#include "src/ir/exec/flush.h"
+#include "src/ir/exec/jit/jit_cache.h"
+#include "src/ir/exec/jit/jit_frame.h"
+#include "src/ir/interp.h"
+
+namespace sgxb {
+
+uint64_t Interpreter::RunJit(const jit::JitProgram& jp, Cpu& cpu,
+                             const std::vector<uint64_t>& args, uint64_t max_steps) {
+  values_.assign(jp.num_slots, 0);
+  if (jp.track_mpx) {
+    CHECK(mpx_ != nullptr);
+    mpx_bounds_.assign(jp.num_slots, MpxBounds{});
+    mpx_valid_.assign(jp.num_slots, 0);
+  }
+
+  const uint32_t frame = stack_->PushFrame();
+  std::exception_ptr pending_exception;
+
+  JitFrame f;
+  f.v = values_.data();
+  f.steps = stats_.steps;
+  f.pend_alu = 0;
+  f.pend_branch = 0;
+  f.max_steps = max_steps;
+  f.pend_call = 0;
+  f.loads = stats_.loads;
+  f.stores = stats_.stores;
+  f.checks = stats_.checks;
+  f.args = args.data();
+  f.nargs = args.size();
+  f.code = jp.code.data();
+  f.cpu = &cpu;
+  f.enclave = enclave_;
+  f.heap = heap_;
+  f.stack = stack_;
+  f.sgx = sgx_;
+  f.asan = asan_;
+  f.mpx = mpx_;
+  f.scheme = scheme_;
+  f.mpx_bounds = jp.track_mpx ? mpx_bounds_.data() : nullptr;
+  f.mpx_valid = jp.track_mpx ? mpx_valid_.data() : nullptr;
+  f.ex_slot = &pending_exception;
+
+  jp.entry(&f);
+
+  // Every exit restores the interpreter invariants in the threaded engine's
+  // order: flush what's still pending, write the counters back, pop the
+  // stack frame - then return or raise.
+  FlushPending(cpu, f.pend_alu, f.pend_branch, f.pend_call);
+  stats_.steps = f.steps;
+  stats_.loads = f.loads;
+  stats_.stores = f.stores;
+  stats_.checks = f.checks;
+  stack_->PopFrame(frame);
+
+  switch (f.status) {
+    case kJitStatusOk:
+      return f.ret;
+    case kJitStatusBail:
+      CHECK(pending_exception != nullptr);
+      std::rethrow_exception(pending_exception);
+    case kJitStatusStepLimit:
+      throw SimTrap(TrapKind::kIllegalInstruction, 0, "interpreter step limit exceeded");
+  }
+  FATAL("JIT program returned an unknown status");
+}
+
+}  // namespace sgxb

@@ -10,13 +10,17 @@
 // program holds tagged pointers (the pass rewrites allocations, masks
 // arithmetic, and inserts checks).
 //
-// Two execution engines produce bit-identical simulated results:
+// Three execution engines produce bit-identical simulated results:
 //
 //   * reference - the original per-instruction switch over IrInstr vectors
 //     (RunReference); kept as the differential-testing oracle;
 //   * threaded  - functions are pre-decoded once into a flat micro-op stream
 //     (src/ir/exec/) and executed with direct-threaded dispatch; decoded
-//     programs are cached per (function, instrumentation) pair.
+//     programs are cached per (function, instrumentation) pair;
+//   * jit       - decoded streams are template-compiled to native x86-64
+//     (src/ir/exec/jit/) and cached under the same key; where executable
+//     memory is unavailable, jit falls back to threaded with a one-time
+//     warning (SGXB_IR_FORCE_NOEXEC forces that path).
 //
 // Run() routes according to set_engine(); the default follows the process
 // default (--ir_engine flag; threaded unless overridden).
@@ -29,6 +33,7 @@
 #include "src/asan/asan_runtime.h"
 #include "src/common/ir_engine.h"
 #include "src/ir/exec/decode_cache.h"
+#include "src/ir/exec/jit/jit_cache.h"
 #include "src/ir/ir.h"
 #include "src/ir/scheme_rt.h"
 #include "src/mpx/mpx_runtime.h"
@@ -75,11 +80,15 @@ class Interpreter {
 
   const InterpStats& stats() const { return stats_; }
   const DecodeCache& decode_cache() const { return cache_; }
+  const JitCache& jit_cache() const { return jit_cache_; }
 
  private:
   // Direct-threaded execution of a decoded program (src/ir/exec/engine.cc).
   uint64_t RunDecoded(const DecodedFunction& df, Cpu& cpu,
                       const std::vector<uint64_t>& args, uint64_t max_steps);
+  // Native execution of a compiled program (src/ir/exec/jit/jit_engine.cc).
+  uint64_t RunJit(const jit::JitProgram& jp, Cpu& cpu,
+                  const std::vector<uint64_t>& args, uint64_t max_steps);
 
   Enclave* enclave_;
   Heap* heap_;
@@ -91,6 +100,7 @@ class Interpreter {
   InterpStats stats_;
   IrEngine engine_ = IrEngine::kDefault;
   DecodeCache cache_;
+  JitCache jit_cache_;
 
   // Scratch buffers reused across Run() calls (sized to fn.num_values each
   // call; capacity persists so steady-state runs allocate nothing). The MPX

@@ -102,11 +102,13 @@ TEST(IrExec, PhiSwapCycleMatchesReference) {
   const IrFunction fn = BuildPhiSwap();
   ASSERT_EQ(fn.Verify(), "");
   const Outcome ref = RunOn(IrEngine::kReference, fn);
-  const Outcome thr = RunOn(IrEngine::kThreaded, fn);
   EXPECT_EQ(ref.result, 12u);
-  EXPECT_EQ(thr.result, 12u);
-  EXPECT_EQ(ref.steps, thr.steps);
-  EXPECT_TRUE(ref.counters == thr.counters);
+  for (const IrEngine engine : {IrEngine::kThreaded, IrEngine::kJit}) {
+    const Outcome out = RunOn(engine, fn);
+    EXPECT_EQ(out.result, 12u);
+    EXPECT_EQ(ref.steps, out.steps);
+    EXPECT_TRUE(ref.counters == out.counters);
+  }
 
   // The back edge's parallel copy is a cycle: the decoder must have parked
   // one destination in a temporary and routed the stub through a free jump.
@@ -125,7 +127,8 @@ TEST(IrExec, ArgReadsZeroOutOfRange) {
   const ValueId oob = b.Arg(3);
   b.Ret(b.Add(b.Mul(in_range, b.Const(100)), oob));
   const IrFunction fn = b.Finish();
-  for (const IrEngine engine : {IrEngine::kReference, IrEngine::kThreaded}) {
+  for (const IrEngine engine :
+       {IrEngine::kReference, IrEngine::kThreaded, IrEngine::kJit}) {
     const Outcome out = RunOn(engine, fn, {7});
     EXPECT_FALSE(out.trapped);
     EXPECT_EQ(out.result, 700u);  // oob argument reads as 0
@@ -138,7 +141,8 @@ TEST(IrExec, DivRemByZeroYieldZero) {
   const ValueId z = b.Arg(0);  // runtime zero: no const folding
   b.Ret(b.Add(b.Bin(IrOp::kUDiv, x, z), b.Bin(IrOp::kURem, x, z)));
   const IrFunction fn = b.Finish();
-  for (const IrEngine engine : {IrEngine::kReference, IrEngine::kThreaded}) {
+  for (const IrEngine engine :
+       {IrEngine::kReference, IrEngine::kThreaded, IrEngine::kJit}) {
     const Outcome out = RunOn(engine, fn, {0});
     EXPECT_FALSE(out.trapped);
     EXPECT_EQ(out.result, 0u);
@@ -175,12 +179,18 @@ TEST(IrExec, StepLimitTrapsIdenticallyIncludingMidFusedOp) {
   // and identical Cpu counters at the trap point.
   for (uint64_t limit = full.steps - 40; limit <= full.steps; ++limit) {
     const Outcome ref = RunOn(IrEngine::kReference, fn, {}, limit);
-    const Outcome thr = RunOn(IrEngine::kThreaded, fn, {}, limit);
-    EXPECT_EQ(ref.trapped, thr.trapped) << "limit " << limit;
     EXPECT_EQ(ref.trapped, limit < full.steps) << "limit " << limit;
-    EXPECT_EQ(ref.steps, thr.steps) << "limit " << limit;
-    EXPECT_EQ(ref.result, thr.result) << "limit " << limit;
-    EXPECT_TRUE(ref.counters == thr.counters) << "limit " << limit;
+    for (const IrEngine engine : {IrEngine::kThreaded, IrEngine::kJit}) {
+      const Outcome out = RunOn(engine, fn, {}, limit);
+      EXPECT_EQ(ref.trapped, out.trapped)
+          << "limit " << limit << " engine " << IrEngineName(engine);
+      EXPECT_EQ(ref.steps, out.steps)
+          << "limit " << limit << " engine " << IrEngineName(engine);
+      EXPECT_EQ(ref.result, out.result)
+          << "limit " << limit << " engine " << IrEngineName(engine);
+      EXPECT_TRUE(ref.counters == out.counters)
+          << "limit " << limit << " engine " << IrEngineName(engine);
+    }
   }
 }
 

@@ -156,9 +156,9 @@ TEST_P(IrFuzz, SgxPassTrapsOnOverflowingVariant) {
 // --- engine differential coverage ----------------------------------------------
 //
 // Every random program - safe and overflowing, under every instrumentation
-// pass - must behave identically on the reference and threaded engines: same
-// return value or same trap, same interpreter stats, and bit-identical
-// PerfCounters (the engines' definition of "same simulation").
+// pass - must behave identically on the reference, threaded, and jit
+// engines: same return value or same trap, same interpreter stats, and
+// bit-identical PerfCounters (the engines' definition of "same simulation").
 
 enum class Hardening { kNone, kSgx, kSgxOpt, kAsan, kMpx };
 
@@ -215,19 +215,22 @@ TEST_P(IrFuzz, EnginesAgreeOnEveryProgram) {
                                       Hardening::kMpx}) {
       const EngineOutcome ref =
           RunUnderEngine(IrEngine::kReference, seed, overflow, hardening);
-      const EngineOutcome thr =
-          RunUnderEngine(IrEngine::kThreaded, seed, overflow, hardening);
-      const std::string what = "seed " + std::to_string(seed) + " overflow " +
-                               std::to_string(overflow) + " hardening " +
-                               std::to_string(static_cast<int>(hardening));
-      EXPECT_EQ(ref.trapped, thr.trapped) << what;
-      EXPECT_EQ(ref.trap_detail, thr.trap_detail) << what;
-      EXPECT_EQ(ref.result, thr.result) << what;
-      EXPECT_TRUE(ref.counters == thr.counters) << what;
-      EXPECT_EQ(ref.stats.steps, thr.stats.steps) << what;
-      EXPECT_EQ(ref.stats.loads, thr.stats.loads) << what;
-      EXPECT_EQ(ref.stats.stores, thr.stats.stores) << what;
-      EXPECT_EQ(ref.stats.checks, thr.stats.checks) << what;
+      for (const IrEngine other : {IrEngine::kThreaded, IrEngine::kJit}) {
+        const EngineOutcome out =
+            RunUnderEngine(other, seed, overflow, hardening);
+        const std::string what = "seed " + std::to_string(seed) + " overflow " +
+                                 std::to_string(overflow) + " hardening " +
+                                 std::to_string(static_cast<int>(hardening)) +
+                                 " engine " + IrEngineName(other);
+        EXPECT_EQ(ref.trapped, out.trapped) << what;
+        EXPECT_EQ(ref.trap_detail, out.trap_detail) << what;
+        EXPECT_EQ(ref.result, out.result) << what;
+        EXPECT_TRUE(ref.counters == out.counters) << what;
+        EXPECT_EQ(ref.stats.steps, out.stats.steps) << what;
+        EXPECT_EQ(ref.stats.loads, out.stats.loads) << what;
+        EXPECT_EQ(ref.stats.stores, out.stats.stores) << what;
+        EXPECT_EQ(ref.stats.checks, out.stats.checks) << what;
+      }
     }
   }
 }

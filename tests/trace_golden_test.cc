@@ -99,10 +99,10 @@ TEST(TraceGolden, MatchesCheckedInPrefix) {
 }
 
 // The trace encodes cycle-stamped memory events, so it is the sharpest
-// engine-equivalence check available: the threaded engine batches pure
+// engine-equivalence check available: the threaded and jit engines batch pure
 // compute charges between observable points, and any slip in that accounting
-// shifts a stamp. Record an interpreter-driven workload under both engines
-// and require byte-identical streams.
+// shifts a stamp. Record an interpreter-driven workload under all three
+// engines and require byte-identical streams.
 Trace RecordIrWorkload(IrEngine engine) {
   const WorkloadInfo* info = WorkloadRegistry::Instance().Find("ir_mix");
   EXPECT_NE(info, nullptr);
@@ -121,11 +121,14 @@ Trace RecordIrWorkload(IrEngine engine) {
 
 TEST(TraceGolden, IrWorkloadTraceIsEngineInvariant) {
   const Trace ref = RecordIrWorkload(IrEngine::kReference);
-  const Trace thr = RecordIrWorkload(IrEngine::kThreaded);
-  EXPECT_EQ(ref.summary.event_count, thr.summary.event_count);
-  EXPECT_EQ(ref.summary.stream_hash, thr.summary.stream_hash);
-  EXPECT_TRUE(ref.events == thr.events)
-      << "threaded engine shifted the cycle-stamped event stream";
+  for (const IrEngine engine : {IrEngine::kThreaded, IrEngine::kJit}) {
+    const Trace other = RecordIrWorkload(engine);
+    EXPECT_EQ(ref.summary.event_count, other.summary.event_count);
+    EXPECT_EQ(ref.summary.stream_hash, other.summary.stream_hash);
+    EXPECT_TRUE(ref.events == other.events)
+        << IrEngineName(engine)
+        << " engine shifted the cycle-stamped event stream";
+  }
 }
 
 }  // namespace
