@@ -720,8 +720,10 @@ uint64_t Interpreter::RunDecoded(const DecodedFunction& df, Cpu& cpu,
     VMCASE(kCallAbs64) {
       SGXB_STEP();
       ++pend_call;
-      const int64_t x = static_cast<int64_t>(v[pc->a]);
-      v[pc->dst] = static_cast<uint64_t>(x < 0 ? -x : x);
+      // Unsigned negate: -INT64_MIN is signed-overflow UB; 0 - ux wraps to
+      // the same bit pattern the other engines produce.
+      const uint64_t ux = v[pc->a];
+      v[pc->dst] = static_cast<int64_t>(ux) < 0 ? 0 - ux : ux;
     }
     VMNEXT();
     VMCASE(kCallNop) {

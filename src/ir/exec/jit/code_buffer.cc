@@ -14,26 +14,42 @@
 namespace sgxb {
 namespace jit {
 
+// The compiler emits x86-64 machine code; on any other ISA the PROT_EXEC
+// probe would succeed and the first JIT call would SIGILL. Gate every
+// entry point on the host architecture so other hosts take the documented
+// threaded-engine fallback instead.
+#if !defined(_WIN32) && defined(__x86_64__)
+#define SGXB_JIT_HOST_OK 1
+#else
+#define SGXB_JIT_HOST_OK 0
+#endif
+
 namespace {
-
-constexpr size_t kPage = 4096;
-
-size_t RoundUpToPage(size_t n) { return (n + kPage - 1) & ~(kPage - 1); }
 
 bool ForcedNoExec() {
   const char* env = std::getenv("SGXB_IR_FORCE_NOEXEC");
   return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }
 
-#if !defined(_WIN32)
+#if SGXB_JIT_HOST_OK
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+size_t RoundUpToPage(size_t n) {
+  const size_t page = PageSize();
+  return (n + page - 1) & ~(page - 1);
+}
+
 bool ProbeExecOnce() {
-  void* p = mmap(nullptr, kPage, PROT_READ | PROT_WRITE,
+  void* p = mmap(nullptr, PageSize(), PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (p == MAP_FAILED) {
     return false;
   }
-  const bool ok = mprotect(p, kPage, PROT_READ | PROT_EXEC) == 0;
-  munmap(p, kPage);
+  const bool ok = mprotect(p, PageSize(), PROT_READ | PROT_EXEC) == 0;
+  munmap(p, PageSize());
   return ok;
 }
 #endif
@@ -44,7 +60,7 @@ bool JitExecutableAvailable() {
   if (ForcedNoExec()) {
     return false;
   }
-#if defined(_WIN32)
+#if !SGXB_JIT_HOST_OK
   return false;
 #else
   static const bool available = ProbeExecOnce();
@@ -53,7 +69,7 @@ bool JitExecutableAvailable() {
 }
 
 bool ExecCodeBuffer::Install(const uint8_t* bytes, size_t n) {
-#if defined(_WIN32)
+#if !SGXB_JIT_HOST_OK
   (void)bytes;
   (void)n;
   return false;
@@ -79,7 +95,7 @@ bool ExecCodeBuffer::Install(const uint8_t* bytes, size_t n) {
 }
 
 void ExecCodeBuffer::Release() {
-#if !defined(_WIN32)
+#if SGXB_JIT_HOST_OK
   if (base_ != nullptr) {
     munmap(base_, size_);
   }

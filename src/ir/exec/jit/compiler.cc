@@ -450,7 +450,10 @@ class Compiler {
       case UOp::kXorShlImm:
       case UOp::kXorLShrImm:
         // Fused shift+xor pair: two steps, two Alu charges, intermediate t
-        // written to slot c before the second component.
+        // written to slot c before the second component. The template keeps
+        // v[a] cached in RAX across the StoreSlot(c) write, so the decoder
+        // must never alias c with a (the interpreters re-read v[a] after it).
+        CHECK(u.c != u.a);
         Step();
         a_.IncReg(kPendAlu);
         LoadSlot(RAX, u.a);

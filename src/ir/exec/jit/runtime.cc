@@ -220,8 +220,10 @@ void ExecSlowOp(JitFrame& f, const MicroOp& u) {
     case UOp::kCallAbs64: {
       SGXB_STEP();
       ++f.pend_call;
-      const int64_t x = static_cast<int64_t>(v[u.a]);
-      v[u.dst] = static_cast<uint64_t>(x < 0 ? -x : x);
+      // Negate in unsigned arithmetic: -INT64_MIN is signed-overflow UB, but
+      // 0 - ux wraps to the same bit pattern the JIT's branch-free abs yields.
+      const uint64_t ux = v[u.a];
+      v[u.dst] = static_cast<int64_t>(ux) < 0 ? 0 - ux : ux;
       break;
     }
     case UOp::kCallNop:

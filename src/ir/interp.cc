@@ -25,14 +25,16 @@ uint64_t Interpreter::Run(const IrFunction& fn, Cpu& cpu, const std::vector<uint
     if (jp != nullptr) {
       return RunJit(*jp, cpu, args, max_steps);
     }
-    // PROT_EXEC unavailable (sandbox, SGXB_IR_FORCE_NOEXEC, mmap failure):
-    // degrade to the threaded engine - identical simulated results, slower
-    // host execution. Warn once per process, not per call.
+    // JIT unavailable (non-x86-64 host, sandbox denying PROT_EXEC,
+    // SGXB_IR_FORCE_NOEXEC, mmap failure): degrade to the threaded engine -
+    // identical simulated results, slower host execution. Warn once per
+    // process, not per call.
     GlobalIrExecStats().jit_noexec_fallbacks.fetch_add(1, std::memory_order_relaxed);
     static const bool warned = [] {
       std::fprintf(stderr,
-                   "[ir_engine] warning: jit requested but executable memory is "
-                   "unavailable; falling back to the threaded engine\n");
+                   "[ir_engine] warning: jit requested but unavailable on this "
+                   "host (non-x86-64 or executable memory denied); falling "
+                   "back to the threaded engine\n");
       return true;
     }();
     (void)warned;
@@ -321,8 +323,10 @@ uint64_t Interpreter::RunReference(const IrFunction& fn, Cpu& cpu,
             // Builtin runtime symbols; unknown symbols are no-ops returning 0
             // (external functions are out of scope for the mini IR).
             if (in.symbol == "abs64" && !in.args.empty()) {
-              const int64_t v = static_cast<int64_t>(values[in.args[0]]);
-              values[in.id] = static_cast<uint64_t>(v < 0 ? -v : v);
+              // Unsigned negate: -INT64_MIN is signed-overflow UB; 0 - ux
+              // wraps to the same bit pattern the other engines produce.
+              const uint64_t ux = values[in.args[0]];
+              values[in.id] = static_cast<int64_t>(ux) < 0 ? 0 - ux : ux;
             } else if (in.id != 0) {
               values[in.id] = 0;
             }
