@@ -25,6 +25,8 @@
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/farm/farm.h"
+#include "src/fault/fault.h"
+#include "src/fault/shard_fault.h"
 
 namespace sgxb {
 namespace {
@@ -124,6 +126,12 @@ void WriteFarmJson(const std::vector<SweepPoint>& points, const FarmConfig& prot
   std::fprintf(f, "  \"key_theta\": %.3f,\n", proto.load.key_theta);
   std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", proto.load.seed);
   std::fprintf(f, "  \"bench_threads\": %u,\n", ResolveBenchThreads());
+  // Driver-provided summary block (fleet recovery/fault totals), installed
+  // via SetBenchJsonSummary before this writer runs. Absent in fair-weather
+  // runs so the historical layout is unchanged.
+  if (!JsonState().summary_json.empty()) {
+    std::fprintf(f, "  \"summary\": %s,\n", JsonState().summary_json.c_str());
+  }
   std::fprintf(f, "  \"rows\": [");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
@@ -135,7 +143,7 @@ void WriteFarmJson(const std::vector<SweepPoint>& points, const FarmConfig& prot
                  ", \"throughput_rps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
                  "\"p999_us\": %.2f, \"ecalls\": %" PRIu64 ", \"ocalls\": %" PRIu64
                  ", \"transition_cycles\": %" PRIu64 ", \"total_cycles\": %" PRIu64
-                 ", \"digest\": \"%016" PRIx64 "\"}",
+                 ", \"digest\": \"%016" PRIx64 "\"",
                  i == 0 ? "" : ",", p.app.c_str(), PolicyName(p.policy), p.shards,
                  p.clients, p.rps, r.served, r.dropped, r.throughput_rps,
                  CyclesToUs(r.latency.P50(), proto.ghz),
@@ -143,6 +151,35 @@ void WriteFarmJson(const std::vector<SweepPoint>& points, const FarmConfig& prot
                  CyclesToUs(r.latency.P999(), proto.ghz), r.totals.ecalls,
                  r.totals.ocalls, r.totals.transition_cycles, r.totals.cycles,
                  r.digest);
+    // Gated extensions: rows from fair-weather runs stay byte-identical.
+    if (proto.machine.recovery.enabled && r.recovery_totals.requests > 0) {
+      std::fprintf(f,
+                   ", \"recovery\": {\"contained\": %" PRIu64 ", \"retried\": %" PRIu64
+                   ", \"recovered\": %" PRIu64 ", \"traps\": %" PRIu64
+                   ", \"faults_injected\": %" PRIu64 "}",
+                   r.recovery_totals.contained, r.recovery_totals.retried,
+                   r.recovery_totals.recovered, r.recovery_totals.total_traps(),
+                   r.fault_totals.total_injected());
+    }
+    if (r.resilience.enabled) {
+      const ResilienceReport& rr = r.resilience;
+      std::fprintf(f,
+                   ", \"resilience\": {\"completed\": %" PRIu64
+                   ", \"failed_app\": %" PRIu64 ", \"failed_timeout\": %" PRIu64
+                   ", \"retries\": %" PRIu64 ", \"hedges\": %" PRIu64
+                   ", \"hedge_wins\": %" PRIu64 ", \"detections\": %" PRIu64
+                   ", \"convictions\": %" PRIu64 ", \"restarts\": %" PRIu64
+                   ", \"failovers\": %" PRIu64 ", \"goodput_rps\": %.1f"
+                   ", \"degraded_p99_us\": %.2f, \"healthy_p99_us\": %.2f"
+                   ", \"digest\": \"%016" PRIx64 "\"}",
+                   rr.completed, rr.failed_app, rr.failed_timeout, rr.retries,
+                   rr.hedges, rr.hedge_wins, rr.detections, rr.convictions,
+                   rr.restarts, rr.failovers, rr.goodput_rps,
+                   CyclesToUs(rr.degraded.CappedQuantile(0.99), proto.ghz),
+                   CyclesToUs(rr.healthy.CappedQuantile(0.99), proto.ghz),
+                   rr.digest);
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ],\n  \"scaling\": [");
   // 1 -> max-shard fleet-throughput scaling at the heaviest load, per
@@ -235,6 +272,9 @@ int Main(int argc, char** argv) {
   uint64_t think = 0;
   uint64_t seed = 42;
   uint64_t vnodes = 64;
+  std::string faults_spec;
+  std::string shard_faults_spec;
+  std::string recovery = "off";
   bool selfcheck = false;
   parser.AddString("apps", &apps_csv,
                    "comma-separated farm apps (kvstore|memcached|httpd|nginx|netserver|all)");
@@ -256,6 +296,19 @@ int Main(int argc, char** argv) {
   parser.AddUint("think", &think, "closed loop: think cycles between requests");
   parser.AddUint("seed", &seed, "load generator seed");
   parser.AddUint("vnodes", &vnodes, "ring points per shard");
+  parser.AddString("faults", &faults_spec,
+                   "per-enclave fault campaign replicated into every shard "
+                   "(KIND@TRIGGER:AT[*N][+P][;...][;seed=N], see src/fault); "
+                   "enables per-request trap recovery");
+  parser.AddString("shard_faults", &shard_faults_spec,
+                   "shard-scoped fault plan (KIND@SHARD:REQUEST[;...][;seed=N], "
+                   "KIND=crash|hang|epc_storm|poison); enables the resilient "
+                   "timing pass");
+  parser.AddChoice("recovery", &recovery,
+                   {"off", "failstop", "restart", "failover", "failover+hedge"},
+                   "farm recovery policy for the resilient timing pass "
+                   "(off = classic fair-weather phase B; --shard_faults "
+                   "without --recovery runs failstop)");
   parser.AddBool("selfcheck", &selfcheck,
                  "run the small-fleet digest check across host thread counts and exit");
   parser.Parse(argc, argv);
@@ -276,10 +329,43 @@ int Main(int argc, char** argv) {
   } else if (transitions == "switchless") {
     proto.machine.costs.EnableTransitions(/*use_switchless=*/true);
   }
+  if (!faults_spec.empty()) {
+    std::string error;
+    if (!FaultPlan::Parse(faults_spec, &proto.faults, &error)) {
+      std::fprintf(stderr, "--faults: %s\n", error.c_str());
+      return 2;
+    }
+    // Injected traps must be contained per request, not kill the shard run.
+    proto.machine.recovery.enabled = true;
+  }
+  if (!shard_faults_spec.empty()) {
+    std::string error;
+    if (!ShardFaultPlan::Parse(shard_faults_spec, &proto.resilience.shard_faults,
+                               &error)) {
+      std::fprintf(stderr, "--shard_faults: %s\n", error.c_str());
+      return 2;
+    }
+    proto.resilience.enabled = true;
+    proto.machine.recovery.enabled = true;  // classify contained traps
+  }
+  if (recovery != "off") {
+    ParseRecoveryMode(recovery, &proto.resilience.mode);
+    proto.resilience.enabled = true;
+    proto.machine.recovery.enabled = true;
+  }
   PrintReproHeader("farm", proto.machine);
   std::printf("[farm] transitions=%s ecall=%u ocall=%" PRIu64 " mode=%s\n",
               transitions.c_str(), proto.machine.costs.ecall,
               proto.machine.costs.OcallCost(), mode.c_str());
+  if (proto.resilience.enabled || !proto.faults.empty()) {
+    std::printf("[farm] recovery=%s shard_faults=%s faults=%s\n",
+                proto.resilience.enabled ? RecoveryModeName(proto.resilience.mode)
+                                         : "off",
+                proto.resilience.shard_faults.empty()
+                    ? "none"
+                    : proto.resilience.shard_faults.ToSpec().c_str(),
+                proto.faults.empty() ? "none" : proto.faults.ToSpec().c_str());
+  }
 
   if (selfcheck) {
     return SelfCheck(proto);
@@ -326,6 +412,27 @@ int Main(int argc, char** argv) {
                         FormatDouble(CyclesToUs(r.latency.P999(), cfg.ghz), 1),
                         std::to_string(r.totals.ecalls), std::to_string(r.totals.ocalls),
                         FormatDouble(trans_pct, 1)});
+          if (r.resilience.enabled) {
+            const ResilienceReport& rr = r.resilience;
+            std::printf("[resilience] shards=%" PRIu64 " load=%" PRIu64
+                        " completed=%" PRIu64 " failed_app=%" PRIu64
+                        " failed_timeout=%" PRIu64 " retries=%" PRIu64
+                        " hedges=%" PRIu64 "/%" PRIu64 " detections=%" PRIu64
+                        " convictions=%" PRIu64 " restarts=%" PRIu64
+                        " failovers=%" PRIu64 " goodput=%.1f kop/s\n",
+                        shards, load, rr.completed, rr.failed_app, rr.failed_timeout,
+                        rr.retries, rr.hedge_wins, rr.hedges, rr.detections,
+                        rr.convictions, rr.restarts, rr.failovers,
+                        rr.goodput_rps / 1000.0);
+          }
+          if (cfg.machine.recovery.enabled && r.recovery_totals.requests > 0) {
+            std::printf("[recovery] contained=%" PRIu64 " retried=%" PRIu64
+                        " recovered=%" PRIu64 " traps=%" PRIu64
+                        " faults_injected=%" PRIu64 "\n",
+                        r.recovery_totals.contained, r.recovery_totals.retried,
+                        r.recovery_totals.recovered, r.recovery_totals.total_traps(),
+                        r.fault_totals.total_injected());
+          }
           SweepPoint p;
           p.app = FarmAppName(app);
           p.policy = policy;
@@ -342,6 +449,36 @@ int Main(int argc, char** argv) {
   }
 
   if (JsonFlag()) {
+    // Fleet recovery/fault/resilience totals as the shared summary block
+    // (SetBenchJsonSummary), then the farm writer emits it inside
+    // BENCH_farm.json. Skipped entirely in fair-weather runs.
+    if (proto.machine.recovery.enabled || proto.resilience.enabled) {
+      RecoveryStats rec;
+      uint64_t injected = 0;
+      uint64_t completed = 0;
+      uint64_t failed = 0;
+      for (const SweepPoint& p : points) {
+        rec.contained += p.result.recovery_totals.contained;
+        rec.retried += p.result.recovery_totals.retried;
+        rec.recovered += p.result.recovery_totals.recovered;
+        rec.requests += p.result.recovery_totals.requests;
+        injected += p.result.fault_totals.total_injected();
+        completed += p.result.resilience.completed;
+        failed += p.result.resilience.failed_app + p.result.resilience.failed_timeout;
+      }
+      char summary[512];
+      std::snprintf(summary, sizeof summary,
+                    "{\"recovery\": \"%s\", \"requests\": %" PRIu64
+                    ", \"contained\": %" PRIu64 ", \"retried\": %" PRIu64
+                    ", \"recovered\": %" PRIu64 ", \"faults_injected\": %" PRIu64
+                    ", \"resilient_completed\": %" PRIu64
+                    ", \"resilient_failed\": %" PRIu64 "}",
+                    proto.resilience.enabled ? RecoveryModeName(proto.resilience.mode)
+                                             : "off",
+                    rec.requests, rec.contained, rec.retried, rec.recovered, injected,
+                    completed, failed);
+      SetBenchJsonSummary(summary);
+    }
     WriteFarmJson(points, proto, transitions);
   }
   return 0;

@@ -82,7 +82,14 @@ void LatencyHistogram::Add(uint64_t value, uint64_t count) {
   sum_ += static_cast<double>(value) * static_cast<double>(count);
 }
 
+void LatencyHistogram::AddTimeout(uint64_t deadline, uint64_t count) {
+  timeouts_ += count;
+  timeout_deadline_ = std::max(timeout_deadline_, deadline);
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  timeouts_ += other.timeouts_;
+  timeout_deadline_ = std::max(timeout_deadline_, other.timeout_deadline_);
   if (other.total_ == 0) {
     return;
   }
@@ -124,6 +131,36 @@ double LatencyHistogram::Quantile(double q) const {
   return static_cast<double>(max_);
 }
 
+double LatencyHistogram::CappedQuantile(double q) const {
+  const uint64_t all = total_ + timeouts_;
+  if (all == 0) {
+    return 0.0;
+  }
+  if (timeouts_ == 0) {
+    return Quantile(q);
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(all)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  // Timeouts sort above every completed sample (they lasted at least the
+  // deadline, which exceeds any completion the client accepted).
+  if (rank > total_) {
+    return static_cast<double>(timeout_deadline_);
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double rep = BucketRep(static_cast<uint32_t>(i));
+      return std::min(static_cast<double>(max_),
+                      std::max(static_cast<double>(min_), rep));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
 uint64_t LatencyHistogram::Digest() const {
   uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
   auto mix64 = [&h](uint64_t v) {
@@ -141,6 +178,13 @@ uint64_t LatencyHistogram::Digest() const {
   mix64(total_);
   mix64(min_);
   mix64(max_);
+  // Timeout counters join the digest only when present, so every histogram
+  // recorded before timeouts existed keeps its exact digest.
+  if (timeouts_ != 0) {
+    mix64(0x7107u);  // domain separator: timeout block follows
+    mix64(timeouts_);
+    mix64(timeout_deadline_);
+  }
   return h;
 }
 

@@ -41,6 +41,18 @@ class RunningStat {
 //
 // Values are nonnegative integers (simulated cycles). Zero gets its own
 // exact bucket; everything else lands in bucket floor(log_gamma(v)).
+//
+// Timeout semantics: an open-loop run with per-request deadlines produces
+// requests that never complete. Recording nothing for them silently deflates
+// the tail quantiles (a hung shard would *improve* reported p999), so
+// timeouts are first-class: AddTimeout(deadline) counts the request and
+// remembers the largest client deadline observed. Quantile()/P99()/... keep
+// their historical meaning and EXCLUDE timeouts (quantiles of completed
+// requests only); CappedQuantile() INCLUDES each timeout as a sample capped
+// at the deadline — a lower bound on the true quantile, which is the honest
+// choice for availability reporting. Digest() covers the timeout counters
+// only when they are nonzero, so histograms without timeouts keep their
+// pre-existing digests bit for bit.
 class LatencyHistogram {
  public:
   // Bucket boundaries grow by kGamma per bucket: relative quantile error is
@@ -48,9 +60,16 @@ class LatencyHistogram {
   static constexpr double kGamma = 1.04;
 
   void Add(uint64_t value, uint64_t count = 1);
+  // Records `count` requests that hit their deadline of `deadline` cycles
+  // without completing. Excluded from Quantile(); capped into
+  // CappedQuantile(); never touches min/max/mean of completed samples.
+  void AddTimeout(uint64_t deadline, uint64_t count = 1);
   void Merge(const LatencyHistogram& other);
 
   uint64_t count() const { return total_; }
+  uint64_t timeout_count() const { return timeouts_; }
+  // Largest deadline recorded via AddTimeout (0 when none).
+  uint64_t timeout_deadline() const { return timeout_deadline_; }
   uint64_t min() const { return total_ == 0 ? 0 : min_; }
   uint64_t max() const { return total_ == 0 ? 0 : max_; }
   double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
@@ -63,6 +82,11 @@ class LatencyHistogram {
   double P50() const { return Quantile(0.50); }
   double P99() const { return Quantile(0.99); }
   double P999() const { return Quantile(0.999); }
+
+  // Quantile over completed samples PLUS timed-out requests, each counted as
+  // a sample at its deadline (the largest recorded one). Reads at or above
+  // the timeout mass return the deadline — "p99 >= 111 us (timed out)".
+  double CappedQuantile(double q) const;
 
   // FNV-1a over (bucket index, count) pairs + totals: the digest the farm
   // smoke test pins across worker-thread counts.
@@ -77,6 +101,8 @@ class LatencyHistogram {
   uint64_t min_ = 0;
   uint64_t max_ = 0;
   double sum_ = 0.0;
+  uint64_t timeouts_ = 0;          // requests that never completed
+  uint64_t timeout_deadline_ = 0;  // max deadline seen by AddTimeout
 };
 
 // Geometric mean of strictly positive values; returns 0 for an empty input.

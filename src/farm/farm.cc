@@ -26,8 +26,24 @@ struct ShardOut {
   RunResult run;
   std::vector<uint64_t> service_cycles;  // parallel to the shard's subsequence
   std::vector<uint8_t> served_flags;     // 1 = served, 0 = dropped/trapped
+  // Per-position drop class: 0 = served, 1 = request-only trap (transient),
+  // 2 = suspect-shard trap (ShardImpact::kSuspectShard — feeds the farm
+  // supervisor's conviction counter).
+  std::vector<uint8_t> fail_class;
   uint64_t served = 0;
   uint64_t dropped = 0;
+};
+
+// Shard-scoped phase-A injection: fire this fault through the enclave's
+// armed injector just before serving the local request position.
+struct ShardInjection {
+  uint32_t at_local = 0;
+  FaultKind kind = FaultKind::kEpcStorm;
+
+  bool operator<(const ShardInjection& other) const {
+    return at_local != other.at_local ? at_local < other.at_local
+                                      : kind < other.kind;
+  }
 };
 
 // Executes one shard's routed subsequence against its app instance. `mine`
@@ -35,7 +51,8 @@ struct ShardOut {
 // derived from (key, global index) so they do not depend on the shard count.
 template <typename P>
 void ServeShard(Env<P>& env, const FarmConfig& cfg, const std::vector<FarmRequest>& reqs,
-                const std::vector<uint32_t>& mine, ShardOut* out) {
+                const std::vector<uint32_t>& mine,
+                const std::vector<ShardInjection>& inject, ShardOut* out) {
   SyscallShim shim(&env.enclave);
   std::optional<KvStore<P>> kv;
   std::optional<Memcached<P>> mc;
@@ -72,9 +89,19 @@ void ServeShard(Env<P>& env, const FarmConfig& cfg, const std::vector<FarmReques
 
   out->service_cycles.resize(mine.size());
   out->served_flags.resize(mine.size());
+  out->fail_class.resize(mine.size());
   char wire[64];
   std::vector<uint8_t> payload(64, 0x5a);
+  size_t next_inject = 0;
   for (size_t i = 0; i < mine.size(); ++i) {
+    // Land shard-scoped faults (epc_storm eviction sweeps, poison metadata
+    // flips) at their request positions, through the normal charged paths.
+    while (next_inject < inject.size() && inject[next_inject].at_local <= i) {
+      if (env.faults != nullptr) {
+        env.faults->InjectNow(env.cpu, inject[next_inject].kind);
+      }
+      ++next_inject;
+    }
     const uint32_t gid = mine[i];
     const FarmRequest& rq = reqs[gid];
     // Shard-count-invariant op selector: a pure function of the request.
@@ -127,6 +154,15 @@ void ServeShard(Env<P>& env, const FarmConfig& cfg, const std::vector<FarmReques
     }
     out->service_cycles[i] = env.cpu.cycles() - before;
     out->served_flags[i] = served ? 1 : 0;
+    if (served) {
+      out->fail_class[i] = 0;
+    } else if (env.recovery->has_trap() &&
+               ClassifyShardImpact(env.recovery->last_trap()) ==
+                   ShardImpact::kSuspectShard) {
+      out->fail_class[i] = 2;
+    } else {
+      out->fail_class[i] = 1;
+    }
     served ? ++out->served : ++out->dropped;
   }
 }
@@ -174,31 +210,70 @@ FarmResult RunFarm(const FarmConfig& cfg) {
     routed[s].push_back(static_cast<uint32_t>(i));
   }
 
+  // Map shard-scoped phase-A injections (epc_storm, poison) to local request
+  // positions in each victim's subsequence: an event at global dispatch N
+  // fires just before the shard serves its first request at or after N.
+  // Crash/hang are phase-B process-level events, handled by ResilientTiming.
+  std::vector<std::vector<ShardInjection>> injections(cfg.shards);
+  if (cfg.resilience.enabled) {
+    for (const ShardFaultEvent& ev : cfg.resilience.shard_faults.events) {
+      if ((ev.kind != ShardFaultKind::kEpcStorm && ev.kind != ShardFaultKind::kPoison) ||
+          ev.shard >= cfg.shards) {
+        continue;
+      }
+      const std::vector<uint32_t>& mine = routed[ev.shard];
+      const uint32_t g = ev.at_request > 0 ? static_cast<uint32_t>(ev.at_request - 1) : 0;
+      const auto it = std::lower_bound(mine.begin(), mine.end(), g);
+      if (it == mine.end()) {
+        continue;  // fires past the end of the shard's stream
+      }
+      injections[ev.shard].push_back(
+          {static_cast<uint32_t>(it - mine.begin()),
+           ev.kind == ShardFaultKind::kEpcStorm ? FaultKind::kEpcStorm
+                                                : FaultKind::kMetadataFlip});
+    }
+    for (std::vector<ShardInjection>& v : injections) {
+      std::sort(v.begin(), v.end());
+    }
+  }
+
   // Phase A: measure service demands, one independent simulation per shard.
   std::vector<ShardOut> outs(cfg.shards);
   const uint32_t threads =
       cfg.host_threads == 0 ? HostHardwareThreads() : cfg.host_threads;
+  // The injector is armed whenever a per-enclave plan exists or resilience
+  // needs a channel for shard-scoped injections; arming with an empty plan
+  // leaves simulated results untouched.
+  const bool arm_faults = !cfg.faults.empty() || cfg.resilience.enabled;
   ParallelForWorkStealing(cfg.shards, threads, [&](size_t s) {
     MachineSpec spec = cfg.machine;
     spec.seed = cfg.machine.seed + 1000003ull * s;  // per-shard env rng stream
+    FaultPlan shard_plan = cfg.faults;
+    shard_plan.seed = cfg.faults.seed + 7919ull * s;  // de-alias fault targets
+    if (arm_faults) {
+      spec.faults = &shard_plan;
+    }
     outs[s].run = RunPolicyKind(cfg.policy, spec, cfg.options, [&](auto& env) {
-      ServeShard(env, cfg, reqs, routed[s], &outs[s]);
+      ServeShard(env, cfg, reqs, routed[s], injections[s], &outs[s]);
     });
   });
 
   // Flatten phase-A outputs back to global request order.
   std::vector<uint64_t> svc(reqs.size(), 0);
   std::vector<uint8_t> ok(reqs.size(), 0);
+  std::vector<uint8_t> outcome(reqs.size(), 2);
   {
     std::vector<size_t> next(cfg.shards, 0);
     for (size_t i = 0; i < reqs.size(); ++i) {
       const uint32_t s = shard_of[i];
       const size_t j = next[s]++;
       // A shard that trapped mid-stream leaves its tail unmeasured; those
-      // requests count as dropped with zero demand.
+      // requests count as dropped with zero demand (outcome stays 2: the
+      // enclave died, which indicts the shard).
       if (j < outs[s].service_cycles.size()) {
         svc[i] = outs[s].service_cycles[j];
         ok[i] = outs[s].served_flags[j];
+        outcome[i] = outs[s].fail_class[j];
       }
     }
   }
@@ -207,7 +282,25 @@ FarmResult RunFarm(const FarmConfig& cfg) {
   FarmResult result;
   std::vector<uint64_t> free_at(cfg.shards, 0);
   uint64_t makespan = 0;
-  if (cfg.open_loop) {
+  if (cfg.resilience.enabled) {
+    ResilienceConfig rc = cfg.resilience;
+    if (rc.restart_warmup_cycles == 0) {
+      rc.restart_warmup_cycles = RestartWarmupCycles(cfg.machine.costs);
+    }
+    ResilientTimingInput tin;
+    tin.reqs = &reqs;
+    tin.service_cycles = &svc;
+    tin.outcome = &outcome;
+    tin.primary_shard = &shard_of;
+    tin.open_loop = cfg.open_loop;
+    tin.offered_rps = cfg.offered_rps;
+    tin.ghz = cfg.ghz;
+    tin.think_cycles = cfg.think_cycles;
+    tin.clients = std::max(1u, cfg.load.clients);
+    tin.seed = cfg.load.seed;
+    makespan = ResilientTiming(tin, rc, ring, &result.resilience, &result.latency,
+                               &result.served, &result.dropped);
+  } else if (cfg.open_loop) {
     const std::vector<uint64_t> arrivals =
         PoissonArrivals(reqs.size(), cfg.offered_rps, cfg.ghz, cfg.load.seed);
     for (size_t i = 0; i < reqs.size(); ++i) {
@@ -266,9 +359,27 @@ FarmResult RunFarm(const FarmConfig& cfg) {
     st.cycles = outs[s].run.cycles;
     st.counters = outs[s].run.counters;
     st.crashed = outs[s].run.crashed;
-    result.served += st.served;
-    result.dropped += st.dropped;
+    if (!cfg.resilience.enabled) {
+      // With resilience on, ResilientTiming already set the authoritative
+      // request outcomes; shard stats stay the phase-A measurement view.
+      result.served += st.served;
+      result.dropped += st.dropped;
+    }
     result.totals += st.counters;
+    const FaultStats& fs = outs[s].run.fault_stats;
+    for (uint32_t k = 0; k < kFaultKindCount; ++k) {
+      result.fault_totals.injected[k] += fs.injected[k];
+    }
+    result.fault_totals.skipped += fs.skipped;
+    const RecoveryStats& rs = outs[s].run.recovery_stats;
+    result.recovery_totals.requests += rs.requests;
+    result.recovery_totals.contained += rs.contained;
+    result.recovery_totals.retried += rs.retried;
+    result.recovery_totals.recovered += rs.recovered;
+    result.recovery_totals.watchdog_kills += rs.watchdog_kills;
+    for (uint32_t k = 0; k < kTrapKindCount; ++k) {
+      result.recovery_totals.trap_by_kind[k] += rs.trap_by_kind[k];
+    }
     digest = FnvMix(digest, st.served);
     digest = FnvMix(digest, st.dropped);
     digest = FnvMix(digest, st.cycles);
@@ -282,6 +393,23 @@ FarmResult RunFarm(const FarmConfig& cfg) {
   }
   digest = FnvMix(digest, result.latency.Digest());
   digest = FnvMix(digest, makespan);
+  // Gated mixes: each layer folds in only when enabled, so a fair-weather
+  // run's digest is byte-identical to the pre-resilience farm.
+  if (cfg.machine.recovery.enabled) {
+    digest = FnvMix(digest, result.recovery_totals.requests);
+    digest = FnvMix(digest, result.recovery_totals.contained);
+    digest = FnvMix(digest, result.recovery_totals.retried);
+    digest = FnvMix(digest, result.recovery_totals.recovered);
+    digest = FnvMix(digest, result.recovery_totals.watchdog_kills);
+    digest = FnvMix(digest, result.recovery_totals.total_traps());
+  }
+  if (!cfg.faults.empty() || cfg.resilience.enabled) {
+    digest = FnvMix(digest, result.fault_totals.total_injected());
+    digest = FnvMix(digest, result.fault_totals.skipped);
+  }
+  if (cfg.resilience.enabled) {
+    digest = FnvMix(digest, result.resilience.digest);
+  }
   result.digest = digest;
   return result;
 }

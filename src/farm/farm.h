@@ -32,6 +32,7 @@
 
 #include "src/common/stats.h"
 #include "src/farm/load_gen.h"
+#include "src/farm/resilience.h"
 #include "src/policy/run.h"
 
 namespace sgxb {
@@ -73,10 +74,27 @@ struct FarmConfig {
   // recovery config for per-request containment.
   MachineSpec machine;
   PolicyOptions options;
+
+  // Per-enclave fault campaign (--faults= grammar, src/fault/fault.h),
+  // replicated into every shard's enclave with a per-shard reseed so the
+  // same plan does not land on identical targets fleet-wide. Empty = none;
+  // machine.faults is ignored by the farm (per-shard plans need per-shard
+  // lifetime).
+  FaultPlan faults;
+
+  // Fault-tolerance layer (src/farm/resilience.h): shard-scoped fault plan,
+  // supervisor recovery mode, client timeout/retry/hedging. Disabled by
+  // default; when disabled the classic phase-B pass runs and every result
+  // byte matches the pre-resilience farm.
+  ResilienceConfig resilience;
 };
 
 struct FarmShardStats {
   uint64_t requests = 0;
+  // Phase-A measurement outcomes (requests the shard's enclave served vs
+  // dropped while demands were measured). With resilience enabled the
+  // authoritative request outcomes live in FarmResult::resilience; these
+  // stay as the measurement-phase view.
   uint64_t served = 0;
   uint64_t dropped = 0;
   uint64_t cycles = 0;  // shard main-cpu cycle total (its busy time)
@@ -94,8 +112,18 @@ struct FarmResult {
   LatencyHistogram latency;  // served-request latency, simulated cycles
   PerfCounters totals;       // summed over shards
   std::vector<FarmShardStats> shards;
+  // Fleet-summed per-enclave fault + recovery accounting (zero unless the
+  // config armed faults / enabled recovery).
+  FaultStats fault_totals;
+  RecoveryStats recovery_totals;
+  // Availability report from the resilient timing pass (enabled flag false
+  // when the config left resilience off).
+  ResilienceReport resilience;
   // FNV digest over shard outcomes + latency histogram + makespan: pinned by
-  // the farm smoke test at 1/4/16 host threads.
+  // the farm smoke test at 1/4/16 host threads. Recovery, fault, and
+  // resilience counters are mixed in only when the respective layer is
+  // enabled, so fair-weather digests match the pre-resilience farm byte for
+  // byte.
   uint64_t digest = 0;
 };
 

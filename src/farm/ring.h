@@ -34,7 +34,7 @@ class ConsistentHashRing {
   }
 
   explicit ConsistentHashRing(uint32_t shards, uint32_t vnodes_per_shard = 64)
-      : shards_(shards) {
+      : shards_(shards), live_(shards) {
     CHECK_GT(shards, 0u);
     CHECK_GT(vnodes_per_shard, 0u);
     points_.reserve(static_cast<size_t>(shards) * vnodes_per_shard);
@@ -53,6 +53,43 @@ class ConsistentHashRing {
 
   uint32_t shards() const { return shards_; }
   size_t points() const { return points_.size(); }
+  uint32_t live_shards() const { return live_; }
+
+  // Fails `shard` out of the ring: erases exactly its points, leaving every
+  // other (shard, vnode) position untouched. Keys the victim owned move to
+  // whichever surviving shard owns the next point — the same bounded-movement
+  // property as shrinking n+1 -> n shards — and every other key stays put
+  // (the farm supervisor's failover primitive; asserted by
+  // farm_resilience_test). No-op on the last live shard: a ring must always
+  // route somewhere.
+  bool RemoveShard(uint32_t shard) {
+    if (live_ <= 1) {
+      return false;
+    }
+    const size_t before = points_.size();
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [shard](const Point& p) { return p.shard == shard; }),
+                  points_.end());
+    if (points_.size() == before) {
+      return false;  // already removed (or never existed)
+    }
+    --live_;
+    return true;
+  }
+
+  // Re-adds a previously removed shard's points (restart-after-failover).
+  // Positions depend only on (shard, vnode), so the ring returns to exactly
+  // its pre-removal state.
+  void AddShard(uint32_t shard, uint32_t vnodes_per_shard) {
+    for (uint32_t v = 0; v < vnodes_per_shard; ++v) {
+      const uint64_t pos = Mix64((static_cast<uint64_t>(shard) << 32) | (v + 1));
+      points_.push_back(Point{pos, shard});
+    }
+    std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+      return a.pos != b.pos ? a.pos < b.pos : a.shard < b.shard;
+    });
+    ++live_;
+  }
 
   // Shard owning `key`. O(log points).
   uint32_t Route(uint64_t key) const {
@@ -66,6 +103,30 @@ class ConsistentHashRing {
     return it->shard;
   }
 
+  // First shard after `key`'s owner on the ring that is a *different* shard:
+  // the classic hedged-request target. Returns the owner itself when the
+  // ring has a single live shard left.
+  uint32_t RouteSecond(uint64_t key) const {
+    const uint64_t h = Mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, uint64_t v) { return p.pos < v; });
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    const uint32_t owner = it->shard;
+    for (size_t step = 1; step < points_.size(); ++step) {
+      ++it;
+      if (it == points_.end()) {
+        it = points_.begin();
+      }
+      if (it->shard != owner) {
+        return it->shard;
+      }
+    }
+    return owner;
+  }
+
  private:
   struct Point {
     uint64_t pos;
@@ -73,6 +134,7 @@ class ConsistentHashRing {
   };
   std::vector<Point> points_;
   uint32_t shards_;
+  uint32_t live_;
 };
 
 }  // namespace sgxb

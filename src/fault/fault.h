@@ -129,6 +129,12 @@ class FaultInjector : public FaultHooks {
   using Corruptor = std::function<bool(Cpu&, Rng&)>;
   void RegisterMetadataCorruptor(Corruptor corruptor) { corruptor_ = std::move(corruptor); }
 
+  // Fires one fault of `kind` immediately, outside any scheduled trigger —
+  // the farm's shard-scoped injections (shard_fault.h) land epc_storm /
+  // metadata_flip events at request positions through this. Draws from the
+  // same injection rng as scheduled firings and counts into the same stats.
+  void InjectNow(Cpu& cpu, FaultKind kind) { Fire(cpu, kind); }
+
   // FaultHooks:
   void OnAccess(Cpu& cpu, uint32_t addr, uint32_t size) override;
   bool OnAlloc(Cpu& cpu) override;

@@ -1,0 +1,82 @@
+// Shard-scoped fault plans for the enclave farm (src/farm).
+//
+// The per-enclave FaultPlan (fault.h) injects memory-safety faults *inside*
+// one enclave; a ShardFaultPlan schedules fleet-level events against whole
+// shards of a farm run, at request granularity so the plan is a pure
+// function of the load stream and never of host timing:
+//
+//   crash     - the shard's process dies (fail-stop). Nothing it is serving
+//               completes; the supervisor must restart it or fail it over.
+//               This models host/enclave death, NOT a memory-safety trap —
+//               those come from the per-enclave plan and are contained per
+//               request (the paper's §3.4 story).
+//   hang      - the shard stays up but every request it serves is slowed by
+//               the configured factor (a slow/sick shard: EPC thrash from a
+//               co-tenant, a spinning thread). Cleared by restart.
+//   epc_storm - a charged eviction sweep is injected into the shard's
+//               service-measurement phase at that request position, through
+//               the per-enclave injector (fault.h): subsequent demands on
+//               that shard genuinely inflate.
+//   poison    - one scheme-metadata bit flip (the per-enclave metadata_flip)
+//               lands in the shard's enclave at that request position:
+//               victim requests trap and are contained, which the farm
+//               supervisor can convict via its consecutive-failure rule.
+//
+// Spec grammar (--shard_faults=):  EVENT[;EVENT...][;seed=N]
+//   EVENT := KIND @ SHARD : REQUEST
+//   KIND := crash | hang | epc_storm | poison
+// e.g. "crash@1:5000;hang@3:2000" crashes shard 1 when the farm dispatches
+// its 5000th request and hangs shard 3 at the 2000th.
+//
+// Determinism contract: same plan + same load config => the same shard
+// timeline, bit for bit, at any --bench_threads.
+
+#ifndef SGXBOUNDS_SRC_FAULT_SHARD_FAULT_H_
+#define SGXBOUNDS_SRC_FAULT_SHARD_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgxb {
+
+enum class ShardFaultKind : uint8_t {
+  kCrash = 0,
+  kHang = 1,
+  kEpcStorm = 2,
+  kPoison = 3,
+};
+inline constexpr uint32_t kShardFaultKindCount = 4;
+
+const char* ShardFaultKindName(ShardFaultKind kind);
+bool ParseShardFaultKind(const std::string& text, ShardFaultKind* out);
+
+struct ShardFaultEvent {
+  ShardFaultKind kind = ShardFaultKind::kCrash;
+  uint32_t shard = 0;       // target shard index
+  uint64_t at_request = 0;  // fires when this many requests have been dispatched
+};
+
+struct ShardFaultPlan {
+  std::vector<ShardFaultEvent> events;
+  uint64_t seed = 1;  // drives poison flip positions, not trigger points
+
+  bool empty() const { return events.empty(); }
+  std::string ToSpec() const;
+
+  // Parses the --shard_faults= grammar above. On failure returns false and
+  // fills `error` with a message naming the bad token and valid choices.
+  static bool Parse(const std::string& spec, ShardFaultPlan* out, std::string* error);
+
+  // Seeded campaign at a fault rate: `events` fault firings spread over a
+  // run of `requests` dispatches across `shards` shards. Targets and kinds
+  // are RNG-drawn (weighted toward crash, the event recovery policies differ
+  // most on); trigger points land in [requests/8, 3*requests/4] so every
+  // policy has post-fault runway to degrade or recover in.
+  static ShardFaultPlan Sampled(uint64_t seed, uint32_t shards, uint64_t requests,
+                                uint32_t events);
+};
+
+}  // namespace sgxb
+
+#endif  // SGXBOUNDS_SRC_FAULT_SHARD_FAULT_H_

@@ -41,6 +41,24 @@ inline TrapClass ClassifyTrap(TrapKind kind) {
   return kind == TrapKind::kOutOfMemory ? TrapClass::kTransient : TrapClass::kContainable;
 }
 
+// Shard-level view of a contained trap, for fleet supervisors (src/farm):
+// does one dropped request say anything about the *shard*?
+enum class ShardImpact : uint8_t {
+  // Isolated per-request failure (transient allocation pressure): drop or
+  // retry the request, never indict the shard.
+  kRequestOnly,
+  // A safety violation the policy contained (bounds trap, poisoned
+  // metadata, overlay exhaustion): repeated occurrences indict the shard —
+  // each one counts toward the supervisor's consecutive-failure conviction
+  // threshold, after which the shard is restarted or failed over.
+  kSuspectShard,
+};
+
+inline ShardImpact ClassifyShardImpact(TrapKind kind) {
+  return ClassifyTrap(kind) == TrapClass::kTransient ? ShardImpact::kRequestOnly
+                                                     : ShardImpact::kSuspectShard;
+}
+
 struct RecoveryConfig {
   // Off by default: traps propagate exactly as before this layer existed.
   bool enabled = false;
@@ -92,6 +110,8 @@ class RecoveryControl {
         return true;
       } catch (const SimTrap& trap) {
         ++stats_.trap_by_kind[static_cast<uint8_t>(trap.kind())];
+        last_trap_ = trap.kind();
+        has_trap_ = true;
         if (!config_.enabled) {
           throw;
         }
@@ -117,9 +137,17 @@ class RecoveryControl {
   const RecoveryConfig& config() const { return config_; }
   const RecoveryStats& stats() const { return stats_; }
 
+  // Kind of the most recent trap any Serve() caught (valid once has_trap());
+  // lets a caller that just saw Serve() == false map the drop to a
+  // ShardImpact without threading the exception out.
+  bool has_trap() const { return has_trap_; }
+  TrapKind last_trap() const { return last_trap_; }
+
  private:
   RecoveryConfig config_;
   RecoveryStats stats_;
+  TrapKind last_trap_ = TrapKind::kSegFault;
+  bool has_trap_ = false;
 };
 
 }  // namespace sgxb

@@ -89,6 +89,10 @@ struct Env {
   PolicyOptions options;
   // Trap-recovery control (always present; pass-through when disabled).
   RecoveryControl* recovery = nullptr;
+  // Armed fault injector, when the spec carried a FaultPlan (null otherwise).
+  // Service harnesses (src/farm) use it to land shard-scoped injections at
+  // request positions via InjectNow.
+  FaultInjector* faults = nullptr;
 
   using Ptr = typename P::Ptr;
 
@@ -143,8 +147,12 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
   // Fault campaign + recovery wiring. The injector arms the enclave's access
   // tap before the policy is constructed so even runtime-setup accesses
   // advance the deterministic access counter.
+  // An empty (but non-null) plan still arms the injector: the farm needs one
+  // for shard-scoped InjectNow events even when no per-enclave triggers are
+  // scheduled. The empty injector's polls never fire, so simulated results
+  // are untouched.
   std::optional<FaultInjector> injector;
-  if (spec.faults != nullptr && !spec.faults->empty()) {
+  if (spec.faults != nullptr) {
     injector.emplace(*spec.faults);
     injector->Arm(&enclave, &heap);
   }
@@ -158,7 +166,7 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
       policy.AttachFaults(&*injector);
     }
     Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed),
-               options, &recovery};
+               options, &recovery, injector.has_value() ? &*injector : nullptr};
     fn(env);
     // Scheme-specific RunResult metrics (e.g. MPX's bounds-table count) are
     // collected through an optional policy hook instead of naming schemes.
