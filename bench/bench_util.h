@@ -71,6 +71,92 @@ inline uint32_t ResolveBenchThreads() {
   return v <= 0 ? HostHardwareThreads() : static_cast<uint32_t>(v);
 }
 
+// --- the shared --opts= flag -------------------------------------------------------
+//
+// Check-optimization pass selection for the scheme-generic pipeline
+// (src/ir/opt). The default "default" keeps each scheme's registry defaults
+// (paper four: the SS4.4 pair; shadow: all five), so default stdout is
+// unchanged. Any other value overrides every pass flag explicitly:
+//
+//   --opts=none                 no passes
+//   --opts=paper                the SS4.4 pair (safe + hoist)
+//   --opts=all                  all five passes
+//   --opts=safe,redundant,...   exactly the named passes
+//
+// A flag only takes effect where the scheme's lowering declares the pass
+// legal (CheckSchemeLowering supports mask), so e.g. --opts=all still leaves
+// ASan/MPX instrumentation untouched except for redundant-check elimination.
+
+inline std::string& OptsFlag() {
+  static std::string v = "default";
+  return v;
+}
+
+inline void AddOptsFlag(FlagParser& parser) {
+  parser.AddString("opts", &OptsFlag(),
+                   "check-optimization passes: comma list of "
+                   "safe|hoist|redundant|pattern|infield, or none|paper|all|default "
+                   "(default = each scheme's registry defaults)");
+}
+
+// Applies --opts on top of `base` (normally SchemeOf(kind).default_options).
+// Unknown pass names print the valid spellings and exit(2).
+inline PolicyOptions ResolveOptions(PolicyOptions base) {
+  const std::string& csv = OptsFlag();
+  if (csv == "default") {
+    return base;
+  }
+  base.opt_safe_elision = false;
+  base.opt_hoist_checks = false;
+  base.opt_redundant_elision = false;
+  base.opt_pattern_loops = false;
+  base.opt_infield_elision = false;
+  if (csv == "none") {
+    return base;
+  }
+  if (csv == "paper") {
+    base.opt_safe_elision = true;
+    base.opt_hoist_checks = true;
+    return base;
+  }
+  if (csv == "all") {
+    base.opt_safe_elision = true;
+    base.opt_hoist_checks = true;
+    base.opt_redundant_elision = true;
+    base.opt_pattern_loops = true;
+    base.opt_infield_elision = true;
+    return base;
+  }
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item == "safe") {
+      base.opt_safe_elision = true;
+    } else if (item == "hoist") {
+      base.opt_hoist_checks = true;
+    } else if (item == "redundant") {
+      base.opt_redundant_elision = true;
+    } else if (item == "pattern") {
+      base.opt_pattern_loops = true;
+    } else if (item == "infield") {
+      base.opt_infield_elision = true;
+    } else {
+      std::fprintf(stderr,
+                   "invalid --opts item '%s' (valid: safe|hoist|redundant|pattern|"
+                   "infield, or none|paper|all|default)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return base;
+}
+
 // --- machine-readable output (--json) ---------------------------------------------
 //
 // Every measured row is also recorded host-side (label, simulated result,
@@ -145,7 +231,7 @@ inline void WriteBenchJsonLocked() {
     std::fprintf(f,
                  "%s\n    {\"label\": \"%s\", \"tag\": \"%s\", \"policy\": \"%s\", "
                  "\"cycles\": %llu, \"peak_vm_bytes\": %llu, \"crashed\": %s, "
-                 "\"trap\": \"%s\", \"host_ms\": %.3f}",
+                 "\"trap\": \"%s\", \"host_ms\": %.3f",
                  i == 0 ? "" : ",", JsonEscape(row.label).c_str(),
                  JsonEscape(row.tag).c_str(), PolicyName(row.result.kind),
                  static_cast<unsigned long long>(row.result.cycles),
@@ -153,6 +239,22 @@ inline void WriteBenchJsonLocked() {
                  row.result.crashed ? "true" : "false",
                  row.result.crashed ? TrapKindName(row.result.trap) : "",
                  row.host_ms);
+    // Check-pipeline statistics, present only for rows whose body ran IR
+    // instrumentation (the "ir" suite, the fig10 ablation).
+    if (row.result.pass_stats.Any()) {
+      const CheckPassStats& p = row.result.pass_stats;
+      std::fprintf(f,
+                   ", \"checks_inserted\": %llu, \"elided_safe\": %llu, "
+                   "\"elided_redundant\": %llu, \"elided_infield\": %llu, "
+                   "\"hoisted\": %llu, \"pattern_hoisted\": %llu",
+                   static_cast<unsigned long long>(p.checks_inserted),
+                   static_cast<unsigned long long>(p.checks_elided_safe),
+                   static_cast<unsigned long long>(p.checks_elided_redundant),
+                   static_cast<unsigned long long>(p.checks_elided_infield),
+                   static_cast<unsigned long long>(p.checks_hoisted),
+                   static_cast<unsigned long long>(p.checks_pattern_hoisted));
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -435,8 +537,12 @@ inline std::vector<SuiteRow> RunSuiteRows(const std::vector<const WorkloadInfo*>
   jobs.reserve(workloads.size() * policies.size());
   for (const WorkloadInfo* w : workloads) {
     for (PolicyKind kind : policies) {
+      // Each scheme runs at its registry defaults (bit-identical to the old
+      // PolicyOptions{} for the paper four, which set none), overridden by
+      // --opts when the driver registered it.
+      const PolicyOptions options = ResolveOptions(SchemeOf(kind).default_options);
       jobs.push_back({w->name + "/" + PolicyName(kind),
-                      [w, kind, spec, cfg] { return w->run(kind, spec, PolicyOptions{}, cfg); }});
+                      [w, kind, spec, cfg, options] { return w->run(kind, spec, options, cfg); }});
     }
   }
   const std::vector<RunResult> results = RunBenchJobs(jobs, tag);

@@ -33,8 +33,10 @@ int main(int argc, char** argv) {
   parser.AddInt("threads", &threads, "worker threads");
   parser.AddUint("epc_mb", &epc_mb, "usable EPC size in MiB");
   parser.AddBool("no_enclave", &no_enclave, "run outside the enclave (no EPC/MEE)");
-  parser.AddBool("no_opts", &no_opts, "disable the SS4.4 optimizations (SGXBounds)");
+  parser.AddBool("no_opts", &no_opts, "disable every check optimization (same as --opts=none)");
   parser.AddBool("list", &list, "list registered workloads and exit");
+  AddOptsFlag(parser);
+  AddBenchDriverFlags(parser);
   parser.Parse(argc, argv);
 
   auto& registry = WorkloadRegistry::Instance();
@@ -62,13 +64,21 @@ int main(int argc, char** argv) {
   WorkloadConfig cfg;
   cfg.size = ParseSizeClass(size);
   cfg.threads = static_cast<uint32_t>(threads);
-  PolicyOptions options;
+  // Start from the scheme's registry defaults (paper four: the SS4.4 pair;
+  // shadow: all five pipeline passes), then apply --opts / --no_opts.
+  PolicyOptions options = ResolveOptions(SchemeOf(kind).default_options);
   if (no_opts) {
     options.opt_safe_elision = false;
     options.opt_hoist_checks = false;
+    options.opt_redundant_elision = false;
+    options.opt_pattern_loops = false;
+    options.opt_infield_elision = false;
   }
 
-  const RunResult r = w->run(kind, spec, options, cfg);
+  // Through the shared job runner so --selftime / --json see this run too.
+  const RunResult r = RunBenchJobs(
+      {{w->name + "/" + PolicyName(kind), [&] { return w->run(kind, spec, options, cfg); }}},
+      "run_workload")[0];
 
   std::printf("%s / %s / size %s / %lld thread(s) / %s, EPC %llu MiB\n", w->name.c_str(),
               PolicyName(kind), size.c_str(), static_cast<long long>(threads),
@@ -95,6 +105,17 @@ int main(int argc, char** argv) {
   row("EPC faults", c.epc_faults);
   row("minor faults", c.minor_faults);
   t.AddRow({"peak virtual memory", FormatBytes(r.peak_vm_bytes)});
+  // Check-pipeline statistics, for bodies that ran IR instrumentation (the
+  // "ir" suite; zero and omitted elsewhere).
+  if (r.pass_stats.Any()) {
+    const CheckPassStats& p = r.pass_stats;
+    row("checks inserted", p.checks_inserted);
+    row("checks elided (safe)", p.checks_elided_safe);
+    row("checks elided (redundant)", p.checks_elided_redundant);
+    row("checks elided (in-field)", p.checks_elided_infield);
+    row("checks hoisted (SCEV)", p.checks_hoisted);
+    row("checks hoisted (pattern)", p.checks_pattern_hoisted);
+  }
   // Scheme-specific extra metric (e.g. MPX's bounds-table count), declared
   // by the scheme's registry entry.
   const SchemeDescriptor& scheme = SchemeOf(kind);

@@ -1,0 +1,336 @@
+#include "src/ir/opt/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sgxb {
+
+IrDefMap BuildIrDefs(const IrFunction& fn) {
+  IrDefMap defs;
+  for (const auto& block : fn.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.id != 0) {
+        defs[instr.id] = instr;
+      }
+    }
+  }
+  return defs;
+}
+
+const IrInstr* ResolveIrPtrDef(const IrDefMap& defs, ValueId v) {
+  auto it = defs.find(v);
+  if (it == defs.end()) {
+    return nullptr;
+  }
+  if (it->second.op == IrOp::kMaskPtr) {
+    // arg1 is the pre-arithmetic pointer; arg0 the raw gep. Use the raw gep.
+    return ResolveIrPtrDef(defs, it->second.args[0]);
+  }
+  return &it->second;
+}
+
+uint32_t StaticIrObjectSize(const IrDefMap& defs, ValueId v) {
+  auto it = defs.find(v);
+  if (it == defs.end()) {
+    return 0;
+  }
+  const IrInstr& def = it->second;
+  if (def.op == IrOp::kAlloca) {
+    return static_cast<uint32_t>(def.imm);
+  }
+  if (def.op == IrOp::kMalloc) {
+    auto size_def = defs.find(def.args[0]);
+    if (size_def != defs.end() && size_def->second.op == IrOp::kConst) {
+      return static_cast<uint32_t>(size_def->second.imm);
+    }
+  }
+  return 0;
+}
+
+bool IsSafeIrAccess(const IrDefMap& defs, const IrInstr& access) {
+  const ValueId ptr = access.op == IrOp::kLoad ? access.args[0] : access.args[1];
+  const uint32_t size = IrTypeSize(access.type);
+  const IrInstr* def = ResolveIrPtrDef(defs, ptr);
+  if (def == nullptr) {
+    return false;
+  }
+  if (def->op == IrOp::kAlloca || def->op == IrOp::kMalloc) {
+    // Direct access at offset 0.
+    return StaticIrObjectSize(defs, def->id) >= size;
+  }
+  if (def->op != IrOp::kGep) {
+    return false;
+  }
+  const uint32_t obj_size = StaticIrObjectSize(defs, def->args[0]);
+  if (obj_size == 0) {
+    return false;
+  }
+  auto index_def = defs.find(def->args[1]);
+  if (index_def == defs.end() || index_def->second.op != IrOp::kConst) {
+    return false;
+  }
+  const int64_t index = index_def->second.imm;
+  if (index < 0) {
+    return false;
+  }
+  const int64_t last = index * def->imm + def->imm2 + size;
+  return last <= static_cast<int64_t>(obj_size);
+}
+
+bool IsInFieldIrAccess(const IrDefMap& defs, const IrInstr& access,
+                       uint32_t min_object_bytes) {
+  if (min_object_bytes == 0) {
+    return false;  // scheme has exact bounds, no footprint floor to lean on
+  }
+  const ValueId ptr = access.op == IrOp::kLoad ? access.args[0] : access.args[1];
+  const uint32_t size = IrTypeSize(access.type);
+  const IrInstr* def = ResolveIrPtrDef(defs, ptr);
+  if (def == nullptr) {
+    return false;
+  }
+  int64_t offset = 0;
+  if (def->op == IrOp::kGep) {
+    // The gep base must be the allocation itself (no chained geps: a chain
+    // would compound offsets we can't bound here).
+    const IrInstr* base = ResolveIrPtrDef(defs, def->args[0]);
+    if (base == nullptr ||
+        (base->op != IrOp::kAlloca && base->op != IrOp::kMalloc)) {
+      return false;
+    }
+    auto index_def = defs.find(def->args[1]);
+    if (index_def == defs.end() || index_def->second.op != IrOp::kConst) {
+      return false;
+    }
+    const int64_t index = index_def->second.imm;
+    if (index < 0) {
+      return false;
+    }
+    offset = index * def->imm + def->imm2;
+  } else if (def->op != IrOp::kAlloca && def->op != IrOp::kMalloc) {
+    return false;
+  }
+  if (offset < 0) {
+    return false;
+  }
+  return offset + size <= static_cast<int64_t>(min_object_bytes);
+}
+
+namespace {
+
+// Shared loop-shape matcher: canonical builder loops differ only in the
+// comparison opcode of the exit condition. Legality of acting on the loop is
+// the caller's business.
+std::vector<LoopInfo> FindLoopsWithCmp(const IrFunction& fn, IrCmp cmp) {
+  std::vector<LoopInfo> loops;
+  const auto defs = BuildIrDefs(fn);
+  for (uint32_t h = 0; h < fn.blocks.size(); ++h) {
+    const IrBlock& header = fn.blocks[h];
+    if (header.preds.size() != 2 || header.instrs.size() < 2) {
+      continue;
+    }
+    const IrInstr& phi = header.instrs.front();
+    const IrInstr& term = header.instrs.back();
+    if (phi.op != IrOp::kPhi || term.op != IrOp::kCondBr) {
+      continue;
+    }
+    // condbr cond, body, exit  where cond = icmp <cmp> phi, bound
+    auto cond_def = defs.find(term.args[0]);
+    if (cond_def == defs.end() || cond_def->second.op != IrOp::kICmp ||
+        static_cast<IrCmp>(cond_def->second.imm) != cmp ||
+        cond_def->second.args[0] != phi.id) {
+      continue;
+    }
+    const ValueId bound = cond_def->second.args[1];
+    // One incoming is the start (preheader), the other is phi + const step.
+    LoopInfo loop;
+    loop.header = h;
+    loop.iv = phi.id;
+    loop.bound = bound;
+    bool found_step = false;
+    for (size_t p = 0; p < header.preds.size(); ++p) {
+      auto inc_def = defs.find(phi.args[p]);
+      const bool is_step = inc_def != defs.end() && inc_def->second.op == IrOp::kAdd &&
+                           inc_def->second.args[0] == phi.id;
+      if (is_step) {
+        auto step_def = defs.find(inc_def->second.args[1]);
+        if (step_def == defs.end() || step_def->second.op != IrOp::kConst) {
+          continue;
+        }
+        loop.step = step_def->second.imm;
+        found_step = true;
+      } else {
+        loop.preheader = header.preds[p];
+        loop.start = phi.args[p];
+      }
+    }
+    if (!found_step || loop.step <= 0) {
+      continue;
+    }
+    // Body blocks: those reachable from the true-target without re-entering
+    // header or exit.
+    const uint32_t body = static_cast<uint32_t>(term.imm);
+    const uint32_t exit = static_cast<uint32_t>(term.imm2);
+    std::unordered_set<uint32_t> body_set;
+    std::vector<uint32_t> worklist{body};
+    while (!worklist.empty()) {
+      const uint32_t b = worklist.back();
+      worklist.pop_back();
+      if (b == h || b == exit || body_set.count(b) != 0) {
+        continue;
+      }
+      body_set.insert(b);
+      const IrInstr& t = fn.blocks[b].instrs.back();
+      if (t.op == IrOp::kBr) {
+        worklist.push_back(static_cast<uint32_t>(t.imm));
+      } else if (t.op == IrOp::kCondBr) {
+        worklist.push_back(static_cast<uint32_t>(t.imm));
+        worklist.push_back(static_cast<uint32_t>(t.imm2));
+      }
+    }
+    loop.body_blocks.assign(body_set.begin(), body_set.end());
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace
+
+std::vector<LoopInfo> FindCountedLoops(const IrFunction& fn) {
+  return FindLoopsWithCmp(fn, IrCmp::kSLt);
+}
+
+std::vector<LoopInfo> FindMonotonicNeLoops(const IrFunction& fn) {
+  std::vector<LoopInfo> loops = FindLoopsWithCmp(fn, IrCmp::kNe);
+  const auto defs = BuildIrDefs(fn);
+  // Keep only loops whose final IV value is provable: with an `ne` exit the
+  // IV must land on `bound` exactly or the loop never terminates in-range.
+  auto provable = [&](const LoopInfo& loop) {
+    auto start_def = defs.find(loop.start);
+    auto bound_def = defs.find(loop.bound);
+    if (start_def == defs.end() || start_def->second.op != IrOp::kConst ||
+        bound_def == defs.end() || bound_def->second.op != IrOp::kConst) {
+      return false;
+    }
+    const int64_t start = start_def->second.imm;
+    const int64_t bound = bound_def->second.imm;
+    return bound > start && (bound - start) % loop.step == 0;
+  };
+  loops.erase(std::remove_if(loops.begin(), loops.end(),
+                             [&](const LoopInfo& l) { return !provable(l); }),
+              loops.end());
+  return loops;
+}
+
+std::vector<uint32_t> IrBlockSuccessors(const IrBlock& block) {
+  if (block.instrs.empty()) {
+    return {};
+  }
+  const IrInstr& term = block.instrs.back();
+  if (term.op == IrOp::kBr) {
+    return {static_cast<uint32_t>(term.imm)};
+  }
+  if (term.op == IrOp::kCondBr) {
+    return {static_cast<uint32_t>(term.imm), static_cast<uint32_t>(term.imm2)};
+  }
+  return {};
+}
+
+DominatorTree::DominatorTree(const IrFunction& fn) {
+  const uint32_t n = static_cast<uint32_t>(fn.blocks.size());
+  idom_.assign(n, kNone);
+  rpo_index_.assign(n, kNone);
+  if (n == 0) {
+    return;
+  }
+
+  // Post-order DFS from the entry block, iterative to survive deep CFGs.
+  std::vector<uint32_t> post;
+  post.reserve(n);
+  std::vector<uint8_t> state(n, 0);  // 0=unvisited 1=on-stack 2=done
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const std::vector<uint32_t> succs = IrBlockSuccessors(fn.blocks[b]);
+    if (next < succs.size()) {
+      const uint32_t s = succs[next++];
+      if (s < n && state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (uint32_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[rpo_[i]] = i;
+  }
+
+  // Predecessor lists restricted to reachable blocks.
+  std::vector<std::vector<uint32_t>> preds(n);
+  for (uint32_t b : rpo_) {
+    for (uint32_t s : IrBlockSuccessors(fn.blocks[b])) {
+      if (s < n && rpo_index_[s] != kNone) {
+        preds[s].push_back(b);
+      }
+    }
+  }
+
+  // Cooper-Harvey-Kennedy: iterate to fixpoint over RPO.
+  auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) {
+        a = idom_[a];
+      }
+      while (rpo_index_[b] > rpo_index_[a]) {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+  idom_[0] = 0;  // sentinel: entry's idom is itself during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t i = 1; i < rpo_.size(); ++i) {
+      const uint32_t b = rpo_[i];
+      uint32_t new_idom = kNone;
+      for (uint32_t p : preds[b]) {
+        if (idom_[p] == kNone) {
+          continue;  // predecessor not processed yet
+        }
+        new_idom = new_idom == kNone ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNone && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[0] = kNone;  // entry has no immediate dominator
+}
+
+bool DominatorTree::Dominates(uint32_t a, uint32_t b) const {
+  if (a == b) {
+    return true;
+  }
+  if (!reachable(a) || !reachable(b)) {
+    return false;
+  }
+  // Walk b's idom chain toward the entry; idoms always have a smaller RPO
+  // index, so the walk terminates.
+  uint32_t cur = b;
+  while (idom_[cur] != kNone) {
+    cur = idom_[cur];
+    if (cur == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sgxb

@@ -1,440 +1,55 @@
 #include "src/ir/passes.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
-#include "src/common/check.h"
-
 namespace sgxb {
 
 namespace {
 
-// Definition map: value id -> copy of the defining instruction.
-std::unordered_map<ValueId, IrInstr> BuildDefs(const IrFunction& fn) {
-  std::unordered_map<ValueId, IrInstr> defs;
-  for (const auto& block : fn.blocks) {
-    for (const auto& instr : block.instrs) {
-      if (instr.id != 0) {
-        defs[instr.id] = instr;
-      }
-    }
-  }
-  return defs;
+CheckPassConfig ConfigFrom(const SgxPassOptions& options) {
+  CheckPassConfig config;
+  config.elide_safe = options.elide_safe;
+  config.hoist_loops = options.hoist_loops;
+  config.max_hoist_stride = options.max_hoist_stride;
+  return config;
 }
 
-// Resolves through kMaskPtr to the original pointer definition.
-const IrInstr* ResolvePtrDef(const std::unordered_map<ValueId, IrInstr>& defs, ValueId v) {
-  auto it = defs.find(v);
-  if (it == defs.end()) {
-    return nullptr;
-  }
-  if (it->second.op == IrOp::kMaskPtr) {
-    // arg1 is the pre-arithmetic pointer; arg0 the raw gep. Use the raw gep.
-    return ResolvePtrDef(defs, it->second.args[0]);
-  }
-  return &it->second;
-}
-
-// Statically known object size for a pointer-producing value, or 0.
-uint32_t StaticObjectSize(const std::unordered_map<ValueId, IrInstr>& defs, ValueId v) {
-  auto it = defs.find(v);
-  if (it == defs.end()) {
-    return 0;
-  }
-  const IrInstr& def = it->second;
-  if (def.op == IrOp::kAlloca) {
-    return static_cast<uint32_t>(def.imm);
-  }
-  if (def.op == IrOp::kMalloc) {
-    auto size_def = defs.find(def.args[0]);
-    if (size_def != defs.end() && size_def->second.op == IrOp::kConst) {
-      return static_cast<uint32_t>(size_def->second.imm);
-    }
-  }
-  return 0;
-}
-
-bool SafeAccessImpl(const std::unordered_map<ValueId, IrInstr>& defs, const IrInstr& access) {
-  const ValueId ptr = access.op == IrOp::kLoad ? access.args[0] : access.args[1];
-  const uint32_t size = IrTypeSize(access.type);
-  const IrInstr* def = ResolvePtrDef(defs, ptr);
-  if (def == nullptr) {
-    return false;
-  }
-  if (def->op == IrOp::kAlloca || def->op == IrOp::kMalloc) {
-    // Direct access at offset 0.
-    return StaticObjectSize(defs, def->id) >= size;
-  }
-  if (def->op != IrOp::kGep) {
-    return false;
-  }
-  const uint32_t obj_size = StaticObjectSize(defs, def->args[0]);
-  if (obj_size == 0) {
-    return false;
-  }
-  auto index_def = defs.find(def->args[1]);
-  if (index_def == defs.end() || index_def->second.op != IrOp::kConst) {
-    return false;
-  }
-  const int64_t index = index_def->second.imm;
-  if (index < 0) {
-    return false;
-  }
-  const int64_t last = index * def->imm + def->imm2 + size;
-  return last <= static_cast<int64_t>(obj_size);
+SgxPassStats Narrow(const CheckPassStats& s) {
+  SgxPassStats out;
+  out.checks_inserted = s.checks_inserted;
+  out.checks_elided_safe = s.checks_elided_safe;
+  out.checks_hoisted = s.checks_hoisted;
+  out.geps_masked = s.geps_masked;
+  return out;
 }
 
 }  // namespace
 
 bool IsProvablySafeAccess(const IrFunction& fn, uint32_t block, size_t instr_index) {
-  const auto defs = BuildDefs(fn);
-  return SafeAccessImpl(defs, fn.blocks[block].instrs[instr_index]);
+  const auto defs = BuildIrDefs(fn);
+  return IsSafeIrAccess(defs, fn.blocks[block].instrs[instr_index]);
 }
-
-std::vector<LoopInfo> FindCountedLoops(const IrFunction& fn) {
-  std::vector<LoopInfo> loops;
-  const auto defs = BuildDefs(fn);
-  for (uint32_t h = 0; h < fn.blocks.size(); ++h) {
-    const IrBlock& header = fn.blocks[h];
-    if (header.preds.size() != 2 || header.instrs.size() < 2) {
-      continue;
-    }
-    const IrInstr& phi = header.instrs.front();
-    const IrInstr& term = header.instrs.back();
-    if (phi.op != IrOp::kPhi || term.op != IrOp::kCondBr) {
-      continue;
-    }
-    // condbr cond, body, exit  where cond = icmp slt phi, bound
-    auto cond_def = defs.find(term.args[0]);
-    if (cond_def == defs.end() || cond_def->second.op != IrOp::kICmp ||
-        static_cast<IrCmp>(cond_def->second.imm) != IrCmp::kSLt ||
-        cond_def->second.args[0] != phi.id) {
-      continue;
-    }
-    const ValueId bound = cond_def->second.args[1];
-    // One incoming is the start (preheader), the other is phi + const step.
-    LoopInfo loop;
-    loop.header = h;
-    loop.iv = phi.id;
-    loop.bound = bound;
-    bool found_step = false;
-    for (size_t p = 0; p < header.preds.size(); ++p) {
-      auto inc_def = defs.find(phi.args[p]);
-      const bool is_step = inc_def != defs.end() && inc_def->second.op == IrOp::kAdd &&
-                           inc_def->second.args[0] == phi.id;
-      if (is_step) {
-        auto step_def = defs.find(inc_def->second.args[1]);
-        if (step_def == defs.end() || step_def->second.op != IrOp::kConst) {
-          continue;
-        }
-        loop.step = step_def->second.imm;
-        found_step = true;
-      } else {
-        loop.preheader = header.preds[p];
-        loop.start = phi.args[p];
-      }
-    }
-    if (!found_step || loop.step <= 0) {
-      continue;
-    }
-    // Body blocks: those reachable from the true-target without re-entering
-    // header or exit.
-    const uint32_t body = static_cast<uint32_t>(term.imm);
-    const uint32_t exit = static_cast<uint32_t>(term.imm2);
-    std::unordered_set<uint32_t> body_set;
-    std::vector<uint32_t> worklist{body};
-    while (!worklist.empty()) {
-      const uint32_t b = worklist.back();
-      worklist.pop_back();
-      if (b == h || b == exit || body_set.count(b) != 0) {
-        continue;
-      }
-      body_set.insert(b);
-      const IrInstr& t = fn.blocks[b].instrs.back();
-      if (t.op == IrOp::kBr) {
-        worklist.push_back(static_cast<uint32_t>(t.imm));
-      } else if (t.op == IrOp::kCondBr) {
-        worklist.push_back(static_cast<uint32_t>(t.imm));
-        worklist.push_back(static_cast<uint32_t>(t.imm2));
-      }
-    }
-    loop.body_blocks.assign(body_set.begin(), body_set.end());
-    loops.push_back(std::move(loop));
-  }
-  return loops;
-}
-
-namespace {
-
-// Shared implementation of the tagged-pointer lowering (SS5.1 + SS4.4):
-// the SGXBounds pass and the generic registry-scheme pass differ only in
-// which check opcodes they emit and which allocation symbol they stamp.
-SgxPassStats RunTaggedPtrPassImpl(IrFunction& fn, const SgxPassOptions& options,
-                                  IrOp check_op, IrOp range_check_op,
-                                  const char* symbol) {
-  SgxPassStats stats;
-  const auto defs = BuildDefs(fn);
-  const auto loops = FindCountedLoops(fn);
-
-  // Map: block -> loop whose body contains it (canonical loops don't share
-  // body blocks in builder output).
-  std::unordered_map<uint32_t, const LoopInfo*> loop_of_block;
-  for (const auto& loop : loops) {
-    for (uint32_t b : loop.body_blocks) {
-      loop_of_block[b] = &loop;
-    }
-  }
-
-  // Hoisted range checks to add to preheaders: (preheader, base, bound,
-  // scale, offset+size).
-  struct RangeCheck {
-    uint32_t preheader;
-    ValueId base;
-    ValueId bound;
-    int64_t scale;
-    int64_t tail;
-  };
-  std::vector<RangeCheck> range_checks;
-  // Deduplicate hoisted checks per (preheader, base): one range check covers
-  // all accesses to the same array in the loop (keep the max tail).
-  auto add_range_check = [&](const RangeCheck& rc) {
-    for (auto& existing : range_checks) {
-      if (existing.preheader == rc.preheader && existing.base == rc.base &&
-          existing.bound == rc.bound && existing.scale == rc.scale) {
-        existing.tail = std::max(existing.tail, rc.tail);
-        return;
-      }
-    }
-    range_checks.push_back(rc);
-  };
-
-  // Decide, per access, whether its check can be hoisted.
-  auto hoistable = [&](uint32_t block, const IrInstr& access, RangeCheck* rc) {
-    if (!options.hoist_loops) {
-      return false;
-    }
-    auto it = loop_of_block.find(block);
-    if (it == loop_of_block.end()) {
-      return false;
-    }
-    const LoopInfo& loop = *it->second;
-    const ValueId ptr = access.op == IrOp::kLoad ? access.args[0] : access.args[1];
-    auto def_it = defs.find(ptr);
-    if (def_it == defs.end() || def_it->second.op != IrOp::kGep) {
-      return false;
-    }
-    const IrInstr& gep = def_it->second;
-    if (gep.args[1] != loop.iv) {
-      return false;  // index is not the affine IV
-    }
-    // Base must be defined before the loop header's phi (loop-invariant).
-    if (gep.args[0] >= loop.iv) {
-      return false;
-    }
-    const int64_t stride = gep.imm * loop.step;
-    if (stride <= 0 || stride > static_cast<int64_t>(options.max_hoist_stride)) {
-      return false;  // SS4.4 restriction
-    }
-    rc->preheader = loop.preheader;
-    rc->base = gep.args[0];
-    rc->bound = loop.bound;
-    rc->scale = gep.imm;
-    // The last iteration uses iv = bound - step, so the furthest byte touched
-    // is (bound - step)*scale + offset + size = bound*scale + tail with
-    // tail = offset + size - step*scale.
-    rc->tail = gep.imm2 + IrTypeSize(access.type) - loop.step * gep.imm;
-    return true;
-  };
-
-  // Rewrite each block: tag allocations, mask geps, insert checks.
-  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-    std::vector<IrInstr> out;
-    out.reserve(fn.blocks[b].instrs.size() * 2);
-    for (auto& instr : fn.blocks[b].instrs) {
-      switch (instr.op) {
-        case IrOp::kMalloc:
-        case IrOp::kAlloca:
-        case IrOp::kFree:
-          instr.symbol = symbol;
-          out.push_back(instr);
-          break;
-        case IrOp::kGep: {
-          // Rename the gep result and re-tag via kMaskPtr under the original
-          // id, so existing uses see the masked pointer.
-          IrInstr gep = instr;
-          const ValueId original = gep.id;
-          gep.id = fn.num_values++;
-          out.push_back(gep);
-          IrInstr mask;
-          mask.id = original;
-          mask.op = IrOp::kMaskPtr;
-          mask.type = IrType::kPtr;
-          mask.args = {gep.id, gep.args[0]};
-          out.push_back(mask);
-          ++stats.geps_masked;
-          break;
-        }
-        case IrOp::kLoad:
-        case IrOp::kStore: {
-          const ValueId ptr = instr.op == IrOp::kLoad ? instr.args[0] : instr.args[1];
-          RangeCheck rc;
-          if (options.elide_safe && SafeAccessImpl(defs, instr)) {
-            ++stats.checks_elided_safe;
-          } else if (hoistable(b, instr, &rc)) {
-            add_range_check(rc);
-            ++stats.checks_hoisted;
-          } else {
-            IrInstr check;
-            check.op = check_op;
-            check.args = {ptr};
-            check.imm = IrTypeSize(instr.type);
-            check.imm2 = instr.op == IrOp::kStore ? 1 : 0;
-            out.push_back(check);
-            ++stats.checks_inserted;
-          }
-          out.push_back(instr);
-          break;
-        }
-        default:
-          out.push_back(instr);
-          break;
-      }
-    }
-    fn.blocks[b].instrs = std::move(out);
-  }
-
-  // Materialize hoisted range checks in preheaders, before the terminator:
-  //   extent = bound * scale + tail ; sgx.check.range base, extent
-  for (const auto& rc : range_checks) {
-    auto& instrs = fn.blocks[rc.preheader].instrs;
-    CHECK(!instrs.empty());
-    std::vector<IrInstr> seq;
-    IrInstr c1;
-    c1.id = fn.num_values++;
-    c1.op = IrOp::kConst;
-    c1.imm = rc.scale;
-    seq.push_back(c1);
-    IrInstr mul;
-    mul.id = fn.num_values++;
-    mul.op = IrOp::kMul;
-    mul.args = {rc.bound, c1.id};
-    seq.push_back(mul);
-    IrInstr c2;
-    c2.id = fn.num_values++;
-    c2.op = IrOp::kConst;
-    c2.imm = rc.tail;
-    seq.push_back(c2);
-    IrInstr add;
-    add.id = fn.num_values++;
-    add.op = IrOp::kAdd;
-    add.args = {mul.id, c2.id};
-    seq.push_back(add);
-    IrInstr check;
-    check.op = range_check_op;
-    check.args = {rc.base, add.id};
-    seq.push_back(check);
-    instrs.insert(instrs.end() - 1, seq.begin(), seq.end());
-  }
-
-  return stats;
-}
-
-}  // namespace
 
 SgxPassStats RunSgxBoundsPass(IrFunction& fn, const SgxPassOptions& options) {
-  return RunTaggedPtrPassImpl(fn, options, IrOp::kSgxCheck, IrOp::kSgxCheckRange, "sgx");
+  return Narrow(RunCheckPipeline(fn, SgxBoundsCheckLowering(), ConfigFrom(options)));
 }
 
 SgxPassStats RunSchemePass(IrFunction& fn, const SgxPassOptions& options) {
-  return RunTaggedPtrPassImpl(fn, options, IrOp::kSchemeCheck, IrOp::kSchemeCheckRange,
-                              "scheme");
+  return Narrow(RunCheckPipeline(fn, TaggedSchemeCheckLowering(0), ConfigFrom(options)));
 }
 
 BaselinePassStats RunAsanPass(IrFunction& fn) {
-  BaselinePassStats stats;
-  for (auto& block : fn.blocks) {
-    std::vector<IrInstr> out;
-    out.reserve(block.instrs.size() * 2);
-    for (auto& instr : block.instrs) {
-      switch (instr.op) {
-        case IrOp::kMalloc:
-        case IrOp::kAlloca:
-        case IrOp::kFree:
-          instr.symbol = "asan";
-          out.push_back(instr);
-          break;
-        case IrOp::kLoad:
-        case IrOp::kStore: {
-          IrInstr check;
-          check.op = IrOp::kAsanCheck;
-          check.args = {instr.op == IrOp::kLoad ? instr.args[0] : instr.args[1]};
-          check.imm = IrTypeSize(instr.type);
-          check.imm2 = instr.op == IrOp::kStore ? 1 : 0;
-          out.push_back(check);
-          ++stats.checks_inserted;
-          out.push_back(instr);
-          break;
-        }
-        default:
-          out.push_back(instr);
-          break;
-      }
-    }
-    block.instrs = std::move(out);
-  }
-  return stats;
+  const CheckPassStats s = RunCheckPipeline(fn, AsanCheckLowering(), CheckPassConfig{});
+  BaselinePassStats out;
+  out.checks_inserted = s.checks_inserted;
+  return out;
 }
 
 BaselinePassStats RunMpxPass(IrFunction& fn) {
-  BaselinePassStats stats;
-  for (auto& block : fn.blocks) {
-    std::vector<IrInstr> out;
-    out.reserve(block.instrs.size() * 2);
-    for (auto& instr : block.instrs) {
-      switch (instr.op) {
-        case IrOp::kLoad: {
-          IrInstr check;
-          check.op = IrOp::kMpxCheck;
-          check.args = {instr.args[0]};
-          check.imm = IrTypeSize(instr.type);
-          out.push_back(check);
-          ++stats.checks_inserted;
-          out.push_back(instr);
-          if (instr.type == IrType::kPtr) {
-            // Loaded a pointer: fetch its bounds from the tables.
-            IrInstr ldx;
-            ldx.op = IrOp::kMpxLdx;
-            ldx.args = {instr.id, instr.args[0]};
-            out.push_back(ldx);
-            ++stats.ptr_loads_instrumented;
-          }
-          break;
-        }
-        case IrOp::kStore: {
-          IrInstr check;
-          check.op = IrOp::kMpxCheck;
-          check.args = {instr.args[1]};
-          check.imm = IrTypeSize(instr.type);
-          out.push_back(check);
-          ++stats.checks_inserted;
-          out.push_back(instr);
-          if (instr.type == IrType::kPtr) {
-            IrInstr stx;
-            stx.op = IrOp::kMpxStx;
-            stx.args = {instr.args[0], instr.args[1]};
-            out.push_back(stx);
-            ++stats.ptr_stores_instrumented;
-          }
-          break;
-        }
-        default:
-          out.push_back(instr);
-          break;
-      }
-    }
-    block.instrs = std::move(out);
-  }
-  return stats;
+  const CheckPassStats s = RunCheckPipeline(fn, MpxCheckLowering(), CheckPassConfig{});
+  BaselinePassStats out;
+  out.checks_inserted = s.checks_inserted;
+  out.ptr_loads_instrumented = s.ptr_loads_instrumented;
+  out.ptr_stores_instrumented = s.ptr_stores_instrumented;
+  return out;
 }
 
 }  // namespace sgxb

@@ -1,28 +1,30 @@
-// Instrumentation passes - the reproduction of the paper's LLVM pass
-// (SS5.1) and of the baselines' compiler support, plus the SS4.4 analyses:
+// Compatibility facade over the scheme-generic check-optimization pipeline
+// (src/ir/opt/). The historical entry points — the reproduction of the
+// paper's LLVM pass (SS5.1) and of the baselines' compiler support — are
+// kept as thin wrappers:
 //
 //   RunSgxBoundsPass: rewrites malloc/alloca/free to the tagged wrappers,
 //     masks pointer arithmetic (kMaskPtr after every gep), inserts kSgxCheck
-//     before every load/store. Options control the two optimizations:
-//       elide_safe  - SizeOffsetVisitor-style analysis: a gep with constant
-//                     index into a known-size object whose access is provably
-//                     in bounds gets no check.
-//       hoist_loops - scalar evolution: for a counted loop with an affine
-//                     induction variable (step*scale <= 1024 bytes, SS4.4),
-//                     per-iteration checks on gep(base, iv) are replaced by a
-//                     single range check in the preheader.
-//
+//     before every load/store. Options control the two SS4.4 optimizations
+//     (safe-access elision, SCEV loop hoisting).
 //   RunAsanPass: allocator interception + shadow check before every access.
-//
 //   RunMpxPass: bndcl/bndcu before every access, bndldx after pointer loads,
 //     bndstx after pointer stores.
+//
+// New code (every SchemeIrLowering specialization) should call
+// RunCheckPipeline directly: it adds the ShadowBound-style passes
+// (redundant-check elimination, pattern loop hoisting, in-field elision)
+// behind per-scheme legality masks. The analyses formerly declared here
+// (FindCountedLoops, LoopInfo, safe-access analysis) live in
+// src/ir/opt/analysis.h and are re-exported through this header.
 //
 // All passes preserve program semantics for in-bounds executions.
 
 #ifndef SGXBOUNDS_SRC_IR_PASSES_H_
 #define SGXBOUNDS_SRC_IR_PASSES_H_
 
-#include "src/ir/ir.h"
+#include "src/ir/opt/analysis.h"
+#include "src/ir/opt/pipeline.h"
 
 namespace sgxb {
 
@@ -55,21 +57,6 @@ struct BaselinePassStats {
 
 BaselinePassStats RunAsanPass(IrFunction& fn);
 BaselinePassStats RunMpxPass(IrFunction& fn);
-
-// --- analyses (exposed for tests) ---------------------------------------------
-
-// A natural counted loop in canonical builder form.
-struct LoopInfo {
-  uint32_t preheader;
-  uint32_t header;
-  ValueId iv;        // the induction phi
-  ValueId start;     // incoming from preheader
-  ValueId bound;     // loop-invariant bound (icmp slt iv, bound)
-  int64_t step;      // constant increment
-  std::vector<uint32_t> body_blocks;
-};
-
-std::vector<LoopInfo> FindCountedLoops(const IrFunction& fn);
 
 // True if the load/store at (block, index) is provably in bounds: its
 // address is gep(object, const index) with const offset+size within the

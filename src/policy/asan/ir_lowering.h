@@ -1,9 +1,12 @@
-// ASan IR lowering: shadow-check instrumentation (kAsanCheck opcodes).
+// ASan IR lowering: shadow-check instrumentation (kAsanCheck opcodes)
+// through the scheme-generic check pipeline. ASan's lowering checks every
+// access unconditionally (matching the paper's baseline tooling); only
+// redundant-check elimination is legal on top, and it defaults off.
 
 #ifndef SGXBOUNDS_SRC_POLICY_ASAN_IR_LOWERING_H_
 #define SGXBOUNDS_SRC_POLICY_ASAN_IR_LOWERING_H_
 
-#include "src/ir/passes.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/asan/asan_policy.h"
 #include "src/policy/ir_lowering.h"
 
@@ -11,11 +14,12 @@ namespace sgxb {
 
 template <>
 struct SchemeIrLowering<AsanPolicy> {
-  static void Apply(AsanPolicy& policy, Interpreter& interp, IrFunction& fn,
-                    const PolicyOptions& options) {
-    (void)options;
-    RunAsanPass(fn);
+  static CheckPassStats Apply(AsanPolicy& policy, Interpreter& interp,
+                              IrFunction& fn, const PolicyOptions& options) {
+    const CheckPassStats stats =
+        RunCheckPipeline(fn, AsanCheckLowering(), CheckConfigFrom(options));
     interp.AttachAsan(&policy.runtime());
+    return stats;
   }
 };
 

@@ -4,25 +4,42 @@
 // it - the analog of the paper's LLVM pass. Each scheme specializes this
 // trait next to its policy (src/policy/<scheme>/ir_lowering.h, aggregated by
 // scheme_ir.h); the primary template is the uninstrumented default (native).
+//
+// Apply returns the check-pipeline statistics (checks inserted/elided/
+// hoisted per pass) so the harness can surface pass effectiveness in
+// run_workload --selftime and the bench --json rows.
 
 #ifndef SGXBOUNDS_SRC_POLICY_IR_LOWERING_H_
 #define SGXBOUNDS_SRC_POLICY_IR_LOWERING_H_
 
 #include "src/ir/interp.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/policy.h"
 
 namespace sgxb {
+
+// PolicyOptions -> pass-pipeline toggles (shared by every scheme's lowering).
+inline CheckPassConfig CheckConfigFrom(const PolicyOptions& options) {
+  CheckPassConfig config;
+  config.elide_safe = options.opt_safe_elision;
+  config.hoist_loops = options.opt_hoist_checks;
+  config.elide_redundant = options.opt_redundant_elision;
+  config.pattern_loops = options.opt_pattern_loops;
+  config.elide_infield = options.opt_infield_elision;
+  return config;
+}
 
 template <typename P>
 struct SchemeIrLowering {
   // Runs the scheme's instrumentation pass over `fn` and attaches the
   // scheme's runtime to `interp`. Default: leave the function bare.
-  static void Apply(P& policy, Interpreter& interp, IrFunction& fn,
-                    const PolicyOptions& options) {
+  static CheckPassStats Apply(P& policy, Interpreter& interp, IrFunction& fn,
+                              const PolicyOptions& options) {
     (void)policy;
     (void)interp;
     (void)fn;
     (void)options;
+    return {};
   }
 };
 

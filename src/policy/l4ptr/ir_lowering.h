@@ -3,14 +3,16 @@
 // pluggable IrSchemeRuntime hook - no l4ptr-specific opcode exists anywhere
 // in src/ir.
 //
-// The pass placement logic (per-access checks, SS4.4 elision and hoisting)
-// is shared with SGXBounds via RunTaggedPtrPassImpl; only the emitted
-// opcodes and the runtime behind them differ.
+// Pass placement is the shared check pipeline (src/ir/opt). l4ptr pads
+// every allocation to a power of two >= 32 bytes (kL4Granule), so in-field
+// elision is legal with a 32-byte floor: a constant offset+size <= 32 from
+// an allocation base is inside the padded footprint whenever the first
+// access through that base was.
 
 #ifndef SGXBOUNDS_SRC_POLICY_L4PTR_IR_LOWERING_H_
 #define SGXBOUNDS_SRC_POLICY_L4PTR_IR_LOWERING_H_
 
-#include "src/ir/passes.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/ir_lowering.h"
 #include "src/policy/l4ptr/l4ptr_policy.h"
 
@@ -18,13 +20,12 @@ namespace sgxb {
 
 template <>
 struct SchemeIrLowering<L4PtrPolicy> {
-  static void Apply(L4PtrPolicy& policy, Interpreter& interp, IrFunction& fn,
-                    const PolicyOptions& options) {
-    SgxPassOptions opts;
-    opts.elide_safe = options.opt_safe_elision;
-    opts.hoist_loops = options.opt_hoist_checks;
-    RunSchemePass(fn, opts);
+  static CheckPassStats Apply(L4PtrPolicy& policy, Interpreter& interp,
+                              IrFunction& fn, const PolicyOptions& options) {
+    const CheckPassStats stats = RunCheckPipeline(
+        fn, TaggedSchemeCheckLowering(kL4Granule), CheckConfigFrom(options));
     interp.AttachScheme(&policy.runtime());
+    return stats;
   }
 };
 

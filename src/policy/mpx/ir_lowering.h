@@ -1,10 +1,13 @@
 // MPX IR lowering: bndcl/bndcu instrumentation plus bndldx/bndstx at
-// pointer-in-memory sites (kMpx* opcodes).
+// pointer-in-memory sites (kMpx* opcodes), through the scheme-generic check
+// pipeline. MPX's tooling implements no elision/hoisting (matching the
+// paper's baseline); redundant-check elimination is legal (bndldx/bndstx
+// traffic is preserved even where a check is deleted) and defaults off.
 
 #ifndef SGXBOUNDS_SRC_POLICY_MPX_IR_LOWERING_H_
 #define SGXBOUNDS_SRC_POLICY_MPX_IR_LOWERING_H_
 
-#include "src/ir/passes.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/ir_lowering.h"
 #include "src/policy/mpx/mpx_policy.h"
 
@@ -12,11 +15,12 @@ namespace sgxb {
 
 template <>
 struct SchemeIrLowering<MpxPolicy> {
-  static void Apply(MpxPolicy& policy, Interpreter& interp, IrFunction& fn,
-                    const PolicyOptions& options) {
-    (void)options;
-    RunMpxPass(fn);
+  static CheckPassStats Apply(MpxPolicy& policy, Interpreter& interp,
+                              IrFunction& fn, const PolicyOptions& options) {
+    const CheckPassStats stats =
+        RunCheckPipeline(fn, MpxCheckLowering(), CheckConfigFrom(options));
     interp.AttachMpx(&policy.runtime());
+    return stats;
   }
 };
 

@@ -37,11 +37,11 @@ namespace sgxb {
 
 // Numeric values are trace-format-stable (TraceHeader.policy stores them);
 // new schemes append, existing values never move.
-enum class PolicyKind : uint8_t { kNative, kAsan, kMpx, kSgxBounds, kL4Ptr };
+enum class PolicyKind : uint8_t { kNative, kAsan, kMpx, kSgxBounds, kL4Ptr, kShadow };
 
 // Number of registered PolicyKind values (kept in sync with the enum; the
 // scheme registry in registry.h statically checks every kind is described).
-inline constexpr uint32_t kPolicyKindCount = 5;
+inline constexpr uint32_t kPolicyKindCount = 6;
 
 // Display name from the scheme registry ("SGX", "ASan", "MPX", ...).
 const char* PolicyName(PolicyKind kind);
@@ -49,12 +49,21 @@ const char* PolicyName(PolicyKind kind);
 // Pointer slots in guest memory are 8 bytes for every policy (x86-64 ABI).
 inline constexpr uint32_t kPtrSlotBytes = 8;
 
-// SS4.4 optimization switches (effective for SGXBounds only; the other
-// schemes' tooling does not implement them, matching the paper's setup).
+// Check-optimization switches, consumed by the scheme-generic pass pipeline
+// (src/ir/opt/pipeline.h). Each scheme declares which passes are legal for
+// its bounds encoding; a flag only takes effect where the scheme supports
+// it, so the paper's setup (SS4.4 optimizations on SGXBounds, nothing on
+// ASan/MPX) is preserved at these defaults.
 struct PolicyOptions {
   OobPolicy oob = OobPolicy::kFailFast;
+  // The paper's SS4.4 pair (default on, matching the published results).
   bool opt_safe_elision = true;
   bool opt_hoist_checks = true;
+  // ShadowBound-style whole-program passes (default off: enabling them
+  // changes instrumentation, and the paper-four goldens pin the defaults).
+  bool opt_redundant_elision = false;
+  bool opt_pattern_loops = false;
+  bool opt_infield_elision = false;
   // Execution engine for interpreter-driven workload bodies (the "ir" suite).
   // kDefault follows the process-wide --ir_engine selection; simulated
   // results are engine-invariant by construction.

@@ -19,6 +19,7 @@
 
 #include "src/common/rng.h"
 #include "src/fault/fault.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/recovery.h"
 #include "src/policy/scheme_list.h"
 #include "src/runtime/thread_pool.h"
@@ -62,6 +63,9 @@ struct RunResult {
   std::string trap_message;
   // MPX-specific (Table 3).
   uint32_t mpx_bt_count = 0;
+  // Check-pipeline statistics accumulated over every IR function the body
+  // instrumented (zero for non-IR workloads).
+  CheckPassStats pass_stats;
   // Fault campaign + recovery accounting (zero when neither was configured).
   FaultStats fault_stats;
   RecoveryStats recovery_stats;
@@ -93,6 +97,10 @@ struct Env {
   // Service harnesses (src/farm) use it to land shard-scoped injections at
   // request positions via InjectNow.
   FaultInjector* faults = nullptr;
+  // Check-pipeline statistics; IR-driven bodies accumulate the stats returned
+  // by SchemeIrLowering<P>::Apply here and the harness copies them into
+  // RunResult.pass_stats.
+  CheckPassStats pass_stats;
 
   using Ptr = typename P::Ptr;
 
@@ -168,6 +176,7 @@ RunResult RunWithPolicy(const MachineSpec& spec, const PolicyOptions& options, F
     Env<P> env{enclave, heap, policy, enclave.main_cpu(), spec.threads, Rng(spec.seed),
                options, &recovery, injector.has_value() ? &*injector : nullptr};
     fn(env);
+    result.pass_stats = env.pass_stats;
     // Scheme-specific RunResult metrics (e.g. MPX's bounds-table count) are
     // collected through an optional policy hook instead of naming schemes.
     if constexpr (requires { policy.CollectRunMetrics(result); }) {

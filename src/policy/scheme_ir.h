@@ -14,5 +14,6 @@
 #include "src/policy/l4ptr/ir_lowering.h"
 #include "src/policy/mpx/ir_lowering.h"
 #include "src/policy/sgxbounds/ir_lowering.h"
+#include "src/policy/shadow/ir_lowering.h"
 
 #endif  // SGXBOUNDS_SRC_POLICY_SCHEME_IR_H_

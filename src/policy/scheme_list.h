@@ -15,6 +15,7 @@
 #include "src/policy/mpx/mpx_policy.h"
 #include "src/policy/native/native_policy.h"
 #include "src/policy/sgxbounds/sgxbounds_policy.h"
+#include "src/policy/shadow/shadow_policy.h"
 
 namespace sgxb {
 
@@ -34,7 +35,8 @@ struct SchemeTypes {
 // Registration order = the paper's presentation order (native baseline
 // first, then MPX, ASan, SGXBounds), then plugged-in schemes.
 using SchemePolicies =
-    SchemeTypes<NativePolicy, MpxPolicy, AsanPolicy, SgxBoundsPolicy, L4PtrPolicy>;
+    SchemeTypes<NativePolicy, MpxPolicy, AsanPolicy, SgxBoundsPolicy, L4PtrPolicy,
+                ShadowPolicy>;
 
 static_assert(SchemePolicies::kCount == kPolicyKindCount,
               "every PolicyKind value needs a registered scheme");

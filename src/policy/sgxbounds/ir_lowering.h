@@ -1,11 +1,14 @@
-// SGXBounds IR lowering: the dedicated tagged-pointer pass (kSgxCheck
-// opcodes, "sgx" allocation symbol) with the SS4.4 switches, runtime
-// attached via the interpreter's dedicated SGXBounds hook.
+// SGXBounds IR lowering: the tagged-pointer lowering (kSgxCheck opcodes,
+// "sgx" allocation symbol) run through the scheme-generic check pipeline,
+// runtime attached via the interpreter's dedicated SGXBounds hook.
+//
+// SGXBounds' LB/UB are exact (no allocation padding floor), so in-field
+// elision is not legal here; every other pass is.
 
 #ifndef SGXBOUNDS_SRC_POLICY_SGXBOUNDS_IR_LOWERING_H_
 #define SGXBOUNDS_SRC_POLICY_SGXBOUNDS_IR_LOWERING_H_
 
-#include "src/ir/passes.h"
+#include "src/ir/opt/pipeline.h"
 #include "src/policy/ir_lowering.h"
 #include "src/policy/sgxbounds/sgxbounds_policy.h"
 
@@ -13,13 +16,12 @@ namespace sgxb {
 
 template <>
 struct SchemeIrLowering<SgxBoundsPolicy> {
-  static void Apply(SgxBoundsPolicy& policy, Interpreter& interp, IrFunction& fn,
-                    const PolicyOptions& options) {
-    SgxPassOptions opts;
-    opts.elide_safe = options.opt_safe_elision;
-    opts.hoist_loops = options.opt_hoist_checks;
-    RunSgxBoundsPass(fn, opts);
+  static CheckPassStats Apply(SgxBoundsPolicy& policy, Interpreter& interp,
+                              IrFunction& fn, const PolicyOptions& options) {
+    const CheckPassStats stats =
+        RunCheckPipeline(fn, SgxBoundsCheckLowering(), CheckConfigFrom(options));
     interp.AttachSgx(&policy.runtime());
+    return stats;
   }
 };
 

@@ -36,7 +36,7 @@ uint64_t RunIrKernel(Env<P>& env, IrFunction fn) {
   StackAllocator stack(&env.enclave, 1 * kMiB, "ir-stack");
   Interpreter interp(&env.enclave, &env.heap, &stack);
   interp.set_engine(env.options.ir_engine);
-  SchemeIrLowering<P>::Apply(env.policy, interp, fn, env.options);
+  env.pass_stats.Accumulate(SchemeIrLowering<P>::Apply(env.policy, interp, fn, env.options));
   return interp.Run(fn, env.cpu, {}, /*max_steps=*/UINT64_MAX);
 }
 
